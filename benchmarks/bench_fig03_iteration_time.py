@@ -1,0 +1,17 @@
+"""Fig. 3: average iteration time, intra- vs inter-machine communication.
+
+Paper shape: inter-machine iteration time up to ~4x intra-machine; the gap
+grows with model size (VGG19 > ResNet18).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure3_iteration_time
+
+
+def test_fig03_iteration_time(benchmark, report):
+    out = run_once(benchmark, figure3_iteration_time)
+    report(out)
+    rows = out.row_dict()
+    assert rows["resnet18"][2] > rows["resnet18"][1]  # inter > intra
+    assert rows["vgg19"][3] > rows["resnet18"][3]  # bigger model, bigger gap

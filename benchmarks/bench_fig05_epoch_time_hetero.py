@@ -1,0 +1,26 @@
+"""Fig. 5: epoch-time decomposition on the heterogeneous network.
+
+Paper shape: computation cost ~equal for all approaches; NetMax has the
+lowest communication cost; Prague the highest (group partial-allreduce
+contention + link-speed-agnostic grouping).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure5_epoch_time_heterogeneous
+
+
+def test_fig05_epoch_time_hetero(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure5_epoch_time_heterogeneous,
+        models=("resnet18", "vgg19"),
+        num_samples=2048,
+        max_sim_time=240.0,
+    )
+    report(out)
+    for model in ("resnet18", "vgg19"):
+        rows = {row[1]: row for row in out.rows if row[0] == model}
+        comps = [row[2] for row in rows.values()]
+        assert max(comps) / min(comps) < 1.5  # computation ~equal
+        assert rows["netmax"][3] <= rows["adpsgd"][3] * 1.25  # netmax comm lowest-ish

@@ -1,0 +1,26 @@
+"""Fig. 6: epoch-time decomposition on the homogeneous 10 Gbps network.
+
+Paper shape: communication costs far below Fig. 5; NetMax ~ AD-PSGD (both
+pull from one neighbor) < Allreduce ~ Prague (extra collective rounds).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure6_epoch_time_homogeneous
+
+
+def test_fig06_epoch_time_homo(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure6_epoch_time_homogeneous,
+        models=("resnet18", "vgg19"),
+        num_samples=2048,
+        max_sim_time=240.0,
+    )
+    report(out)
+    for model in ("resnet18", "vgg19"):
+        rows = {row[1]: row for row in out.rows if row[0] == model}
+        # Async pull methods beat the collectives on communication.
+        async_worst = max(rows["netmax"][3], rows["adpsgd"][3])
+        sync_best = min(rows["allreduce"][3], rows["prague"][3])
+        assert async_worst < sync_best

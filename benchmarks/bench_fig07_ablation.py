@@ -1,0 +1,24 @@
+"""Fig. 7: NetMax source-of-improvement ablation.
+
+Paper shape: adaptive neighbor probabilities deliver the bulk of the gain;
+compute/communication overlap is marginal (GPU compute << network time).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure7_ablation
+
+
+def test_fig07_ablation(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure7_ablation,
+        models=("resnet18", "vgg19"),
+        num_samples=2048,
+        max_sim_time=240.0,
+    )
+    report(out)
+    for model in ("resnet18", "vgg19"):
+        rows = {row[1]: row[2] for row in out.rows if row[0] == model}
+        # Full NetMax at least matches the serial+uniform baseline.
+        assert rows["parallel+adaptive"] <= rows["serial+uniform"] * 1.05

@@ -1,0 +1,32 @@
+"""Fig. 8: training loss vs wall-clock time, heterogeneous network.
+
+Paper shape: NetMax converges fastest (reported 1.9x over AD-PSGD, 3.4x
+over Allreduce, 3.7x over Prague for ResNet18); the async pull methods
+dominate the collectives.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure8_loss_vs_time_heterogeneous
+
+
+def test_fig08_loss_vs_time_hetero(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure8_loss_vs_time_heterogeneous,
+        model="resnet18",
+        num_samples=2048,
+        max_sim_time=240.0,
+    )
+    report(out)
+    rows = out.row_dict()
+    # Every algorithm makes progress; loss series are monotone-ish down.
+    for series in out.series:
+        assert series.y[-1] < series.y[0]
+    # Collectives should not beat the async methods to the common target.
+    speedups = {name: rows[name][2] for name in rows}
+    assert not np.isnan(speedups["netmax"])
+    for sync_name in ("allreduce", "prague"):
+        if not np.isnan(speedups[sync_name]):
+            assert speedups["netmax"] >= speedups[sync_name] * 0.9

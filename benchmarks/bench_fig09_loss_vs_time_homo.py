@@ -1,0 +1,25 @@
+"""Fig. 9: training loss vs time, homogeneous network.
+
+Paper shape: NetMax and AD-PSGD nearly coincide (uniform is optimal on a
+homogeneous net, and NetMax detects that); Allreduce/Prague trail.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure9_loss_vs_time_homogeneous
+
+
+def test_fig09_loss_vs_time_homo(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure9_loss_vs_time_homogeneous,
+        model="resnet18",
+        num_samples=2048,
+        max_sim_time=180.0,
+    )
+    report(out)
+    rows = out.row_dict()
+    netmax_speedup = rows["netmax"][2]
+    adpsgd_speedup = rows["adpsgd"][2]
+    # NetMax ~ AD-PSGD on homogeneous networks (paper Fig. 9).
+    assert abs(netmax_speedup - adpsgd_speedup) < 0.5

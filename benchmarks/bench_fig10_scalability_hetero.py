@@ -1,0 +1,29 @@
+"""Fig. 10: speedup vs number of workers, heterogeneous network.
+
+Paper shape: all methods scale, NetMax best, with the gap widening as
+workers (and therefore slow-link exposure) increase. Baseline is
+Allreduce-SGD at the smallest worker count.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure10_scalability_heterogeneous
+
+
+def test_fig10_scalability_hetero(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure10_scalability_heterogeneous,
+        worker_counts=(4, 8),
+        target_epochs=6.0,
+        num_samples=2048,
+        max_sim_time=900.0,
+    )
+    report(out)
+    speedup = {(row[0], row[1]): row[3] for row in out.rows}
+    # The baseline cell is exactly 1.0 by construction.
+    assert speedup[("allreduce", 4)] == 1.0
+    # NetMax at 8 workers beats NetMax at 4 (it scales).
+    assert speedup[("netmax", 8)] > speedup[("netmax", 4)] * 0.9
+    # NetMax at 8 at least matches AD-PSGD at 8.
+    assert speedup[("netmax", 8)] >= speedup[("adpsgd", 8)] * 0.85

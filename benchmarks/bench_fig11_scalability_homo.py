@@ -1,0 +1,26 @@
+"""Fig. 11: speedup vs number of workers, homogeneous network.
+
+Paper shape: same story as Fig. 10 with smaller gaps; NetMax ~ AD-PSGD
+lead, Allreduce/Prague trail.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure11_scalability_homogeneous
+
+
+def test_fig11_scalability_homo(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure11_scalability_homogeneous,
+        worker_counts=(4, 8),
+        target_epochs=6.0,
+        num_samples=2048,
+        max_sim_time=900.0,
+    )
+    report(out)
+    speedup = {(row[0], row[1]): row[3] for row in out.rows}
+    assert speedup[("allreduce", 4)] == 1.0
+    # Async methods lead the collectives at 8 workers.
+    assert speedup[("netmax", 8)] >= speedup[("allreduce", 8)]
+    assert speedup[("adpsgd", 8)] >= speedup[("prague", 8)]

@@ -1,0 +1,26 @@
+"""Fig. 12: ResNet18 on CIFAR100 with non-uniform segment partitioning.
+
+Paper shape: per-epoch convergence similar across algorithms; per
+wall-clock time NetMax clearly fastest.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure12_cifar100_nonuniform
+
+
+def test_fig12_cifar100_nonuniform(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure12_cifar100_nonuniform,
+        num_samples=4096,
+        max_sim_time=240.0,
+    )
+    report(out)
+    # Both panels (epoch + time series) exist for each algorithm.
+    labels = {series.label for series in out.series}
+    for name in ("netmax", "adpsgd", "allreduce", "prague"):
+        assert f"{name}:epoch" in labels
+        assert f"{name}:time" in labels
+    for row in out.rows:
+        assert row[2] > 0  # made epoch progress

@@ -1,0 +1,24 @@
+"""Fig. 13: ResNet50 on ImageNet-scale data, 16 workers, non-uniform.
+
+Paper shape: as Fig. 12 at larger scale -- similar convergence per epoch,
+NetMax fastest against time. The 16-worker / 20-segment layout of
+Section V-F is preserved.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure13_imagenet_nonuniform
+
+
+def test_fig13_imagenet_nonuniform(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure13_imagenet_nonuniform,
+        num_samples=8192,
+        max_sim_time=180.0,
+    )
+    report(out)
+    assert len(out.rows) == 4
+    for series in out.series:
+        if series.label.endswith(":time"):
+            assert series.y[-1] <= series.y[0]  # loss not increasing

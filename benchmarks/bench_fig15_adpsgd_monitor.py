@@ -1,0 +1,26 @@
+"""Fig. 15 / Section V-H: extending AD-PSGD with the Network Monitor.
+
+Paper shape: AD-PSGD+Monitor trains faster per wall-clock than plain
+AD-PSGD (it avoids slow links) but converges slightly slower per epoch
+than NetMax (equal-weight averaging under-represents rarely-selected
+neighbors).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure15_adpsgd_monitor
+
+
+def test_fig15_adpsgd_monitor(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure15_adpsgd_monitor,
+        num_samples=4096,
+        max_sim_time=240.0,
+    )
+    report(out)
+    rows = out.row_dict()
+    assert set(rows) == {"adpsgd", "adpsgd-monitor", "netmax"}
+    # Monitor-driven variants shouldn't be slower per epoch-time than plain
+    # AD-PSGD by more than noise.
+    assert rows["adpsgd-monitor"][2] <= rows["adpsgd"][2] * 1.25

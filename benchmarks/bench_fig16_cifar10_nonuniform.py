@@ -1,0 +1,22 @@
+"""Fig. 16 (Appendix F): ResNet18 on CIFAR10, non-uniform segments.
+
+Paper shape: near-identical per-epoch convergence across algorithms (10
+classes are easy); NetMax fastest in time.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure16_cifar10_nonuniform
+
+
+def test_fig16_cifar10_nonuniform(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure16_cifar10_nonuniform,
+        num_samples=3072,
+        max_sim_time=200.0,
+    )
+    report(out)
+    assert len(out.rows) == 4
+    for series in out.series:
+        assert len(series.x) > 2

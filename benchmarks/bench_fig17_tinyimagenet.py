@@ -1,0 +1,22 @@
+"""Fig. 17 (Appendix F): ResNet18 on Tiny-ImageNet, non-uniform segments.
+
+Paper shape: NetMax slightly slower per epoch but much faster in time;
+final accuracy ~57% for everyone (Tiny-ImageNet is data-starved).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure17_tinyimagenet_nonuniform
+
+
+def test_fig17_tinyimagenet(benchmark, report):
+    out = run_once(
+        benchmark,
+        figure17_tinyimagenet_nonuniform,
+        num_samples=4096,
+        max_sim_time=200.0,
+    )
+    report(out)
+    assert len(out.rows) == 4
+    for row in out.rows:
+        assert row[1] > 0  # cross-entropy positive

@@ -1,0 +1,48 @@
+"""Micro-benchmark: Algorithm 3 (policy generation) runtime.
+
+The Network Monitor solves this every ``Ts`` seconds in production, so its
+latency bounds how fast NetMax can react to network changes. The paper uses
+Ts = 120 s; policy generation must be orders of magnitude faster.
+"""
+
+import numpy as np
+
+from repro.core.policy import generate_policy
+from repro.graph import Topology
+
+
+def hetero_times(num_workers: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    times = np.exp(rng.uniform(np.log(0.1), np.log(2.0), (num_workers, num_workers)))
+    times = (times + times.T) / 2
+    np.fill_diagonal(times, 0.05)
+    return times
+
+
+def test_policy_generation_8_workers(benchmark):
+    topology = Topology.fully_connected(8)
+    times = hetero_times(8)
+    result = benchmark(
+        generate_policy, times, topology.indicator(), 0.1,
+    )
+    assert 0.0 < result.lambda2 < 1.0
+
+
+def test_policy_generation_16_workers(benchmark):
+    topology = Topology.fully_connected(16)
+    times = hetero_times(16)
+    result = benchmark(
+        generate_policy, times, topology.indicator(), 0.1,
+    )
+    assert 0.0 < result.lambda2 < 1.0
+
+
+def test_policy_generation_fine_grid(benchmark):
+    """K = R = 20 (4x the default grid) on 8 workers."""
+    topology = Topology.fully_connected(8)
+    times = hetero_times(8)
+    result = benchmark(
+        generate_policy, times, topology.indicator(), 0.1,
+        outer_rounds=20, inner_rounds=20,
+    )
+    assert result.candidates_evaluated > 0

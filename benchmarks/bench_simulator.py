@@ -1,0 +1,33 @@
+"""Micro-benchmark: discrete-event simulator throughput.
+
+Every training experiment rides on the event queue; this measures raw
+events/second on a self-rescheduling workload resembling the trainers'
+iteration loops.
+"""
+
+from repro.simulation.engine import Simulator
+
+
+def chain_events(num_chains: int, events_per_chain: int) -> int:
+    sim = Simulator()
+    executed = [0]
+
+    def tick():
+        executed[0] += 1
+        if executed[0] < num_chains * events_per_chain:
+            sim.schedule_in(1.0, tick)
+
+    for chain in range(num_chains):
+        sim.schedule_at(float(chain) / num_chains, tick)
+    sim.run(max_events=num_chains * events_per_chain + 1)
+    return executed[0]
+
+
+def test_simulator_throughput_small(benchmark):
+    executed = benchmark(chain_events, 8, 1000)
+    assert executed >= 8000
+
+
+def test_simulator_throughput_many_chains(benchmark):
+    executed = benchmark(chain_events, 64, 250)
+    assert executed >= 16000

@@ -1,0 +1,24 @@
+"""Table III: test accuracy over the homogeneous network.
+
+Paper shape: consistent with Table II -- all approaches within ~1 point.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3_accuracy_homogeneous
+
+
+def test_table3_accuracy_homo(benchmark, report):
+    out = run_once(
+        benchmark,
+        table3_accuracy_homogeneous,
+        worker_counts=(4, 8),
+        models=("resnet18",),
+        num_samples=3072,
+        max_sim_time=240.0,
+    )
+    report(out)
+    for row in out.rows:
+        accuracies = row[2:]
+        assert all(0.3 < acc <= 1.0 for acc in accuracies)
+        assert max(accuracies) - min(accuracies) < 0.2

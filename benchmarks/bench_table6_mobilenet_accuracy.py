@@ -1,0 +1,26 @@
+"""Table VI: MobileNet/CIFAR100 accuracy including the PS baselines.
+
+Paper shape: everyone lands at ~63-64% (MobileNet is capacity-bound on
+CIFAR100 -- notably below ResNet18's ~72% of Table V), NetMax marginally
+best.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table6_mobilenet_accuracy
+
+
+def test_table6_mobilenet_accuracy(benchmark, report):
+    out = run_once(
+        benchmark,
+        table6_mobilenet_accuracy,
+        num_samples=4096,
+        max_sim_time=240.0,
+    )
+    report(out)
+    assert len(out.rows) == 6
+    accuracies = {row[0]: row[1] for row in out.rows}
+    assert all(0.0 <= acc <= 1.0 for acc in accuracies.values())
+    # NetMax within the pack (paper: slightly ahead).
+    best = max(accuracies.values())
+    assert accuracies["netmax"] >= best - 0.15

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures at reduced
+scale (small synthetic datasets, minutes of virtual time) and prints the
+same rows/series the paper reports. ``benchmark.pedantic(..., rounds=1)``
+is used throughout: these are macro-benchmarks of whole experiments, not
+micro-benchmarks to be repeated.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentOutput so it lands in the bench log."""
+
+    def _report(output):
+        with capsys.disabled():
+            print()
+            print(output.render())
+        return output
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

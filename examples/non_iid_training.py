@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Non-IID decentralized training (paper Section V-F, Table IV).
+
+Each of the 8 workers loses three MNIST labels entirely -- worker 0 never
+sees digits 0, 1, 2, and so on per Table IV -- and trains MobileNet with
+batch 32 and lr 0.01. The run demonstrates how NetMax's 1/p_im pull
+weighting keeps information flowing from rarely-contacted neighbors, so
+every replica still learns all ten classes.
+
+Run:  python examples/non_iid_training.py
+"""
+
+import numpy as np
+
+from repro import TrainerConfig, heterogeneous_scenario, make_workload, run_comparison
+from repro.datasets import PAPER_MNIST_LOST_LABELS
+from repro.experiments import render_table
+from repro.ml.optim import ConstantLR
+
+
+def main() -> None:
+    workload = make_workload(
+        model="mobilenet",
+        dataset="mnist",
+        num_workers=8,
+        partition="drop-labels",
+        lost_labels=list(PAPER_MNIST_LOST_LABELS),
+        batch_size=32,
+        num_samples=4096,
+        seed=5,
+    )
+    print("per-worker lost labels (Table IV):")
+    for worker, lost in enumerate(PAPER_MNIST_LOST_LABELS):
+        shard = workload.shards[worker]
+        present = np.flatnonzero(shard.label_histogram() > 0)
+        print(f"  w{worker}: lost {lost}  -> classes present: {present.tolist()}")
+
+    scenario = heterogeneous_scenario(num_workers=8, seed=5)
+    config = TrainerConfig(
+        max_sim_time=200.0,
+        eval_interval_s=10.0,
+        lr_schedule=ConstantLR(0.01),
+        seed=5,
+    )
+    results = run_comparison(["adpsgd", "netmax"], scenario, workload, config)
+
+    rows = [
+        [name, r.history.final_loss(), r.history.final_accuracy(),
+         r.consensus_distance()]
+        for name, r in results.items()
+    ]
+    print()
+    print(render_table(
+        ["algorithm", "final_loss", "test_accuracy", "consensus_distance"],
+        rows,
+        title="MobileNet on non-IID MNIST (8 workers, Table IV label drops)",
+    ))
+    print("\nDespite each worker missing 3 digits locally, the consensus "
+          "model classifies all 10 (paper reports ~93% under this split, "
+          "down from ~99% IID).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""NetMax reproduction: communication-efficient decentralized ML over
+heterogeneous networks (Zhou et al., ICDE 2021).
+
+Quick tour of the public API::
+
+    from repro import (
+        heterogeneous_scenario, make_workload, TrainerConfig,
+        run_comparison, time_to_loss_speedups,
+    )
+
+    scenario = heterogeneous_scenario(num_workers=8)
+    workload = make_workload("resnet18", "cifar10", num_workers=8)
+    config = TrainerConfig(max_sim_time=600.0)
+    results = run_comparison(["netmax", "adpsgd", "allreduce"],
+                             scenario, workload, config)
+    print(time_to_loss_speedups(results, reference="adpsgd"))
+
+Subpackages:
+
+- :mod:`repro.core` -- NetMax itself: consensus SGD, the Network Monitor,
+  Algorithm 3 policy generation, convergence theory.
+- :mod:`repro.algorithms` -- NetMax + all baselines over the simulator.
+- :mod:`repro.graph`, :mod:`repro.network`, :mod:`repro.simulation` --
+  topology, link-speed, and event-simulation substrates.
+- :mod:`repro.ml`, :mod:`repro.datasets` -- the numpy learning stack.
+- :mod:`repro.experiments` -- scenario builders and per-figure/table
+  regeneration.
+"""
+
+from repro.algorithms import (
+    TrainerConfig,
+    WorkerTask,
+    create_trainer,
+    trainer_names,
+)
+from repro.core import (
+    ConsensusWorker,
+    NetworkMonitor,
+    PolicyResult,
+    generate_policy,
+    uniform_policy,
+)
+from repro.experiments import (
+    Scenario,
+    Workload,
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    make_quadratic_workload,
+    make_workload,
+    multi_cloud_scenario,
+    run_comparison,
+    run_trainer,
+    time_to_loss_speedups,
+)
+from repro.graph import Topology
+from repro.simulation import TrainingResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TrainerConfig",
+    "WorkerTask",
+    "create_trainer",
+    "trainer_names",
+    "ConsensusWorker",
+    "NetworkMonitor",
+    "PolicyResult",
+    "generate_policy",
+    "uniform_policy",
+    "Scenario",
+    "Workload",
+    "heterogeneous_scenario",
+    "homogeneous_scenario",
+    "multi_cloud_scenario",
+    "make_workload",
+    "make_quadratic_workload",
+    "run_trainer",
+    "run_comparison",
+    "time_to_loss_speedups",
+    "Topology",
+    "TrainingResult",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Decentralized training algorithms over the discrete-event simulator.
+
+NetMax itself plus every baseline the paper evaluates against:
+
+============== ====================================================
+name           system
+============== ====================================================
+netmax         the paper's contribution (Sec. III); ablation switches
+               for serial execution / uniform probabilities (Fig. 7)
+adpsgd         AD-PSGD [Lian et al. 2018]: uniform neighbor, 1/2-1/2
+allreduce      synchronous ring Allreduce-SGD [Jia et al. 2018]
+prague         randomized partial-allreduce groups [Luo et al. 2020]
+ps-syn/ps-asyn parameter server, synchronous / asynchronous
+saps           SAPS-PSGD-style fixed initially-fast subgraph
+adpsgd-monitor Section III-D extension: AD-PSGD + Network Monitor
+============== ====================================================
+"""
+
+from repro.algorithms.base import DecentralizedTrainer, TrainerConfig, WorkerTask
+from repro.algorithms.netmax import NetMaxTrainer
+from repro.algorithms.adpsgd import ADPSGDTrainer
+from repro.algorithms.allreduce import AllreduceTrainer
+from repro.algorithms.prague import PragueTrainer
+from repro.algorithms.param_server import PSAsynTrainer, PSSynTrainer
+from repro.algorithms.saps import SAPSTrainer
+from repro.algorithms.adpsgd_monitor import ADPSGDMonitorTrainer
+from repro.algorithms.registry import TRAINER_REGISTRY, create_trainer, trainer_names
+
+__all__ = [
+    "DecentralizedTrainer",
+    "TrainerConfig",
+    "WorkerTask",
+    "NetMaxTrainer",
+    "ADPSGDTrainer",
+    "AllreduceTrainer",
+    "PragueTrainer",
+    "PSSynTrainer",
+    "PSAsynTrainer",
+    "SAPSTrainer",
+    "ADPSGDMonitorTrainer",
+    "TRAINER_REGISTRY",
+    "create_trainer",
+    "trainer_names",
+]

@@ -1,0 +1,91 @@
+"""AD-PSGD baseline [Lian et al., ICML 2018] as described in Section V.
+
+Each worker repeatedly: picks a neighbor *uniformly at random*, pulls its
+model, averages half-and-half, and applies its local gradient. Gradient
+computation overlaps the pull (the paper's implementations overlap too;
+Fig. 7 attributes most of NetMax's gain to adaptive probabilities, not
+overlap). The uniform selection is exactly what makes AD-PSGD pay for slow
+links ~2/3 of the time in the Fig. 2 example.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.algorithms.base import DecentralizedTrainer
+from repro.ml.optim import SGDState
+
+__all__ = ["ADPSGDTrainer"]
+
+
+class ADPSGDTrainer(DecentralizedTrainer):
+    """Asynchronous decentralized PSGD with uniform neighbor selection.
+
+    Extra args:
+        mixing_weight: weight on the pulled model in the averaging step
+            (AD-PSGD uses 1/2; GoSGD-style variants use other values).
+        overlap: overlap compute and communication (default True).
+    """
+
+    name = "adpsgd"
+
+    def __init__(self, *args, mixing_weight: float = 0.5, overlap: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 < mixing_weight < 1.0:
+            raise ValueError(f"mixing_weight must be in (0, 1), got {mixing_weight}")
+        self.mixing_weight = float(mixing_weight)
+        self.overlap = overlap
+        self._optimizers = [
+            SGDState(self.config.sgd, task.model.dim) for task in self.tasks
+        ]
+        self._selection_rngs = [
+            np.random.default_rng(self.rng.integers(2**63))
+            for _ in range(self.num_workers)
+        ]
+
+    def _choose_peer(self, worker: int) -> int:
+        neighbors = self.topology.neighbors(worker)
+        return int(self._selection_rngs[worker].choice(neighbors))
+
+    def _setup(self) -> None:
+        for i in range(self.num_workers):
+            self._start_iteration(i)
+
+    def _start_iteration(self, worker: int) -> None:
+        peer = self._choose_peer(worker)
+        compute = self.compute_time(worker)
+        if self.overlap:
+            network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+            self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
+            duration = max(compute, network)
+            self.sim.schedule_in(
+                duration, partial(self._complete_iteration, worker, peer, compute, duration)
+            )
+        else:
+            self.sim.schedule_in(compute, partial(self._serial_pull, worker, peer, compute))
+
+    def _serial_pull(self, worker: int, peer: int, compute: float) -> None:
+        network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+        self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
+        duration = compute + network
+        self.sim.schedule_in(
+            network, partial(self._complete_iteration, worker, peer, compute, duration)
+        )
+
+    def _complete_iteration(
+        self, worker: int, peer: int, compute: float, duration: float
+    ) -> None:
+        model = self.tasks[worker].model
+        lr = self.current_lr()
+        _, grad = self.tasks[worker].sample_loss_and_grad()
+        # Average with the pulled model, then apply the local gradient --
+        # AD-PSGD computes the gradient at the pre-averaging parameters.
+        averaged = (
+            (1.0 - self.mixing_weight) * model.get_params()
+            + self.mixing_weight * self.tasks[peer].model.get_params()
+        )
+        model.set_params(self._optimizers[worker].step(averaged, grad, lr))
+        self.record_iteration(worker, compute, duration)
+        self._start_iteration(worker)

@@ -1,0 +1,36 @@
+"""Section III-D / V-H extension: AD-PSGD steered by the Network Monitor.
+
+The monitor's adaptive neighbor-selection probabilities are reused verbatim,
+but the model update stays AD-PSGD's plain half-and-half average -- unlike
+NetMax, which weights the pulled model by ``1/p_im``. Section V-H finds this
+variant beats standard AD-PSGD on wall-clock time but converges slightly
+slower per epoch than NetMax because equal weights under-represent the
+rarely-selected (slow-link) neighbors.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.netmax import NetMaxTrainer
+
+__all__ = ["ADPSGDMonitorTrainer"]
+
+
+class ADPSGDMonitorTrainer(NetMaxTrainer):
+    """NetMax's monitor + AD-PSGD's fixed-weight averaging."""
+
+    name = "adpsgd-monitor"
+
+    def __init__(self, *args, mixing_weight: float = 0.5, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 < mixing_weight < 1.0:
+            raise ValueError(f"mixing_weight must be in (0, 1), got {mixing_weight}")
+        self.mixing_weight = float(mixing_weight)
+
+    def _apply_pull(self, worker: int, peer: int, lr: float) -> None:
+        model = self.tasks[worker].model
+        peer_params = self.tasks[peer].model.get_params()
+        blended = (
+            (1.0 - self.mixing_weight) * model.get_params()
+            + self.mixing_weight * peer_params
+        )
+        model.set_params(blended)

@@ -1,0 +1,68 @@
+"""Synchronous Allreduce-SGD baseline [Jia et al. 2018].
+
+One global round per iteration: every worker computes a gradient on its own
+minibatch, a ring all-reduce averages the gradients, and all replicas apply
+the same update. The round takes
+
+    max_i C_i  +  2 (M - 1) * (S / (M * B_min) + L_max)
+
+where ``S`` is the gradient message size, ``B_min`` the slowest bandwidth on
+the ring at round start, and ``L_max`` the worst per-hop latency: the
+classic ring-allreduce cost, bottlenecked by the slowest link -- exactly why
+the paper finds Allreduce-SGD suffers on heterogeneous networks (Fig. 5)
+while staying competitive on homogeneous ones (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import DecentralizedTrainer
+from repro.ml.optim import SGDState
+
+__all__ = ["AllreduceTrainer"]
+
+
+class AllreduceTrainer(DecentralizedTrainer):
+    """Bulk-synchronous data parallelism with ring all-reduce."""
+
+    name = "allreduce"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._optimizers = [
+            SGDState(self.config.sgd, task.model.dim) for task in self.tasks
+        ]
+        self._ring = [(i, (i + 1) % self.num_workers) for i in range(self.num_workers)]
+
+    def ring_allreduce_time(self, time: float) -> float:
+        """Duration of one ring all-reduce starting at virtual ``time``."""
+        m = self.num_workers
+        bandwidths = [self.comm.links.bandwidth(a, b, time) for a, b in self._ring]
+        latencies = [self.comm.links.latency(a, b, time) for a, b in self._ring]
+        chunk = self.message_bytes / m
+        steps = 2 * (m - 1)
+        return steps * (chunk / min(bandwidths) + max(latencies))
+
+    def _setup(self) -> None:
+        self.sim.schedule_at(0.0, self._round)
+
+    def _round(self) -> None:
+        lr = self.current_lr()
+        computes = [self.compute_time(i) for i in range(self.num_workers)]
+        duration = max(computes) + self.ring_allreduce_time(self.sim.now)
+
+        grads = []
+        for task in self.tasks:
+            _, grad = task.sample_loss_and_grad()
+            grads.append(grad)
+        mean_grad = np.mean(grads, axis=0)
+        for i, task in enumerate(self.tasks):
+            params = task.model.get_params()
+            task.model.set_params(self._optimizers[i].step(params, mean_grad, lr))
+        for i, compute in enumerate(computes):
+            self.record_iteration(i, compute, duration)
+
+        next_time = self.sim.now + duration
+        if next_time < self.config.max_sim_time:
+            self.sim.schedule_at(next_time, self._round)

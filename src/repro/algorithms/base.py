@@ -1,0 +1,315 @@
+"""Shared machinery for all decentralized trainers.
+
+A trainer owns ``M`` :class:`WorkerTask`\\ s (model replica + local data),
+a :class:`~repro.graph.Topology`, a link-speed model, and a
+:class:`~repro.network.costmodel.ModelCostProfile`, and runs the training as
+a discrete-event simulation. Subclasses implement :meth:`_setup` to schedule
+their first events (per-worker loops for asynchronous algorithms, round
+events for synchronous ones) and call :meth:`record_iteration` for every
+local iteration so the epoch-cost decomposition of Figs. 5-6 is maintained
+uniformly.
+
+Evaluation happens on the virtual clock too: every ``eval_interval_s``
+simulated seconds, the mean training loss across workers (each on a fixed
+probe of its own shard) and the test accuracy of the parameter-averaged
+model are appended to the history -- the series behind Figs. 8-19.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.graph.topology import Topology
+from repro.ml.data import BatchSampler
+from repro.ml.models import Model
+from repro.ml.optim import LRSchedule, PlateauDecayLR, SGDConfig
+from repro.network.costmodel import CommunicationModel, ComputeModel, ModelCostProfile
+from repro.network.links import LinkSpeedModel
+from repro.simulation.engine import Simulator
+from repro.simulation.records import EpochCostTracker, TrainingHistory, TrainingResult
+
+__all__ = ["WorkerTask", "TrainerConfig", "DecentralizedTrainer"]
+
+
+class WorkerTask:
+    """One worker's model replica and local data shard.
+
+    Args:
+        model: the replica ``x_i``. All workers should start from identical
+            parameters (the analysis measures ``||x^0 - x* 1||``).
+        sampler: minibatch source over the local shard ``D_i``; ``None`` for
+            data-free objectives such as the quadratic consensus problems,
+            in which case epochs are counted as
+            ``iterations / iterations_per_epoch_hint``.
+    """
+
+    def __init__(self, model: Model, sampler: BatchSampler | None = None):
+        self.model = model
+        self.sampler = sampler
+        self.iterations = 0
+
+    def sample_loss_and_grad(self) -> tuple[float, np.ndarray]:
+        """Draw a minibatch (if any) and return loss + flat gradient."""
+        self.iterations += 1
+        if self.sampler is None:
+            return self.model.loss_and_grad()
+        features, labels = self.sampler.next_batch()
+        return self.model.loss_and_grad(features, labels)
+
+    @property
+    def batch_size(self) -> int | None:
+        return self.sampler.batch_size if self.sampler is not None else None
+
+    def epoch_progress(self, iterations_per_epoch_hint: int) -> float:
+        if self.sampler is not None:
+            return self.sampler.epoch_progress
+        return self.iterations / iterations_per_epoch_hint
+
+    def epochs_completed(self, iterations_per_epoch_hint: int) -> int:
+        if self.sampler is not None:
+            return self.sampler.epochs_completed
+        return self.iterations // iterations_per_epoch_hint
+
+
+@dataclass
+class TrainerConfig:
+    """Run-wide knobs shared by every algorithm.
+
+    Attributes:
+        lr_schedule: learning-rate schedule (paper default: 0.1 with
+            decay-on-plateau).
+        sgd: momentum / weight-decay settings (paper: 0.9 / 1e-4).
+        max_sim_time: virtual-seconds budget for the run.
+        max_epochs: optional mean-epoch stopping criterion (the paper trains
+            for a fixed epoch count in most experiments).
+        eval_interval_s: evaluation cadence on the virtual clock.
+        eval_max_samples: per-worker probe size for train-loss evaluation
+            and test-set subsample for accuracy.
+        seed: root seed; every random stream of the run derives from it.
+        max_events: hard cap on simulator events (guards runaway loops).
+        iterations_per_epoch_hint: epoch length for sampler-less tasks.
+    """
+
+    lr_schedule: LRSchedule = field(default_factory=lambda: PlateauDecayLR(0.1))
+    sgd: SGDConfig = field(default_factory=SGDConfig)
+    max_sim_time: float = 600.0
+    max_epochs: float | None = None
+    eval_interval_s: float = 10.0
+    eval_max_samples: int = 256
+    seed: int = 0
+    max_events: int = 5_000_000
+    iterations_per_epoch_hint: int = 50
+
+    def __post_init__(self) -> None:
+        if self.max_sim_time <= 0:
+            raise ValueError("max_sim_time must be positive")
+        if self.max_epochs is not None and self.max_epochs <= 0:
+            raise ValueError("max_epochs must be positive when set")
+        if self.eval_interval_s <= 0:
+            raise ValueError("eval_interval_s must be positive")
+        if self.eval_max_samples < 1:
+            raise ValueError("eval_max_samples must be >= 1")
+        if self.iterations_per_epoch_hint < 1:
+            raise ValueError("iterations_per_epoch_hint must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "TrainerConfig":
+        """Copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class DecentralizedTrainer(abc.ABC):
+    """Event-driven training run; subclasses wire the algorithm's events.
+
+    Args:
+        tasks: one :class:`WorkerTask` per worker.
+        topology: communication graph (must be connected, Assumption 1).
+        links: link-speed model for the run.
+        profile: paper-scale cost profile (message bytes, compute time).
+        config: run-wide configuration.
+        test_data: optional ``(features, labels)`` for accuracy evaluation.
+        compute_model: override the default homogeneous compute model.
+        flow_sharing: model NIC contention between concurrent transfers
+            (default True; disable for idealized-network ablations).
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        tasks: list[WorkerTask],
+        topology: Topology,
+        links: LinkSpeedModel,
+        profile: ModelCostProfile,
+        config: TrainerConfig,
+        test_data: tuple[np.ndarray, np.ndarray] | None = None,
+        compute_model: ComputeModel | None = None,
+        flow_sharing: bool = True,
+    ):
+        if len(tasks) != topology.num_workers:
+            raise ValueError(
+                f"{len(tasks)} tasks but topology has {topology.num_workers} workers"
+            )
+        if links.num_workers != topology.num_workers:
+            raise ValueError("link model and topology disagree on worker count")
+        topology.require_connected()
+        dims = {task.model.dim for task in tasks}
+        if len(dims) != 1:
+            raise ValueError(f"all worker models must share a dimension, got {dims}")
+        self.tasks = tasks
+        self.topology = topology
+        # Loss-adaptive LR schedules are stateful and the trainer mutates
+        # them, so every trainer owns a private copy of its configuration.
+        self.config = copy.deepcopy(config)
+        self.profile = profile
+        self.comm = CommunicationModel(links, flow_sharing=flow_sharing)
+        self.compute_model = compute_model or ComputeModel(profile, len(tasks))
+        self.rng = np.random.default_rng(config.seed)
+        self.sim = Simulator()
+        self.history = TrainingHistory()
+        self.costs = EpochCostTracker(len(tasks))
+        self._epoch_boundaries_seen = np.zeros(len(tasks), dtype=np.int64)
+        self._eval_model = tasks[0].model.clone()
+        self._test_data = self._subsample_test(test_data)
+        self._probes = [self._make_probe(task) for task in tasks]
+
+    # -- construction helpers -------------------------------------------------
+
+    def _subsample_test(
+        self, test_data: tuple[np.ndarray, np.ndarray] | None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        if test_data is None:
+            return None
+        features, labels = test_data
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("test features and labels disagree on sample count")
+        cap = self.config.eval_max_samples
+        if features.shape[0] > cap:
+            idx = self.rng.choice(features.shape[0], size=cap, replace=False)
+            return features[idx], labels[idx]
+        return features, labels
+
+    def _make_probe(self, task: WorkerTask) -> tuple[np.ndarray, np.ndarray] | None:
+        if task.sampler is None:
+            return None
+        dataset = task.sampler.dataset
+        cap = min(self.config.eval_max_samples, len(dataset))
+        return dataset.features[:cap], dataset.labels[:cap]
+
+    # -- common queries --------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def message_bytes(self) -> int:
+        return self.profile.message_bytes
+
+    def worker_batch_size(self, worker: int) -> int:
+        batch = self.tasks[worker].batch_size
+        return batch if batch is not None else self.profile.reference_batch
+
+    def compute_time(self, worker: int) -> float:
+        """Local gradient computation time ``C_i`` for one iteration."""
+        return self.compute_model.compute_time(worker, self.worker_batch_size(worker))
+
+    def mean_epoch(self) -> float:
+        hint = self.config.iterations_per_epoch_hint
+        return float(np.mean([task.epoch_progress(hint) for task in self.tasks]))
+
+    def current_lr(self) -> float:
+        return self.config.lr_schedule.lr(self.mean_epoch())
+
+    def total_iterations(self) -> int:
+        return int(sum(task.iterations for task in self.tasks))
+
+    def params_matrix(self) -> np.ndarray:
+        return np.stack([task.model.get_params() for task in self.tasks])
+
+    # -- accounting --------------------------------------------------------------
+
+    def record_iteration(self, worker: int, compute_time: float, duration: float) -> None:
+        """Book one finished local iteration into the cost tracker."""
+        self.costs.record_iteration(worker, compute_time, duration)
+        completed = self.tasks[worker].epochs_completed(self.config.iterations_per_epoch_hint)
+        while self._epoch_boundaries_seen[worker] < completed:
+            self.costs.record_epoch_boundary(worker)
+            self._epoch_boundaries_seen[worker] += 1
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def train_loss(self) -> float:
+        """Mean loss across workers, each on its fixed local probe."""
+        losses = []
+        for task, probe in zip(self.tasks, self._probes):
+            if probe is None:
+                losses.append(task.model.loss())
+            else:
+                losses.append(task.model.loss(probe[0], probe[1]))
+        return float(np.mean(losses))
+
+    def test_accuracy(self) -> float:
+        """Accuracy of the parameter-averaged model on the test probe."""
+        if self._test_data is None:
+            return float("nan")
+        self._eval_model.set_params(self.params_matrix().mean(axis=0))
+        return self._eval_model.accuracy(self._test_data[0], self._test_data[1])
+
+    def evaluate(self) -> None:
+        loss = self.train_loss()
+        self.history.add(
+            time=self.sim.now,
+            global_step=self.total_iterations(),
+            epoch=self.mean_epoch(),
+            train_loss=loss,
+            test_accuracy=self.test_accuracy(),
+        )
+        self.config.lr_schedule.observe_loss(loss)
+
+    def _evaluation_event(self) -> None:
+        self.evaluate()
+        next_time = self.sim.now + self.config.eval_interval_s
+        if next_time < self.config.max_sim_time:
+            self.sim.schedule_at(next_time, self._evaluation_event)
+
+    # -- the run ---------------------------------------------------------------------
+
+    def _should_stop(self) -> bool:
+        return (
+            self.config.max_epochs is not None
+            and self.mean_epoch() >= self.config.max_epochs
+        )
+
+    @abc.abstractmethod
+    def _setup(self) -> None:
+        """Schedule the algorithm's initial events."""
+
+    def _extras(self) -> dict:
+        """Algorithm-specific diagnostics added to the result."""
+        return {}
+
+    def run(self) -> TrainingResult:
+        """Execute the training run to its stopping criterion."""
+        self._setup()
+        self.sim.schedule_at(0.0, self._evaluation_event)
+        self.sim.run(
+            until_time=self.config.max_sim_time,
+            max_events=self.config.max_events,
+            stop_condition=self._should_stop,
+        )
+        self.evaluate()
+        return TrainingResult(
+            algorithm=self.name,
+            history=self.history,
+            costs=self.costs,
+            final_params=self.params_matrix(),
+            sim_time=self.sim.now,
+            global_steps=self.total_iterations(),
+            extras=self._extras(),
+        )

@@ -1,0 +1,172 @@
+"""The NetMax trainer: Algorithms 1 + 2 over the event simulator.
+
+Asynchronous per-worker loops drive :class:`~repro.core.consensus
+.ConsensusWorker` state machines; a :class:`~repro.core.monitor
+.NetworkMonitor` tick fires every ``monitor_period_s`` simulated seconds and
+stages fresh ``(P, rho)`` policies, which workers adopt at their next
+iteration start (Algorithm 2, lines 5-8).
+
+The two ablation switches of Fig. 7 are first-class:
+
+- ``adaptive=False``: keep uniform neighbor probabilities forever (the
+  monitor never publishes);
+- ``overlap=False``: serialize gradient computation and communication
+  (iteration time ``C + N`` instead of ``max(C, N)``).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.algorithms.base import DecentralizedTrainer
+from repro.core.consensus import ConsensusWorker
+from repro.core.monitor import NetworkMonitor
+
+__all__ = ["NetMaxTrainer"]
+
+
+class NetMaxTrainer(DecentralizedTrainer):
+    """Full NetMax (Section III).
+
+    Extra args beyond the base trainer:
+        adaptive: use the Network Monitor's policies (default True).
+        overlap: overlap compute and communication (default True).
+        monitor_period_s: the monitor's schedule period ``Ts``
+            (paper: 120 s; scale with your simulated run length).
+        ema_beta: smoothing factor of the iteration-time EMA (line 21).
+        policy_outer_rounds / policy_inner_rounds: Algorithm 3's ``K``/``R``.
+        policy_epsilon: accuracy target in the convergence-time prediction.
+        initial_rho: consensus weight before the first policy arrives;
+            defaults to ``1 / (4 * alpha_0 * max_degree)``, which keeps the
+            pull coefficient ``alpha rho / p_im`` at most 1/4 under the
+            uniform starting policy.
+    """
+
+    name = "netmax"
+
+    def __init__(
+        self,
+        *args,
+        adaptive: bool = True,
+        overlap: bool = True,
+        monitor_period_s: float = 60.0,
+        ema_beta: float = 0.8,
+        policy_outer_rounds: int = 8,
+        policy_inner_rounds: int = 8,
+        policy_epsilon: float = 1e-2,
+        initial_rho: float | None = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if monitor_period_s <= 0:
+            raise ValueError("monitor_period_s must be positive")
+        self.adaptive = adaptive
+        self.overlap = overlap
+        self.monitor_period_s = float(monitor_period_s)
+        max_degree = max(self.topology.degree(i) for i in range(self.num_workers))
+        alpha0 = self.config.lr_schedule.lr(0.0)
+        if initial_rho is None:
+            initial_rho = 1.0 / (4.0 * alpha0 * max_degree)
+        self.workers = [
+            ConsensusWorker(
+                worker_id=i,
+                model=self.tasks[i].model,
+                neighbors=self.topology.neighbors(i),
+                num_workers=self.num_workers,
+                rho=initial_rho,
+                sgd=self.config.sgd,
+                beta=ema_beta,
+                rng=np.random.default_rng(self.rng.integers(2**63)),
+            )
+            for i in range(self.num_workers)
+        ]
+        self.monitor = NetworkMonitor(
+            self.topology,
+            outer_rounds=policy_outer_rounds,
+            inner_rounds=policy_inner_rounds,
+            epsilon=policy_epsilon,
+        )
+        self.policies_adopted = 0
+
+    # -- event wiring -----------------------------------------------------------
+
+    def _setup(self) -> None:
+        for i in range(self.num_workers):
+            self._start_iteration(i)
+        if self.adaptive:
+            self.sim.schedule_in(self.monitor_period_s, self._monitor_tick)
+
+    def _start_iteration(self, worker: int) -> None:
+        state = self.workers[worker]
+        if state.adopt_pending_policy():
+            self.policies_adopted += 1
+        peer = state.choose_peer()
+        compute = self.compute_time(worker)
+        if peer == worker:
+            # Self-selection (probability p_ii): a compute-only iteration.
+            self.sim.schedule_in(
+                compute, partial(self._complete_iteration, worker, peer, compute, compute)
+            )
+        elif self.overlap:
+            network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+            self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
+            duration = max(compute, network)
+            self.sim.schedule_in(
+                duration, partial(self._complete_iteration, worker, peer, compute, duration)
+            )
+        else:
+            # Serial ablation (Fig. 7): the pull starts only after the
+            # gradient computation finishes.
+            self.sim.schedule_in(compute, partial(self._serial_pull, worker, peer, compute))
+
+    def _serial_pull(self, worker: int, peer: int, compute: float) -> None:
+        network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+        self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
+        duration = compute + network
+        self.sim.schedule_in(
+            network, partial(self._complete_iteration, worker, peer, compute, duration)
+        )
+
+    def _complete_iteration(
+        self, worker: int, peer: int, compute: float, duration: float
+    ) -> None:
+        state = self.workers[worker]
+        lr = self.current_lr()
+        _, grad = self.tasks[worker].sample_loss_and_grad()
+        state.local_gradient_step(grad, lr)  # first update (line 11)
+        if peer != worker:
+            self._apply_pull(worker, peer, lr)  # second update (lines 13-15)
+        state.record_time(peer, duration)
+        self.record_iteration(worker, compute, duration)
+        self._start_iteration(worker)
+
+    def _apply_pull(self, worker: int, peer: int, lr: float) -> None:
+        """NetMax's weighted pull; the AD-PSGD+Monitor extension overrides it."""
+        peer_params = self.tasks[peer].model.get_params()
+        self.workers[worker].pull_update(peer, peer_params, lr)
+
+    # -- the Network Monitor loop (Algorithm 1) ------------------------------------
+
+    def _monitor_tick(self) -> None:
+        raw_times = np.stack([state.time_vector() for state in self.workers])
+        result = self.monitor.tick(raw_times, self.current_lr())
+        if result is not None:
+            for i, state in enumerate(self.workers):
+                state.stage_policy(result.policy[i], result.rho)
+        next_time = self.sim.now + self.monitor_period_s
+        if next_time < self.config.max_sim_time:
+            self.sim.schedule_at(next_time, self._monitor_tick)
+
+    def _extras(self) -> dict:
+        extras = {
+            "monitor_stats": self.monitor.stats,
+            "policies_adopted": self.policies_adopted,
+            "clip_events": int(sum(w.clip_events for w in self.workers)),
+        }
+        if self.monitor.last_result is not None:
+            extras["final_policy"] = self.monitor.last_result.policy
+            extras["final_rho"] = self.monitor.last_result.rho
+            extras["final_lambda2"] = self.monitor.last_result.lambda2
+        return extras

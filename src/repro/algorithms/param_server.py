@@ -1,0 +1,139 @@
+"""Parameter-server baselines (Section V-G).
+
+The PS holds the single global model on the machine of an *anchor* worker
+(worker 0's server). Two variants:
+
+- **PS-syn**: bulk-synchronous rounds. All workers push gradients, the PS
+  averages and updates, everyone pulls the new model. The PS NIC is an
+  incast bottleneck: the exchange is limited by
+  ``max(total bytes / NIC bandwidth, slowest individual transfer)``.
+- **PS-asyn**: each worker independently computes a gradient, ships it, and
+  pulls the fresh model; the PS applies updates on arrival. Concurrent
+  transfers share per-link bandwidth. Workers co-located with the PS
+  iterate much faster than remote ones -- reproducing the paper's
+  observation that the PS model "enhances the information from the faster
+  nodes and weakens the information from the slower nodes" (Fig. 14a's low
+  convergence rate for PS-asyn).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.algorithms.base import DecentralizedTrainer
+from repro.ml.optim import SGDState
+
+__all__ = ["PSSynTrainer", "PSAsynTrainer"]
+
+
+class _ParameterServerMixin:
+    """Shared PS link-speed math; the PS sits on the anchor worker's server."""
+
+    ps_anchor = 0
+
+    def ps_bandwidth(self, worker: int, time: float) -> float:
+        """Bandwidth between the PS and ``worker``."""
+        if worker != self.ps_anchor:
+            return self.comm.links.bandwidth(self.ps_anchor, worker, time)
+        # The anchor reaches the PS over the local bus: as fast as its best link.
+        others = [w for w in range(self.num_workers) if w != self.ps_anchor]
+        return max(self.comm.links.bandwidth(self.ps_anchor, w, time) for w in others)
+
+    def ps_latency(self, worker: int, time: float) -> float:
+        if worker != self.ps_anchor:
+            return self.comm.links.latency(self.ps_anchor, worker, time)
+        return 0.0
+
+    def ps_nic_bandwidth(self, time: float) -> float:
+        """The PS machine's NIC capacity: its fastest attached link."""
+        return max(self.ps_bandwidth(w, time) for w in range(self.num_workers))
+
+
+class PSSynTrainer(_ParameterServerMixin, DecentralizedTrainer):
+    """Synchronous parameter server."""
+
+    name = "ps-syn"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._ps_optimizer = SGDState(self.config.sgd, self.tasks[0].model.dim)
+
+    def exchange_time(self, time: float) -> float:
+        """One full push-gradients + pull-model synchronous exchange."""
+        size = self.message_bytes
+        slowest = max(
+            size / self.ps_bandwidth(w, time) + self.ps_latency(w, time)
+            for w in range(self.num_workers)
+        )
+        incast = self.num_workers * size / self.ps_nic_bandwidth(time)
+        # Push phase + pull phase, each bounded by the worse of incast
+        # serialization at the PS NIC and the slowest individual link.
+        return 2.0 * max(incast, slowest)
+
+    def _setup(self) -> None:
+        self.sim.schedule_at(0.0, self._round)
+
+    def _round(self) -> None:
+        lr = self.current_lr()
+        computes = [self.compute_time(i) for i in range(self.num_workers)]
+        duration = max(computes) + self.exchange_time(self.sim.now)
+
+        grads = []
+        for task in self.tasks:
+            _, grad = task.sample_loss_and_grad()
+            grads.append(grad)
+        mean_grad = np.mean(grads, axis=0)
+        new_params = self._ps_optimizer.step(
+            self.tasks[0].model.get_params(), mean_grad, lr
+        )
+        for task in self.tasks:
+            task.model.set_params(new_params)
+        for i, compute in enumerate(computes):
+            self.record_iteration(i, compute, duration)
+
+        next_time = self.sim.now + duration
+        if next_time < self.config.max_sim_time:
+            self.sim.schedule_at(next_time, self._round)
+
+
+class PSAsynTrainer(_ParameterServerMixin, DecentralizedTrainer):
+    """Asynchronous parameter server (Hogwild-style application order)."""
+
+    name = "ps-asyn"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._ps_params = self.tasks[0].model.get_params()
+        self._ps_optimizer = SGDState(self.config.sgd, self.tasks[0].model.dim)
+        self._in_flight = 0
+
+    def _setup(self) -> None:
+        for i in range(self.num_workers):
+            self._start_iteration(i)
+
+    def _start_iteration(self, worker: int) -> None:
+        compute = self.compute_time(worker)
+        self.sim.schedule_in(compute, partial(self._compute_done, worker, compute))
+
+    def _compute_done(self, worker: int, compute: float) -> None:
+        _, grad = self.tasks[worker].sample_loss_and_grad()
+        self._in_flight += 1
+        time = self.sim.now
+        share = self.ps_bandwidth(worker, time) / self._in_flight
+        exchange = 2.0 * (self.message_bytes / share + self.ps_latency(worker, time))
+        self.sim.schedule_in(
+            exchange, partial(self._exchange_done, worker, grad, compute, compute + exchange)
+        )
+
+    def _exchange_done(
+        self, worker: int, grad: np.ndarray, compute: float, duration: float
+    ) -> None:
+        self._in_flight -= 1
+        # The PS applies the (possibly stale) gradient on arrival, then the
+        # worker adopts the fresh global model.
+        self._ps_params = self._ps_optimizer.step(self._ps_params, grad, self.current_lr())
+        self.tasks[worker].model.set_params(self._ps_params)
+        self.record_iteration(worker, compute, duration)
+        self._start_iteration(worker)

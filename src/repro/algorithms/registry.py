@@ -1,0 +1,47 @@
+"""Name -> trainer factory, the single lookup used by the harness and CLI-ish
+entry points. Registry keys are the names used throughout the paper's
+figures, so ``run_comparison(["netmax", "adpsgd", ...])`` reads like the
+legends of Figs. 8-15.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.adpsgd import ADPSGDTrainer
+from repro.algorithms.adpsgd_monitor import ADPSGDMonitorTrainer
+from repro.algorithms.allreduce import AllreduceTrainer
+from repro.algorithms.base import DecentralizedTrainer
+from repro.algorithms.netmax import NetMaxTrainer
+from repro.algorithms.param_server import PSAsynTrainer, PSSynTrainer
+from repro.algorithms.prague import PragueTrainer
+from repro.algorithms.saps import SAPSTrainer
+
+__all__ = ["TRAINER_REGISTRY", "create_trainer", "trainer_names"]
+
+TRAINER_REGISTRY: dict[str, type[DecentralizedTrainer]] = {
+    "netmax": NetMaxTrainer,
+    "adpsgd": ADPSGDTrainer,
+    "allreduce": AllreduceTrainer,
+    "prague": PragueTrainer,
+    "ps-syn": PSSynTrainer,
+    "ps-asyn": PSAsynTrainer,
+    "saps": SAPSTrainer,
+    "adpsgd-monitor": ADPSGDMonitorTrainer,
+}
+
+
+def trainer_names() -> list[str]:
+    """All registered algorithm names, sorted."""
+    return sorted(TRAINER_REGISTRY)
+
+
+def create_trainer(name: str, *args, **kwargs) -> DecentralizedTrainer:
+    """Instantiate a trainer by its registry name.
+
+    Positional/keyword arguments are forwarded to the trainer constructor
+    (see :class:`~repro.algorithms.base.DecentralizedTrainer` for the common
+    signature and each trainer for its extras).
+    """
+    key = name.lower()
+    if key not in TRAINER_REGISTRY:
+        raise KeyError(f"unknown algorithm {name!r}; valid: {trainer_names()}")
+    return TRAINER_REGISTRY[key](*args, **kwargs)

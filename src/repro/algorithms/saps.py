@@ -1,0 +1,79 @@
+"""SAPS-PSGD-style baseline [Tang et al. 2020] (Section I / VI discussion).
+
+SAPS-PSGD measures link speeds *once*, keeps only a subgraph of initially
+fast links, and gossips uniformly over that fixed subgraph forever. On a
+static network this is a fine idea; on a dynamic one it is the paper's
+cautionary tale (Fig. 2): a link that was fast at T1 may be the slowed link
+at T2, and the fixed topology cannot route around it.
+
+The fast subgraph is the maximum-bandwidth spanning tree of the base
+topology measured at t = 0, optionally densified with the next-fastest
+edges until a target mean degree is reached.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.algorithms.adpsgd import ADPSGDTrainer
+from repro.graph.topology import Topology
+
+__all__ = ["SAPSTrainer", "initially_fast_subgraph"]
+
+
+def initially_fast_subgraph(
+    topology: Topology,
+    bandwidth_matrix: np.ndarray,
+    extra_edges: int = 0,
+) -> Topology:
+    """Maximum-bandwidth spanning tree plus the next-fastest extra edges.
+
+    Args:
+        topology: the physical topology whose edges may be used.
+        bandwidth_matrix: bandwidths measured at selection time.
+        extra_edges: how many non-tree edges to add back, fastest first
+            (0 = pure spanning tree, SAPS's sparsest configuration).
+    """
+    bandwidth_matrix = np.asarray(bandwidth_matrix, dtype=np.float64)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(topology.num_workers))
+    for a, b in topology.edges():
+        graph.add_edge(a, b, bandwidth=float(bandwidth_matrix[a, b]))
+    tree = nx.maximum_spanning_tree(graph, weight="bandwidth")
+    chosen = set(frozenset(e) for e in tree.edges())
+    if extra_edges > 0:
+        remaining = sorted(
+            (e for e in graph.edges() if frozenset(e) not in chosen),
+            key=lambda e: graph.edges[e]["bandwidth"],
+            reverse=True,
+        )
+        for edge in remaining[:extra_edges]:
+            chosen.add(frozenset(edge))
+    return Topology.from_edges(
+        topology.num_workers, [tuple(sorted(e)) for e in chosen]
+    )
+
+
+class SAPSTrainer(ADPSGDTrainer):
+    """AD-PSGD-style gossip pinned to the initially-fast subgraph.
+
+    Extra args:
+        extra_edges: see :func:`initially_fast_subgraph`.
+    """
+
+    name = "saps"
+
+    def __init__(self, *args, extra_edges: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        bandwidth_now = self.comm.links.bandwidth_matrix(0.0)
+        self.fixed_subgraph = initially_fast_subgraph(
+            self.topology, bandwidth_now, extra_edges=extra_edges
+        )
+
+    def _choose_peer(self, worker: int) -> int:
+        neighbors = self.fixed_subgraph.neighbors(worker)
+        return int(self._selection_rngs[worker].choice(neighbors))
+
+    def _extras(self) -> dict:
+        return {"fixed_subgraph_edges": self.fixed_subgraph.edges()}

@@ -1,0 +1,187 @@
+"""Command-line interface: run comparisons and regenerate paper artifacts.
+
+Examples::
+
+    # Compare algorithms on the paper's heterogeneous cluster
+    python -m repro compare --algorithms netmax adpsgd allreduce \
+        --model resnet18 --dataset cifar10 --workers 8 --sim-time 300
+
+    # Regenerate one paper artifact at a chosen scale
+    python -m repro figure fig3
+    python -m repro figure fig8 --sim-time 240 --samples 2048
+
+    # Solve a communication policy for a measured time matrix (CSV)
+    python -m repro policy --times times.csv --alpha 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import experiments
+from repro.algorithms.base import TrainerConfig
+from repro.experiments import (
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    make_workload,
+    render_table,
+    run_comparison,
+    time_to_loss_speedups,
+)
+from repro.core.policy import generate_policy
+from repro.graph import Topology
+
+__all__ = ["main", "build_parser"]
+
+# Registry name -> regeneration callable (all accept scale kwargs).
+FIGURE_FUNCTIONS = {
+    "fig3": experiments.figure3_iteration_time,
+    "fig5": experiments.figure5_epoch_time_heterogeneous,
+    "fig6": experiments.figure6_epoch_time_homogeneous,
+    "fig7": experiments.figure7_ablation,
+    "fig8": experiments.figure8_loss_vs_time_heterogeneous,
+    "fig9": experiments.figure9_loss_vs_time_homogeneous,
+    "fig10": experiments.figure10_scalability_heterogeneous,
+    "fig11": experiments.figure11_scalability_homogeneous,
+    "fig12": experiments.figure12_cifar100_nonuniform,
+    "fig13": experiments.figure13_imagenet_nonuniform,
+    "fig14": experiments.figure14_mobilenet_cifar100,
+    "fig15": experiments.figure15_adpsgd_monitor,
+    "fig16": experiments.figure16_cifar10_nonuniform,
+    "fig17": experiments.figure17_tinyimagenet_nonuniform,
+    "fig18": experiments.figure18_mnist_noniid,
+    "fig19": experiments.figure19_multicloud,
+    "table2": experiments.table2_accuracy_heterogeneous,
+    "table3": experiments.table3_accuracy_homogeneous,
+    "table5": experiments.table5_accuracy_nonuniform,
+    "table6": experiments.table6_mobilenet_accuracy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NetMax reproduction: decentralized training experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="compare algorithms on one workload")
+    compare.add_argument("--algorithms", nargs="+", default=["netmax", "adpsgd"])
+    compare.add_argument("--model", default="resnet18")
+    compare.add_argument("--dataset", default="cifar10")
+    compare.add_argument("--workers", type=int, default=8)
+    compare.add_argument("--batch-size", type=int, default=128)
+    compare.add_argument("--samples", type=int, default=4096)
+    compare.add_argument("--sim-time", type=float, default=300.0)
+    compare.add_argument("--homogeneous", action="store_true")
+    compare.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate a paper table/figure")
+    figure.add_argument("name", choices=sorted(FIGURE_FUNCTIONS))
+    figure.add_argument("--sim-time", type=float, default=None)
+    figure.add_argument("--samples", type=int, default=None)
+    figure.add_argument("--seed", type=int, default=0)
+
+    policy = sub.add_parser("policy", help="run Algorithm 3 on a time matrix")
+    policy.add_argument("--times", required=True, help="CSV file, MxM iteration times")
+    policy.add_argument("--alpha", type=float, default=0.1)
+    policy.add_argument("--outer-rounds", type=int, default=10)
+    policy.add_argument("--inner-rounds", type=int, default=10)
+
+    return parser
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    scenario = (
+        homogeneous_scenario(args.workers)
+        if args.homogeneous
+        else heterogeneous_scenario(args.workers, seed=args.seed)
+    )
+    workload = make_workload(
+        args.model,
+        args.dataset,
+        num_workers=args.workers,
+        batch_size=args.batch_size,
+        num_samples=args.samples,
+        seed=args.seed,
+    )
+    config = TrainerConfig(
+        max_sim_time=args.sim_time,
+        eval_interval_s=max(5.0, args.sim_time / 25),
+        seed=args.seed,
+    )
+    results = run_comparison(args.algorithms, scenario, workload, config)
+    speedups = time_to_loss_speedups(results, reference=args.algorithms[0])
+    rows = []
+    for name in args.algorithms:
+        summary = results[name].costs.summary()
+        rows.append([
+            name,
+            summary["computation_cost"],
+            summary["communication_cost"],
+            summary["epoch_time"],
+            results[name].history.final_loss(),
+            results[name].history.best_accuracy(),
+            speedups[name],
+        ])
+    print(render_table(
+        ["algorithm", "comp_s", "comm_s", "epoch_s", "loss", "best_acc",
+         f"speedup_vs_{args.algorithms[0]}"],
+        rows,
+        title=f"{scenario.name}: {args.model} on {args.dataset}",
+    ))
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    function = FIGURE_FUNCTIONS[args.name]
+    kwargs: dict = {"seed": args.seed}
+    if args.sim_time is not None:
+        kwargs["max_sim_time"] = args.sim_time
+    if args.samples is not None:
+        kwargs["num_samples"] = args.samples
+    if args.name == "fig3":  # takes no scale arguments
+        kwargs = {}
+    output = function(**kwargs)
+    print(output.render())
+    return 0
+
+
+def _run_policy(args: argparse.Namespace) -> int:
+    times = np.loadtxt(args.times, delimiter=",")
+    if times.ndim != 2 or times.shape[0] != times.shape[1]:
+        print(f"error: expected a square CSV matrix, got shape {times.shape}",
+              file=sys.stderr)
+        return 2
+    topology = Topology.fully_connected(times.shape[0])
+    result = generate_policy(
+        times,
+        topology.indicator(),
+        args.alpha,
+        outer_rounds=args.outer_rounds,
+        inner_rounds=args.inner_rounds,
+    )
+    print(f"rho={result.rho:.4f}  t_bar={result.t_bar:.5f}  "
+          f"lambda2={result.lambda2:.5f}  "
+          f"T_conv={result.predicted_convergence_time:.3f}")
+    print(np.array_str(result.policy, precision=3, suppress_small=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "policy":
+        return _run_policy(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Algorithm 1: the Network Monitor.
+
+A lightweight central service that never touches training data or model
+parameters. Each period ``Ts`` it (a) collects the workers' EMA iteration
+times, (b) assembles them into a full matrix (filling gaps conservatively),
+(c) runs Algorithm 3, and (d) ships the resulting ``(P, rho)`` back.
+
+The monitor is deliberately decoupled from the simulator: trainers feed it
+raw per-worker time vectors and deliver its policies, so the same class
+serves NetMax, the AD-PSGD+Monitor extension (Section III-D), and unit
+tests that exercise it standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import (
+    PolicyGenerationError,
+    PolicyResult,
+    generate_policy,
+)
+from repro.graph.topology import Topology
+
+__all__ = ["NetworkMonitor", "MonitorStats"]
+
+
+@dataclass
+class MonitorStats:
+    """Counters describing the monitor's activity so far."""
+
+    ticks: int = 0
+    policies_published: int = 0
+    skipped_insufficient_data: int = 0
+    skipped_infeasible: int = 0
+
+
+class NetworkMonitor:
+    """Policy generator service over a fixed topology.
+
+    Args:
+        topology: the communication graph (gives the ``d_im`` indicators).
+        outer_rounds: Algorithm 3's ``K``.
+        inner_rounds: Algorithm 3's ``R``.
+        epsilon: accuracy target in the convergence-time prediction.
+        min_coverage: fraction of neighbor pairs that must have at least one
+            time measurement before the monitor publishes its first policy.
+            Until then, workers keep their uniform defaults -- publishing
+            from near-empty statistics would steer the whole cluster off
+            guesses.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        outer_rounds: int = 10,
+        inner_rounds: int = 10,
+        epsilon: float = 1e-2,
+        min_coverage: float = 1.0,
+    ):
+        if not 0.0 < min_coverage <= 1.0:
+            raise ValueError(f"min_coverage must be in (0, 1], got {min_coverage}")
+        self.topology = topology
+        self.outer_rounds = outer_rounds
+        self.inner_rounds = inner_rounds
+        self.epsilon = epsilon
+        self.min_coverage = min_coverage
+        self.stats = MonitorStats()
+        self.last_result: PolicyResult | None = None
+
+    # -- time-matrix assembly --------------------------------------------------
+
+    def coverage(self, raw_times: np.ndarray) -> float:
+        """Fraction of directed neighbor pairs with a measurement."""
+        raw_times = np.asarray(raw_times, dtype=np.float64)
+        adjacency = self.topology.adjacency
+        total = int(adjacency.sum())
+        measured = int(np.sum(adjacency & ~np.isnan(raw_times)))
+        return measured / total if total else 1.0
+
+    def assemble_time_matrix(self, raw_times: np.ndarray) -> np.ndarray | None:
+        """Fill unmeasured neighbor entries conservatively.
+
+        A missing ``t_im`` is replaced by the *largest* time worker ``i`` has
+        observed anywhere -- assuming an unprobed link is slow keeps the LP
+        from routing traffic onto links nobody has evidence about. Returns
+        ``None`` when coverage is below ``min_coverage`` or some worker has
+        no measurements at all.
+        """
+        raw_times = np.asarray(raw_times, dtype=np.float64)
+        m = self.topology.num_workers
+        if raw_times.shape != (m, m):
+            raise ValueError(f"expected ({m}, {m}) time matrix, got {raw_times.shape}")
+        if self.coverage(raw_times) < self.min_coverage:
+            return None
+        adjacency = self.topology.adjacency
+        filled = raw_times.copy()
+        for i in range(m):
+            row_known = filled[i][adjacency[i] & ~np.isnan(filled[i])]
+            if row_known.size == 0:
+                return None
+            fallback = float(row_known.max())
+            missing = adjacency[i] & np.isnan(filled[i])
+            filled[i, missing] = fallback
+        filled[~adjacency] = 0.0
+        return filled
+
+    # -- Algorithm 1, line 5 -----------------------------------------------------
+
+    def tick(self, raw_times: np.ndarray, alpha: float) -> PolicyResult | None:
+        """One monitor period: assemble times and run Algorithm 3.
+
+        Args:
+            raw_times: ``(M, M)`` matrix of EMA iteration times with NaN
+                where a worker has not yet sampled a peer.
+            alpha: the learning rate currently in force at the workers.
+
+        Returns:
+            A fresh :class:`PolicyResult`, or ``None`` when no policy could
+            be produced this period (insufficient data or infeasible grid);
+            workers then simply keep their current policy.
+        """
+        self.stats.ticks += 1
+        matrix = self.assemble_time_matrix(raw_times)
+        if matrix is None:
+            self.stats.skipped_insufficient_data += 1
+            return None
+        try:
+            result = generate_policy(
+                matrix,
+                self.topology.indicator(),
+                alpha,
+                outer_rounds=self.outer_rounds,
+                inner_rounds=self.inner_rounds,
+                epsilon=self.epsilon,
+            )
+        except PolicyGenerationError:
+            self.stats.skipped_infeasible += 1
+            return None
+        self.stats.policies_published += 1
+        self.last_result = result
+        return result

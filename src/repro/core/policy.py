@@ -1,0 +1,298 @@
+"""Algorithm 3: communication policy generation.
+
+Given the measured iteration-time matrix ``T = [t_im]`` this module solves
+the paper's optimization problem (Eq. 8-13): find neighbor-selection
+probabilities ``P`` minimizing total convergence time ``k * t``, where the
+iteration count ``k`` is controlled by ``lambda_2(Y_P)`` and the mean step
+time ``t`` by which links the policy favors.
+
+The nested grid search of Algorithm 3 is implemented verbatim:
+
+- outer loop over ``K`` values of the consensus weight
+  ``rho in (L_rho, U_rho] = (0, 0.5/alpha]``;
+- inner loop over ``R`` values of the global mean iteration time
+  ``t in [L, U]`` (Appendix A intervals, Eq. 25-28);
+- for each ``(rho, t)`` an LP (Eq. 14) minimizing ``sum_i p_ii`` subject to
+  the feasibility constraints Eq. (10)-(13). Because neither the objective
+  nor any constraint couples rows of ``P``, the LP decomposes into one small
+  LP per worker, which is how we solve it (scipy HiGHS).
+
+A feasible policy forces every worker's mean iteration time to ``M * t``,
+hence uniform global-step probabilities ``p_i = 1/M`` (Lemma 1), under
+which ``Y_P`` is doubly stochastic and ``lambda = lambda_2 < 1`` (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.convergence import convergence_time
+from repro.core.mixing import expected_mixing_matrix, second_largest_eigenvalue
+
+__all__ = [
+    "PolicyGenerationError",
+    "PolicyResult",
+    "rho_interval",
+    "t_interval",
+    "solve_policy_lp",
+    "generate_policy",
+    "uniform_policy",
+]
+
+# Strict inequality Eq. (11) is implemented as >= with this relative margin,
+# keeping Y_P's neighbor entries strictly positive (Lemma 2 needs it).
+_STRICT_MARGIN = 1e-6
+
+
+class PolicyGenerationError(RuntimeError):
+    """No feasible policy exists for the given times/graph/learning rate."""
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Outcome of Algorithm 3.
+
+    Attributes:
+        policy: the selected ``P`` (rows sum to 1, diagonal = ``p_ii``).
+        rho: the consensus weight paired with the policy.
+        t_bar: the global mean iteration time the policy enforces.
+        lambda2: second-largest eigenvalue of ``Y_P``.
+        predicted_convergence_time: ``t_bar * ln(eps) / ln(lambda2)``.
+        epsilon: the accuracy target used in the prediction.
+        candidates_evaluated: grid points whose LP was feasible.
+        candidates_infeasible: grid points skipped (LP infeasible or empty
+            ``t`` interval).
+    """
+
+    policy: np.ndarray
+    rho: float
+    t_bar: float
+    lambda2: float
+    predicted_convergence_time: float
+    epsilon: float
+    candidates_evaluated: int = 0
+    candidates_infeasible: int = 0
+
+
+def rho_interval(alpha: float) -> tuple[float, float]:
+    """Feasible interval for ``rho``: ``(0, 0.5 / alpha]`` (Appendix A)."""
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    return 0.0, 0.5 / alpha
+
+
+def t_interval(
+    times: np.ndarray, indicator: np.ndarray, alpha: float, rho: float
+) -> tuple[float, float]:
+    """Feasible interval ``[L, U]`` for the mean iteration time (Eq. 26, 28).
+
+    ``L = max_i (alpha rho / M) sum_m t_im (d_im + d_mi)`` -- the cheapest
+    mean time any worker can achieve while honoring the minimum neighbor
+    probabilities; ``U = min_i (1/M) max_m t_im d_im`` -- no worker can
+    average above its slowest link. ``L > U`` means no feasible ``t``
+    exists for this ``rho``.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    indicator = np.asarray(indicator, dtype=np.float64)
+    if times.shape != indicator.shape or times.ndim != 2:
+        raise ValueError("times and indicator must be matching square matrices")
+    if np.any(times < 0):
+        raise ValueError("iteration times must be non-negative")
+    if alpha <= 0 or rho <= 0:
+        raise ValueError("alpha and rho must be positive")
+    m = times.shape[0]
+    symmetric_d = indicator + indicator.T
+    lower = float(np.max(alpha * rho / m * np.sum(times * symmetric_d, axis=1)))
+    per_worker_max = np.max(times * indicator, axis=1)
+    if np.any(per_worker_max <= 0):
+        raise ValueError("every worker needs at least one neighbor with positive time")
+    upper = float(np.min(per_worker_max / m))
+    return lower, upper
+
+
+def solve_policy_lp(
+    times: np.ndarray,
+    indicator: np.ndarray,
+    alpha: float,
+    rho: float,
+    t_bar: float,
+) -> np.ndarray | None:
+    """The LP of Eq. (14) for a fixed ``(rho, t_bar)``.
+
+    Decomposes into one LP per worker ``i`` over variables
+    ``{p_ii} + {p_im : d_im = 1}``:
+
+        min p_ii
+        s.t. sum_m t_im p_im = M * t_bar          (Eq. 10)
+             p_ii + sum_m p_im = 1                (Eq. 13)
+             p_im >= alpha rho (d_im + d_mi)      (Eq. 11, strict via margin)
+             p_ii >= 0
+
+    **Degeneracy tie-break.** Whenever the time budget admits full neighbor
+    mass (``p_ii = 0``), the paper's objective has a whole face of optima
+    and a vertex solver may return a slow-link-heavy one. Any linear cost in
+    ``t_im * p_im`` is constant on that face (the budget is an equality
+    constraint), so we add a tiny ``t_im^2`` cost: among allocations with a
+    fixed time budget it concentrates probability on the *fast* links --
+    the paper's stated intent ("neighbors with high-speed links are selected
+    with high probability"). The weight is small enough never to trade
+    against the primary ``p_ii`` objective.
+
+    Returns the assembled ``(M, M)`` policy, or ``None`` if any worker's LP
+    is infeasible (non-neighbor entries are zero, honoring Eq. 12).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    indicator = np.asarray(indicator, dtype=np.float64)
+    m = times.shape[0]
+    if t_bar <= 0:
+        raise ValueError(f"t_bar must be positive, got {t_bar}")
+    policy = np.zeros((m, m))
+    for i in range(m):
+        neighbors = np.flatnonzero(indicator[i] > 0)
+        if neighbors.size == 0:
+            return None  # isolated worker: no feasible communication at all
+        floors = alpha * rho * (indicator[i, neighbors] + indicator[neighbors, i])
+        floors = floors * (1.0 + _STRICT_MARGIN)
+        # Variables: [p_ii, p_im for m in neighbors]
+        num_vars = 1 + neighbors.size
+        cost = np.zeros(num_vars)
+        cost[0] = 1.0  # minimize p_ii
+        # Tie-break among p_ii-optimal vertices: prefer fast links. The
+        # quadratic-in-t weights are scaled so their total contribution
+        # stays far below 1 (one unit of the primary objective).
+        t_max = float(times[i, neighbors].max())
+        if t_max > 0:
+            cost[1:] = 1e-3 * (times[i, neighbors] / t_max) ** 2
+        a_eq = np.zeros((2, num_vars))
+        a_eq[0, 1:] = times[i, neighbors]  # Eq. (10)
+        a_eq[1, :] = 1.0  # Eq. (13)
+        b_eq = np.array([m * t_bar, 1.0])
+        bounds = [(0.0, 1.0)] + [(float(f), 1.0) for f in floors]
+        solution = linprog(cost, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+        if not solution.success:
+            return None
+        policy[i, i] = solution.x[0]
+        policy[i, neighbors] = solution.x[1:]
+    # Clean tiny negative round-off and renormalize exactly.
+    policy = np.clip(policy, 0.0, None)
+    policy /= policy.sum(axis=1, keepdims=True)
+    return policy
+
+
+def generate_policy(
+    times: np.ndarray,
+    indicator: np.ndarray,
+    alpha: float,
+    outer_rounds: int = 10,
+    inner_rounds: int = 10,
+    epsilon: float = 1e-2,
+) -> PolicyResult:
+    """Algorithm 3: nested grid search for the best feasible policy.
+
+    Args:
+        times: measured iteration-time matrix ``[t_im]`` (seconds); only
+            neighbor entries are read.
+        indicator: adjacency indicators ``d_im``.
+        alpha: current learning rate.
+        outer_rounds: ``K``, number of ``rho`` values searched.
+        inner_rounds: ``R``, number of ``t`` values per ``rho``.
+        epsilon: accuracy target in the convergence-time prediction
+            (Eq. 9's ``lambda^k <= eps``).
+
+    Returns:
+        The best :class:`PolicyResult` over the grid.
+
+    Raises:
+        PolicyGenerationError: if every grid point is infeasible (e.g. the
+            learning rate is too large for the graph's degrees).
+    """
+    if outer_rounds < 1 or inner_rounds < 1:
+        raise ValueError("outer_rounds and inner_rounds must be >= 1")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    times = np.asarray(times, dtype=np.float64)
+    indicator = np.asarray(indicator, dtype=np.float64)
+    if np.any((indicator > 0) & ~(times > 0)):
+        raise ValueError("all neighbor iteration times must be positive")
+
+    lower_rho, upper_rho = rho_interval(alpha)
+    # Tighten U_rho by the L <= U condition of the inner interval: the
+    # minimum-probability floors force every worker to spend time on its
+    # slow links, so L(rho) = rho * max_i (alpha/M) sum_m t_im (d_im + d_mi)
+    # must stay below U = min_i max_m t_im d_im / M. Under extreme slowdowns
+    # (the paper's 100x) this cap is far below 0.5/alpha, and a uniform grid
+    # over the uncapped interval would never land in the feasible band.
+    m = times.shape[0]
+    symmetric_d = indicator + indicator.T
+    floor_cost = float(np.max(alpha / m * np.sum(times * symmetric_d, axis=1)))
+    per_worker_max = np.max(times * indicator, axis=1)
+    upper_t_global = float(np.min(per_worker_max / m))
+    if floor_cost > 0:
+        upper_rho = min(upper_rho, upper_t_global / floor_cost)
+    delta_rho = (upper_rho - lower_rho) / outer_rounds
+
+    best: PolicyResult | None = None
+    evaluated = 0
+    infeasible = 0
+    for k in range(1, outer_rounds + 1):
+        rho = lower_rho + k * delta_rho
+        lower_t, upper_t = t_interval(times, indicator, alpha, rho)
+        if lower_t > upper_t:
+            infeasible += inner_rounds
+            continue
+        delta_t = (upper_t - lower_t) / inner_rounds
+        for r in range(1, inner_rounds + 1):
+            t_bar = lower_t + r * delta_t
+            policy = solve_policy_lp(times, indicator, alpha, rho, t_bar)
+            if policy is None:
+                infeasible += 1
+                continue
+            mixing = expected_mixing_matrix(policy, indicator, alpha, rho)
+            lambda2 = second_largest_eigenvalue(mixing)
+            if not 0.0 < lambda2 < 1.0:
+                infeasible += 1
+                continue
+            evaluated += 1
+            predicted = convergence_time(t_bar, lambda2, epsilon)
+            if best is None or predicted < best.predicted_convergence_time:
+                best = PolicyResult(
+                    policy=policy,
+                    rho=rho,
+                    t_bar=t_bar,
+                    lambda2=lambda2,
+                    predicted_convergence_time=predicted,
+                    epsilon=epsilon,
+                )
+    if best is None:
+        raise PolicyGenerationError(
+            f"no feasible policy: alpha={alpha}, grid {outer_rounds}x{inner_rounds} "
+            "exhausted (learning rate may be too large for this topology)"
+        )
+    return PolicyResult(
+        policy=best.policy,
+        rho=best.rho,
+        t_bar=best.t_bar,
+        lambda2=best.lambda2,
+        predicted_convergence_time=best.predicted_convergence_time,
+        epsilon=best.epsilon,
+        candidates_evaluated=evaluated,
+        candidates_infeasible=infeasible,
+    )
+
+
+def uniform_policy(indicator: np.ndarray) -> np.ndarray:
+    """The AD-PSGD/GoSGD baseline policy: uniform over neighbors, no self.
+
+    This is also NetMax's starting policy before the first monitor update
+    (Algorithm 2, line 2, restricted to actual neighbors).
+    """
+    indicator = np.asarray(indicator, dtype=np.float64)
+    if indicator.ndim != 2 or indicator.shape[0] != indicator.shape[1]:
+        raise ValueError("indicator must be square")
+    degrees = indicator.sum(axis=1)
+    if np.any(degrees == 0):
+        raise ValueError("every worker needs at least one neighbor")
+    return indicator / degrees[:, None]

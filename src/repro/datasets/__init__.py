@@ -1,0 +1,35 @@
+"""Synthetic dataset substrate.
+
+Stand-ins for the paper's five datasets (MNIST, CIFAR10, CIFAR100,
+Tiny-ImageNet, ImageNet): Gaussian-mixture classification tasks with the
+same class counts and a difficulty knob, plus the three data-partitioning
+regimes of Section V (uniform, non-uniform segments, non-IID label drops).
+"""
+
+from repro.datasets.synthetic import (
+    DATASET_REGISTRY,
+    SyntheticSpec,
+    make_classification,
+    load_dataset,
+)
+from repro.datasets.partition import (
+    partition_uniform,
+    partition_segments,
+    partition_drop_labels,
+    paper_segment_layout,
+    PAPER_MNIST_LOST_LABELS,
+    PAPER_CLOUD_LOST_LABELS,
+)
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "SyntheticSpec",
+    "make_classification",
+    "load_dataset",
+    "partition_uniform",
+    "partition_segments",
+    "partition_drop_labels",
+    "paper_segment_layout",
+    "PAPER_MNIST_LOST_LABELS",
+    "PAPER_CLOUD_LOST_LABELS",
+]

@@ -1,0 +1,156 @@
+"""The three data-partitioning regimes of Section V.
+
+1. **Uniform** (Sections V-B to V-E): the dataset is split evenly across the
+   ``M`` workers.
+2. **Non-uniform segments** (Section V-F): the dataset is cut into ``S``
+   equal segments and worker ``i`` receives ``segments[i]`` of them; its
+   batch size scales with its segment count (``64 x segments``), so workers
+   carry genuinely different loads.
+3. **Non-IID label drops** (Table IV / Table VII): worker ``i`` receives all
+   samples *except* those whose label is in its lost-label set -- the
+   paper's "extreme condition where the worker nodes' data distributions
+   are non-IID".
+
+All partitioners return one :class:`~repro.ml.data.Dataset` per worker and
+uphold the obvious invariants (uniform/segment: every sample assigned
+exactly once; label-drop: a worker never holds a lost label), which the
+property-based tests verify.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ml.data import Dataset
+
+__all__ = [
+    "partition_uniform",
+    "partition_segments",
+    "partition_drop_labels",
+    "paper_segment_layout",
+    "PAPER_MNIST_LOST_LABELS",
+    "PAPER_CLOUD_LOST_LABELS",
+]
+
+# Table IV: MNIST lost labels per worker, 8 workers over 2 servers.
+PAPER_MNIST_LOST_LABELS: tuple[tuple[int, ...], ...] = (
+    (0, 1, 2),
+    (0, 1, 3),
+    (0, 1, 4),
+    (0, 1, 5),
+    (5, 6, 7),
+    (5, 6, 8),
+    (5, 6, 9),
+    (5, 6, 0),
+)
+
+# Table VII: lost labels per cloud region (US West, US East, Ireland,
+# Mumbai, Singapore, Tokyo).
+PAPER_CLOUD_LOST_LABELS: tuple[tuple[int, ...], ...] = (
+    (0, 1, 2),
+    (1, 2, 3),
+    (2, 3, 4),
+    (4, 5, 6),
+    (5, 6, 7),
+    (6, 7, 8),
+)
+
+
+def partition_uniform(
+    dataset: Dataset, num_workers: int, rng: np.random.Generator
+) -> list[Dataset]:
+    """Shuffle and split as evenly as possible (sizes differ by at most 1)."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if len(dataset) < num_workers:
+        raise ValueError(
+            f"cannot split {len(dataset)} samples across {num_workers} workers"
+        )
+    order = rng.permutation(len(dataset))
+    chunks = np.array_split(order, num_workers)
+    return [
+        dataset.subset(chunk, name=f"{dataset.name}/w{i}")
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+def paper_segment_layout(num_workers: int) -> tuple[int, ...]:
+    """Section V-F's segment counts.
+
+    8 workers: first server's four workers get 1 segment each, second
+    server's get <2, 1, 2, 1> (10 segments total). 16 workers: first eight
+    get 1 each, second eight get <2, 1, 2, 1, 2, 1, 2, 1> (20 segments).
+    Other even counts generalize the same half-and-half pattern.
+    """
+    if num_workers < 2 or num_workers % 2:
+        raise ValueError("the paper's segment layout needs an even worker count >= 2")
+    half = num_workers // 2
+    second = tuple(2 if i % 2 == 0 else 1 for i in range(half))
+    return (1,) * half + second
+
+
+def partition_segments(
+    dataset: Dataset,
+    segments_per_worker: Sequence[int],
+    rng: np.random.Generator,
+) -> list[Dataset]:
+    """Cut into ``sum(segments_per_worker)`` equal segments and deal them out.
+
+    Worker ``i`` receives ``segments_per_worker[i]`` consecutive segments of
+    a shuffled copy, so every sample lands on exactly one worker and worker
+    data volume is proportional to its segment count.
+    """
+    segments_per_worker = [int(s) for s in segments_per_worker]
+    if not segments_per_worker:
+        raise ValueError("need at least one worker")
+    if any(s < 1 for s in segments_per_worker):
+        raise ValueError("every worker needs at least one segment")
+    total_segments = sum(segments_per_worker)
+    if len(dataset) < total_segments:
+        raise ValueError(
+            f"cannot cut {len(dataset)} samples into {total_segments} segments"
+        )
+    order = rng.permutation(len(dataset))
+    segments = np.array_split(order, total_segments)
+    out: list[Dataset] = []
+    cursor = 0
+    for i, count in enumerate(segments_per_worker):
+        indices = np.concatenate(segments[cursor : cursor + count])
+        cursor += count
+        out.append(dataset.subset(indices, name=f"{dataset.name}/w{i}x{count}"))
+    return out
+
+
+def partition_drop_labels(
+    dataset: Dataset,
+    lost_labels: Sequence[Sequence[int]],
+) -> list[Dataset]:
+    """Give worker ``i`` every sample whose label it has *not* lost.
+
+    This replicates Tables IV and VII: shards overlap (a sample lands on all
+    workers that kept its label) and each shard's class support is a strict
+    subset of the classes -- the extreme non-IID regime.
+
+    Raises:
+        ValueError: if some worker would lose every label, or a lost label
+            is outside the dataset's class range.
+    """
+    num_classes = dataset.num_classes
+    out: list[Dataset] = []
+    for i, lost in enumerate(lost_labels):
+        lost_set = set(int(label) for label in lost)
+        if any(not 0 <= label < num_classes for label in lost_set):
+            raise ValueError(
+                f"worker {i} lost labels {sorted(lost_set)} outside [0, {num_classes})"
+            )
+        if len(lost_set) >= num_classes:
+            raise ValueError(f"worker {i} would lose every label")
+        keep = ~np.isin(dataset.labels, sorted(lost_set))
+        if not np.any(keep):
+            raise ValueError(f"worker {i} would receive an empty shard")
+        out.append(
+            dataset.subset(np.flatnonzero(keep), name=f"{dataset.name}/w{i}-noniid")
+        )
+    return out

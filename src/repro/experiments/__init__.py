@@ -1,0 +1,86 @@
+"""Experiment harness: scenario builders, comparison runner, and the
+regeneration functions for every table and figure in the paper's evaluation
+(Section V and Appendices F-G). Each ``figure_*``/``table_*`` function runs
+at a configurable scale and returns structured rows; the benchmarks in
+``benchmarks/`` call them at small scale and print the paper-shaped output.
+"""
+
+from repro.experiments.scenarios import (
+    Scenario,
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    multi_cloud_scenario,
+    Workload,
+    make_workload,
+    make_quadratic_workload,
+)
+from repro.experiments.harness import (
+    run_trainer,
+    run_comparison,
+    time_to_loss_speedups,
+)
+from repro.experiments.reporting import render_table, format_seconds
+from repro.experiments.common import ExperimentOutput, Series
+from repro.experiments.figures_cluster import (
+    figure3_iteration_time,
+    figure5_epoch_time_heterogeneous,
+    figure6_epoch_time_homogeneous,
+    figure7_ablation,
+    figure8_loss_vs_time_heterogeneous,
+    figure9_loss_vs_time_homogeneous,
+    figure10_scalability_heterogeneous,
+    figure11_scalability_homogeneous,
+)
+from repro.experiments.figures_noniid import (
+    figure12_cifar100_nonuniform,
+    figure13_imagenet_nonuniform,
+    figure14_mobilenet_cifar100,
+    figure15_adpsgd_monitor,
+    figure16_cifar10_nonuniform,
+    figure17_tinyimagenet_nonuniform,
+    figure18_mnist_noniid,
+    figure19_multicloud,
+)
+from repro.experiments.tables import (
+    table2_accuracy_heterogeneous,
+    table3_accuracy_homogeneous,
+    table5_accuracy_nonuniform,
+    table6_mobilenet_accuracy,
+)
+
+__all__ = [
+    "Scenario",
+    "heterogeneous_scenario",
+    "homogeneous_scenario",
+    "multi_cloud_scenario",
+    "Workload",
+    "make_workload",
+    "make_quadratic_workload",
+    "run_trainer",
+    "run_comparison",
+    "time_to_loss_speedups",
+    "render_table",
+    "format_seconds",
+    "ExperimentOutput",
+    "Series",
+    "figure3_iteration_time",
+    "figure5_epoch_time_heterogeneous",
+    "figure6_epoch_time_homogeneous",
+    "figure7_ablation",
+    "figure8_loss_vs_time_heterogeneous",
+    "figure9_loss_vs_time_homogeneous",
+    "figure10_scalability_heterogeneous",
+    "figure11_scalability_homogeneous",
+    "figure12_cifar100_nonuniform",
+    "figure13_imagenet_nonuniform",
+    "figure14_mobilenet_cifar100",
+    "figure15_adpsgd_monitor",
+    "figure16_cifar10_nonuniform",
+    "figure17_tinyimagenet_nonuniform",
+    "figure18_mnist_noniid",
+    "figure19_multicloud",
+    "table2_accuracy_heterogeneous",
+    "table3_accuracy_homogeneous",
+    "table5_accuracy_nonuniform",
+    "table6_mobilenet_accuracy",
+]

@@ -1,0 +1,57 @@
+"""Shared result containers for the figure/table regeneration functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+
+__all__ = ["Series", "ExperimentOutput"]
+
+
+@dataclass
+class Series:
+    """One labelled curve of a figure (e.g. ``netmax`` loss vs. time)."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.x.shape != self.y.shape:
+            raise ValueError(f"series {self.label!r}: x and y shapes differ")
+
+
+@dataclass
+class ExperimentOutput:
+    """Structured output of one regenerated table or figure.
+
+    Attributes:
+        experiment_id: e.g. ``"fig5"`` or ``"table2"``.
+        title: human-readable description.
+        headers/rows: the tabular payload (always present; for curve figures
+            the rows summarize the series).
+        series: the raw curves for loss-vs-time style figures.
+        notes: free-form observations (e.g. which algorithm won).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    series: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+    def row_dict(self, key_column: int = 0) -> dict[object, list[object]]:
+        """Rows keyed by one column, for convenient assertions in tests."""
+        return {row[key_column]: row for row in self.rows}

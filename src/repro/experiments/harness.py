@@ -1,0 +1,120 @@
+"""Run algorithms on (scenario, workload) pairs and compare the outcomes.
+
+The central entry points:
+
+- :func:`run_trainer` -- one algorithm, one scenario, one workload;
+- :func:`run_comparison` -- several algorithms on identical copies of the
+  same problem (fresh model clones + reseeded samplers per run, so runs are
+  independent but start from the same ``x^0``);
+- :func:`time_to_loss_speedups` -- the paper's headline metric: the ratio
+  of times at which each algorithm first reaches a target training loss.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import TrainerConfig
+from repro.algorithms.registry import create_trainer
+from repro.experiments.scenarios import Scenario, Workload
+from repro.simulation.records import TrainingResult
+
+__all__ = ["run_trainer", "run_comparison", "time_to_loss_speedups"]
+
+
+def run_trainer(
+    algorithm: str,
+    scenario: Scenario,
+    workload: Workload,
+    config: TrainerConfig,
+    seed_offset: int = 0,
+    **trainer_kwargs,
+) -> TrainingResult:
+    """Train once and return the result.
+
+    ``trainer_kwargs`` are forwarded to the trainer constructor (e.g.
+    ``adaptive=False`` for the NetMax ablation, ``group_size=2`` for
+    Prague).
+    """
+    if scenario.num_workers != workload.num_workers:
+        raise ValueError(
+            f"scenario has {scenario.num_workers} workers but workload has "
+            f"{workload.num_workers}"
+        )
+    tasks = workload.make_tasks(seed_offset=seed_offset)
+    trainer = create_trainer(
+        algorithm,
+        tasks,
+        scenario.topology,
+        scenario.links,
+        workload.profile,
+        config,
+        test_data=workload.test_data,
+        **trainer_kwargs,
+    )
+    return trainer.run()
+
+
+def run_comparison(
+    algorithms: Sequence[str],
+    scenario: Scenario,
+    workload: Workload,
+    config: TrainerConfig,
+    trainer_kwargs: dict[str, dict] | None = None,
+) -> dict[str, TrainingResult]:
+    """Run each algorithm on an identical copy of the problem.
+
+    Args:
+        algorithms: registry names, e.g. ``["netmax", "adpsgd"]``.
+        trainer_kwargs: optional per-algorithm constructor extras, keyed by
+            registry name.
+
+    Returns:
+        ``{name: TrainingResult}`` in input order.
+    """
+    trainer_kwargs = trainer_kwargs or {}
+    results: dict[str, TrainingResult] = {}
+    for offset, name in enumerate(algorithms):
+        results[name] = run_trainer(
+            name,
+            scenario,
+            workload,
+            config,
+            seed_offset=offset,
+            **trainer_kwargs.get(name, {}),
+        )
+    return results
+
+
+def time_to_loss_speedups(
+    results: dict[str, TrainingResult],
+    reference: str,
+    target_loss: float | None = None,
+) -> dict[str, float]:
+    """Speedup of every algorithm over ``reference`` at a common loss target.
+
+    If ``target_loss`` is omitted, the target is the *worst* final loss over
+    all runs (the deepest level everyone reached), which mirrors how the
+    paper compares time-to-convergence across methods.
+
+    Speedup > 1 means "faster than the reference"; ``inf`` appears when the
+    reference never reached the target but the algorithm did, and ``nan``
+    when the algorithm itself never reached it.
+    """
+    if reference not in results:
+        raise KeyError(f"reference {reference!r} not among results {sorted(results)}")
+    if target_loss is None:
+        target_loss = max(r.history.final_loss() for r in results.values())
+    reference_time = results[reference].history.time_to_loss(target_loss)
+    speedups: dict[str, float] = {}
+    for name, result in results.items():
+        own_time = result.history.time_to_loss(target_loss)
+        if np.isinf(own_time):
+            speedups[name] = float("nan")
+        elif np.isinf(reference_time):
+            speedups[name] = float("inf")
+        else:
+            speedups[name] = reference_time / own_time if own_time > 0 else float("inf")
+    return speedups

@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+keep that output consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "format_seconds", "downsample_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if np.isnan(cell):
+                return "-"
+            if np.isinf(cell):
+                return "inf"
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [
+        max(len(str_headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(str_headers[j])
+        for j in range(len(str_headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(str_headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (``95.3s``, ``12.4min``, ``3.1h``)."""
+    if np.isnan(seconds):
+        return "-"
+    if np.isinf(seconds):
+        return "inf"
+    if seconds < 0:
+        raise ValueError("durations cannot be negative")
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    minutes = seconds / 60
+    if minutes < 120:
+        return f"{minutes:.1f}min"
+    return f"{minutes / 60:.1f}h"
+
+
+def downsample_series(
+    x: np.ndarray, y: np.ndarray, max_points: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Thin a series to at most ``max_points`` (keeping endpoints)."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if max_points < 2:
+        raise ValueError("max_points must be >= 2")
+    if len(x) <= max_points:
+        return x, y
+    idx = np.unique(np.linspace(0, len(x) - 1, max_points).astype(int))
+    return x[idx], y[idx]

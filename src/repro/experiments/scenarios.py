@@ -1,0 +1,236 @@
+"""Scenario and workload builders mirroring Section V-A's experimental setup.
+
+A :class:`Scenario` is the *network*: topology + link-speed model.
+A :class:`Workload` is the *learning problem*: per-worker tasks (model
+replica + data shard + batch size), the held-out test set, and the
+paper-scale cost profile. The harness combines one of each with an
+algorithm name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import WorkerTask
+from repro.datasets.partition import (
+    partition_drop_labels,
+    partition_segments,
+    partition_uniform,
+)
+from repro.datasets.synthetic import load_dataset
+from repro.graph.topology import Topology
+from repro.ml.data import BatchSampler, Dataset, train_test_split
+from repro.ml.models import build_model
+from repro.ml.problems import make_consensus_quadratics
+from repro.network.cluster import ClusterSpec
+from repro.network.costmodel import ModelCostProfile, get_cost_profile
+from repro.network.links import (
+    DynamicSlowdownLinks,
+    LinkSpeedModel,
+    StaticLinks,
+    multi_cloud_links,
+)
+
+__all__ = [
+    "Scenario",
+    "heterogeneous_scenario",
+    "homogeneous_scenario",
+    "multi_cloud_scenario",
+    "Workload",
+    "make_workload",
+    "make_quadratic_workload",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A network to train over."""
+
+    name: str
+    topology: Topology
+    links: LinkSpeedModel
+
+    @property
+    def num_workers(self) -> int:
+        return self.topology.num_workers
+
+
+def heterogeneous_scenario(
+    num_workers: int = 8,
+    dynamic: bool = True,
+    slowdown_period_s: float = 300.0,
+    slowdown_range: tuple[float, float] = (2.0, 100.0),
+    seed: int = 0,
+) -> Scenario:
+    """Section V-A's heterogeneous multi-tenant cluster.
+
+    Workers are spread across servers per the paper's layout (4/8/16 workers
+    on 2/3/4 servers); inter-machine links run at 1 Gbps, intra-machine at
+    10 Gbps; when ``dynamic``, one random link is slowed 2x-100x with the
+    slowed link rotating every ``slowdown_period_s`` (paper: 5 minutes).
+    """
+    cluster = ClusterSpec.paper_heterogeneous(num_workers)
+    links: LinkSpeedModel = StaticLinks.from_cluster(cluster)
+    if dynamic:
+        links = DynamicSlowdownLinks(
+            links,
+            period_s=slowdown_period_s,
+            slowdown_range=slowdown_range,
+            seed=seed,
+        )
+    return Scenario(
+        name=f"heterogeneous-{num_workers}w" + ("-dynamic" if dynamic else ""),
+        topology=Topology.fully_connected(num_workers),
+        links=links,
+    )
+
+
+def homogeneous_scenario(num_workers: int = 8) -> Scenario:
+    """Section V-A's homogeneous setting: one server, 10 Gbps virtual switch."""
+    cluster = ClusterSpec.paper_homogeneous(num_workers)
+    return Scenario(
+        name=f"homogeneous-{num_workers}w",
+        topology=Topology.fully_connected(num_workers),
+        links=StaticLinks.from_cluster(cluster),
+    )
+
+
+def multi_cloud_scenario() -> Scenario:
+    """Appendix G: six workers, one per cloud region, WAN links."""
+    links = multi_cloud_links()
+    return Scenario(
+        name="multi-cloud-6r",
+        topology=Topology.fully_connected(links.num_workers),
+        links=links,
+    )
+
+
+@dataclass
+class Workload:
+    """The learning problem handed to a trainer.
+
+    ``make_tasks()`` builds a *fresh* set of worker tasks (new model clones,
+    new samplers) so several algorithms can be compared on identical
+    problems without sharing mutable state.
+    """
+
+    model_name: str
+    dataset_name: str
+    profile: ModelCostProfile
+    shards: list[Dataset]
+    batch_sizes: list[int]
+    test_data: tuple[np.ndarray, np.ndarray] | None
+    init_params: np.ndarray
+    num_features: int
+    num_classes: int
+    seed: int
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.shards)
+
+    def make_tasks(self, seed_offset: int = 0) -> list[WorkerTask]:
+        """Fresh tasks: identical initial parameters, reseeded samplers."""
+        tasks = []
+        for i, (shard, batch) in enumerate(zip(self.shards, self.batch_sizes)):
+            model = build_model(self.model_name, self.num_features, self.num_classes)
+            model.set_params(self.init_params)
+            sampler = BatchSampler(
+                shard, batch, np.random.default_rng([self.seed, seed_offset, i])
+            )
+            tasks.append(WorkerTask(model, sampler))
+        return tasks
+
+
+def make_workload(
+    model: str = "resnet18",
+    dataset: str = "cifar10",
+    num_workers: int = 8,
+    partition: str = "uniform",
+    batch_size: int = 32,
+    num_samples: int | None = None,
+    segments_per_worker: list[int] | None = None,
+    lost_labels: list[tuple[int, ...]] | None = None,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> Workload:
+    """Build a workload per the paper's recipes.
+
+    Args:
+        model: paper architecture name (drives both the numpy stand-in and
+            the cost profile).
+        dataset: registry dataset name.
+        num_workers: worker count ``M``.
+        partition: ``"uniform"`` | ``"segments"`` | ``"drop-labels"``.
+        batch_size: base batch size; under ``"segments"`` worker ``i`` uses
+            ``batch_size * segments_per_worker[i]`` (Section V-F's
+            ``64 x segment count`` rule, scaled).
+        num_samples: dataset size override (None = registry default).
+        segments_per_worker: required for ``partition="segments"``.
+        lost_labels: required for ``partition="drop-labels"``.
+        test_fraction: held-out fraction for accuracy evaluation.
+        seed: root seed for data generation, split, partition, and init.
+    """
+    rng = np.random.default_rng(seed)
+    full = load_dataset(dataset, rng, num_samples)
+    train, test = train_test_split(full, test_fraction, rng)
+
+    if partition == "uniform":
+        shards = partition_uniform(train, num_workers, rng)
+        batch_sizes = [batch_size] * num_workers
+    elif partition == "segments":
+        if segments_per_worker is None:
+            raise ValueError("partition='segments' needs segments_per_worker")
+        if len(segments_per_worker) != num_workers:
+            raise ValueError("segments_per_worker length must equal num_workers")
+        shards = partition_segments(train, segments_per_worker, rng)
+        batch_sizes = [batch_size * s for s in segments_per_worker]
+    elif partition == "drop-labels":
+        if lost_labels is None:
+            raise ValueError("partition='drop-labels' needs lost_labels")
+        if len(lost_labels) != num_workers:
+            raise ValueError("lost_labels length must equal num_workers")
+        shards = partition_drop_labels(train, lost_labels)
+        batch_sizes = [batch_size] * num_workers
+    else:
+        raise ValueError(
+            f"unknown partition {partition!r}; "
+            "valid: 'uniform', 'segments', 'drop-labels'"
+        )
+
+    init_model = build_model(
+        model, train.num_features, train.num_classes, rng=np.random.default_rng(seed + 1)
+    )
+    return Workload(
+        model_name=model,
+        dataset_name=dataset,
+        profile=get_cost_profile(model),
+        shards=shards,
+        batch_sizes=batch_sizes,
+        test_data=(test.features, test.labels),
+        init_params=init_model.get_params(),
+        num_features=train.num_features,
+        num_classes=train.num_classes,
+        seed=seed,
+    )
+
+
+def make_quadratic_workload(
+    num_workers: int,
+    dim: int = 8,
+    noise_std: float = 0.05,
+    model: str = "resnet18",
+    seed: int = 0,
+) -> tuple[list[WorkerTask], np.ndarray, ModelCostProfile]:
+    """Strongly convex consensus workload for theory-facing experiments.
+
+    Returns ``(tasks, x_star, profile)``; tasks have no samplers, so epoch
+    accounting falls back to the iteration hint.
+    """
+    problems, x_star = make_consensus_quadratics(
+        num_workers, dim, np.random.default_rng(seed), noise_std=noise_std
+    )
+    tasks = [WorkerTask(problem) for problem in problems]
+    return tasks, x_star, get_cost_profile(model)

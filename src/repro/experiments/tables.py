@@ -1,0 +1,195 @@
+"""Regeneration of the paper's accuracy tables (Tables II, III, V, VI).
+
+Each function trains to a fixed budget and reports the test accuracy of the
+parameter-averaged model, matching the tables' structure row for row.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TrainerConfig
+from repro.datasets.partition import PAPER_MNIST_LOST_LABELS, paper_segment_layout
+from repro.experiments.common import ExperimentOutput
+from repro.experiments.harness import run_comparison
+from repro.experiments.scenarios import (
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    make_workload,
+)
+from repro.ml.optim import ConstantLR, StepDecayLR
+
+__all__ = [
+    "table2_accuracy_heterogeneous",
+    "table3_accuracy_homogeneous",
+    "table5_accuracy_nonuniform",
+    "table6_mobilenet_accuracy",
+]
+
+_TABLE_ALGORITHMS = ("prague", "allreduce", "adpsgd", "netmax")
+
+
+def _accuracy_table(
+    experiment_id: str,
+    title: str,
+    heterogeneous: bool,
+    worker_counts: tuple[int, ...],
+    models: tuple[str, ...],
+    num_samples: int,
+    max_sim_time: float,
+    seed: int,
+) -> ExperimentOutput:
+    rows = []
+    for model in models:
+        for workers in worker_counts:
+            scenario = (
+                heterogeneous_scenario(workers, seed=seed)
+                if heterogeneous
+                else homogeneous_scenario(workers)
+            )
+            workload = make_workload(
+                model, "cifar10", num_workers=workers, batch_size=128,
+                num_samples=num_samples, seed=seed,
+            )
+            config = TrainerConfig(
+                max_sim_time=max_sim_time,
+                eval_interval_s=max(5.0, max_sim_time / 20),
+                seed=seed,
+            )
+            results = run_comparison(list(_TABLE_ALGORITHMS), scenario, workload, config)
+            rows.append(
+                [model, workers]
+                + [results[name].history.best_accuracy() for name in _TABLE_ALGORITHMS]
+            )
+    return ExperimentOutput(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["model", "workers", *(name for name in _TABLE_ALGORITHMS)],
+        rows=rows,
+        notes=(
+            "Paper shape: all approaches within ~1% of each other (around "
+            "90% on CIFAR10-class tasks), NetMax on par or slightly ahead."
+        ),
+    )
+
+
+def table2_accuracy_heterogeneous(
+    worker_counts: tuple[int, ...] = (4, 8, 16),
+    models: tuple[str, ...] = ("resnet18", "vgg19"),
+    num_samples: int = 4096,
+    max_sim_time: float = 300.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Table II: accuracy over the heterogeneous network."""
+    return _accuracy_table(
+        "table2",
+        "Accuracy of models trained over a heterogeneous network",
+        True, worker_counts, models, num_samples, max_sim_time, seed,
+    )
+
+
+def table3_accuracy_homogeneous(
+    worker_counts: tuple[int, ...] = (4, 6, 8),
+    models: tuple[str, ...] = ("resnet18", "vgg19"),
+    num_samples: int = 4096,
+    max_sim_time: float = 300.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Table III: accuracy over the homogeneous network."""
+    return _accuracy_table(
+        "table3",
+        "Accuracy of models trained over a homogeneous network",
+        False, worker_counts, models, num_samples, max_sim_time, seed,
+    )
+
+
+def table5_accuracy_nonuniform(
+    datasets: tuple[tuple[str, str], ...] = (
+        ("cifar10", "resnet18"),
+        ("cifar100", "resnet18"),
+        ("mnist", "mobilenet"),
+        ("tiny-imagenet", "resnet18"),
+        ("imagenet", "resnet50"),
+    ),
+    num_workers: int = 8,
+    num_samples: int | None = None,
+    max_sim_time: float = 300.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Table V: accuracy with non-uniform data partitioning.
+
+    MNIST uses the Table IV non-IID label drops; the others use the
+    Section V-F segment layout (the paper's ImageNet row uses 16 workers,
+    honored here as well).
+    """
+    rows = []
+    for dataset, model in datasets:
+        workers = 16 if dataset == "imagenet" else num_workers
+        if dataset == "mnist":
+            workload = make_workload(
+                model, dataset, num_workers=workers, partition="drop-labels",
+                lost_labels=list(PAPER_MNIST_LOST_LABELS[:workers]),
+                batch_size=32, num_samples=num_samples, seed=seed,
+            )
+            schedule = ConstantLR(0.01)
+        else:
+            workload = make_workload(
+                model, dataset, num_workers=workers, partition="segments",
+                segments_per_worker=list(paper_segment_layout(workers)),
+                batch_size=64, num_samples=num_samples, seed=seed,
+            )
+            schedule = StepDecayLR(0.1, milestones=(40.0,))
+        scenario = heterogeneous_scenario(workers, seed=seed)
+        config = TrainerConfig(
+            max_sim_time=max_sim_time,
+            eval_interval_s=max(5.0, max_sim_time / 20),
+            lr_schedule=schedule,
+            seed=seed,
+        )
+        results = run_comparison(list(_TABLE_ALGORITHMS), scenario, workload, config)
+        rows.append(
+            [dataset, model]
+            + [results[name].history.best_accuracy() for name in _TABLE_ALGORITHMS]
+        )
+    return ExperimentOutput(
+        experiment_id="table5",
+        title="Accuracy with non-uniform data partitioning (heterogeneous net)",
+        headers=["dataset", "model", *(name for name in _TABLE_ALGORITHMS)],
+        rows=rows,
+        notes=(
+            "Paper shape: NetMax comparable or slightly ahead everywhere; "
+            "MNIST accuracy depressed by the non-IID split."
+        ),
+    )
+
+
+def table6_mobilenet_accuracy(
+    num_workers: int = 8,
+    num_samples: int = 8192,
+    max_sim_time: float = 300.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Table VI: MobileNet/CIFAR100 accuracy incl. PS baselines."""
+    algorithms = ("prague", "allreduce", "adpsgd", "ps-syn", "ps-asyn", "netmax")
+    workload = make_workload(
+        "mobilenet", "cifar100", num_workers=num_workers, partition="segments",
+        segments_per_worker=list(paper_segment_layout(num_workers)),
+        batch_size=64, num_samples=num_samples, seed=seed,
+    )
+    scenario = heterogeneous_scenario(num_workers, seed=seed)
+    config = TrainerConfig(
+        max_sim_time=max_sim_time,
+        eval_interval_s=max(5.0, max_sim_time / 20),
+        lr_schedule=StepDecayLR(0.1, milestones=(40.0,)),
+        seed=seed,
+    )
+    results = run_comparison(list(algorithms), scenario, workload, config)
+    rows = [[name, results[name].history.best_accuracy()] for name in algorithms]
+    return ExperimentOutput(
+        experiment_id="table6",
+        title="MobileNet on CIFAR100: test accuracy (non-uniform partitioning)",
+        headers=["algorithm", "accuracy"],
+        rows=rows,
+        notes=(
+            "Paper shape: ~63-64% for everyone (MobileNet capacity-bound on "
+            "CIFAR100), NetMax marginally best."
+        ),
+    )

@@ -1,0 +1,167 @@
+"""Undirected communication graphs over worker nodes.
+
+The adjacency matrix plays the role of the paper's neighborhood indicator
+``d_im`` (Table I): ``d_im = 1`` iff workers ``i`` and ``m`` are neighbors.
+Graphs are undirected (``d_im = d_mi``) and have no self-loops (``d_ii = 0``),
+matching Section II-A; Assumption 1 additionally requires connectivity,
+which :meth:`Topology.require_connected` enforces at trainer construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An undirected, simple graph over workers ``0 .. M-1``.
+
+    Construct via the classmethods (:meth:`fully_connected`, :meth:`ring`,
+    :meth:`random_connected`, :meth:`from_edges`) or directly from a boolean
+    adjacency matrix, which is validated for symmetry and absent self-loops.
+    """
+
+    def __init__(self, adjacency: np.ndarray):
+        adjacency = np.asarray(adjacency)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
+        adjacency = adjacency.astype(bool)
+        if adjacency.shape[0] < 2:
+            raise ValueError("a topology needs at least 2 workers")
+        if not np.array_equal(adjacency, adjacency.T):
+            raise ValueError("adjacency must be symmetric (the graph is undirected)")
+        if np.any(np.diag(adjacency)):
+            raise ValueError("self-loops are not allowed (d_ii = 0 in the paper)")
+        self._adjacency = adjacency
+        self._adjacency.setflags(write=False)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def fully_connected(cls, num_workers: int) -> "Topology":
+        """Complete graph K_M -- the paper's default evaluation topology."""
+        if num_workers < 2:
+            raise ValueError("need at least 2 workers")
+        adjacency = ~np.eye(num_workers, dtype=bool)
+        return cls(adjacency)
+
+    @classmethod
+    def ring(cls, num_workers: int) -> "Topology":
+        """Cycle graph, the natural substrate for ring all-reduce."""
+        if num_workers < 3:
+            raise ValueError("a ring needs at least 3 workers")
+        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        for i in range(num_workers):
+            j = (i + 1) % num_workers
+            adjacency[i, j] = adjacency[j, i] = True
+        return cls(adjacency)
+
+    @classmethod
+    def star(cls, num_workers: int, center: int = 0) -> "Topology":
+        """Star graph: everyone adjacent to ``center`` only (PS-like shape)."""
+        if num_workers < 2:
+            raise ValueError("need at least 2 workers")
+        if not 0 <= center < num_workers:
+            raise ValueError(f"center {center} out of range")
+        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        for i in range(num_workers):
+            if i != center:
+                adjacency[i, center] = adjacency[center, i] = True
+        return cls(adjacency)
+
+    @classmethod
+    def random_connected(
+        cls, num_workers: int, edge_probability: float, rng: np.random.Generator
+    ) -> "Topology":
+        """Erdos-Renyi graph resampled (then patched) until connected.
+
+        Connectivity is guaranteed by overlaying a random Hamiltonian path,
+        so even ``edge_probability=0`` yields a valid (line) topology.
+        """
+        if num_workers < 2:
+            raise ValueError("need at least 2 workers")
+        if not 0.0 <= edge_probability <= 1.0:
+            raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
+        adjacency = rng.random((num_workers, num_workers)) < edge_probability
+        adjacency = np.triu(adjacency, k=1)
+        adjacency = adjacency | adjacency.T
+        order = rng.permutation(num_workers)
+        for a, b in zip(order[:-1], order[1:]):
+            adjacency[a, b] = adjacency[b, a] = True
+        np.fill_diagonal(adjacency, False)
+        return cls(adjacency)
+
+    @classmethod
+    def from_edges(cls, num_workers: int, edges: Iterable[tuple[int, int]]) -> "Topology":
+        """Build from an explicit undirected edge list."""
+        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        for a, b in edges:
+            if not (0 <= a < num_workers and 0 <= b < num_workers):
+                raise ValueError(f"edge ({a}, {b}) out of range for {num_workers} workers")
+            if a == b:
+                raise ValueError(f"self-loop ({a}, {b}) not allowed")
+            adjacency[a, b] = adjacency[b, a] = True
+        return cls(adjacency)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return self._adjacency.shape[0]
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Read-only boolean adjacency matrix (the ``d_im`` indicators)."""
+        return self._adjacency
+
+    def indicator(self) -> np.ndarray:
+        """``d_im`` as a float matrix, convenient for the policy math."""
+        return self._adjacency.astype(np.float64)
+
+    def neighbors(self, worker: int) -> np.ndarray:
+        """Sorted array of the workers adjacent to ``worker``."""
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range")
+        return np.flatnonzero(self._adjacency[worker])
+
+    def degree(self, worker: int) -> int:
+        return int(self._adjacency[worker].sum())
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Undirected edge list with ``a < b``."""
+        rows, cols = np.nonzero(np.triu(self._adjacency, k=1))
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return bool(self._adjacency[a, b])
+
+    def to_networkx(self) -> nx.Graph:
+        """networkx view (used for connectivity and spanning subgraphs)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_workers))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.to_networkx())
+
+    def require_connected(self) -> "Topology":
+        """Raise unless connected (Assumption 1); returns self for chaining."""
+        if not self.is_connected():
+            raise ValueError("topology violates Assumption 1: graph is not connected")
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return np.array_equal(self._adjacency, other._adjacency)
+
+    def __hash__(self) -> int:
+        return hash(self._adjacency.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Topology(M={self.num_workers}, edges={len(self.edges())})"

@@ -1,0 +1,148 @@
+"""Dataset container and minibatch sampling.
+
+A :class:`Dataset` is an immutable pair of feature matrix and integer label
+vector. Worker nodes each hold one (their partition ``D_i`` in the paper's
+notation) and draw minibatches from it via :class:`BatchSampler`, which also
+tracks epoch progress -- the unit the paper's figures use on their x-axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset", "BatchSampler", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory classification dataset.
+
+    Attributes:
+        features: ``(n, d)`` float64 feature matrix.
+        labels: ``(n,)`` integer labels in ``[0, num_classes)``.
+        num_classes: number of classes (fixed by the generating task, not
+            inferred from the labels present, so a non-IID shard that lost
+            some labels still reports the full class count).
+        name: human-readable origin, e.g. ``"cifar10-syn"``.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"features and labels disagree on sample count: "
+                f"{features.shape[0]} vs {labels.shape[0]}"
+            )
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of the feature vectors."""
+        return self.features.shape[1]
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """A new dataset holding the rows selected by ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=name if name is not None else self.name,
+        )
+
+    def label_histogram(self) -> np.ndarray:
+        """Count of samples per class, shape ``(num_classes,)``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+class BatchSampler:
+    """Shuffled minibatch iterator with epoch accounting.
+
+    Each call to :meth:`next_batch` returns the next ``batch_size`` samples
+    of a per-epoch random permutation; when the permutation is exhausted a
+    new epoch starts with a fresh shuffle. The final batch of an epoch may
+    be smaller than ``batch_size`` (no wrap-around mixing of epochs), which
+    keeps "epoch" meaning exactly one pass over the local data -- the unit
+    used in Figs. 12-18.
+
+    Attributes:
+        epochs_completed: number of full passes finished so far.
+        samples_drawn: total samples returned across all batches.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int, rng: np.random.Generator):
+        if len(dataset) == 0:
+            raise ValueError("cannot sample from an empty dataset")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(min(batch_size, len(dataset)))
+        self._rng = rng
+        self._order = rng.permutation(len(dataset))
+        self._cursor = 0
+        self.epochs_completed = 0
+        self.samples_drawn = 0
+
+    @property
+    def epoch_progress(self) -> float:
+        """Fractional epochs completed, e.g. 2.5 = halfway through 3rd pass."""
+        return self.epochs_completed + self._cursor / len(self.dataset)
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(features, labels)`` for the next minibatch."""
+        n = len(self.dataset)
+        end = min(self._cursor + self.batch_size, n)
+        idx = self._order[self._cursor : end]
+        self._cursor = end
+        if self._cursor >= n:
+            self.epochs_completed += 1
+            self._order = self._rng.permutation(n)
+            self._cursor = 0
+        self.samples_drawn += len(idx)
+        return self.dataset.features[idx], self.dataset.labels[idx]
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[Dataset, Dataset]:
+    """Random split into train and test datasets.
+
+    Args:
+        dataset: source dataset.
+        test_fraction: fraction of samples (rounded down, at least 1) that go
+            to the test set; must lie strictly in (0, 1).
+        rng: randomness source.
+
+    Returns:
+        ``(train, test)`` datasets covering all samples exactly once.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(dataset)
+    n_test = max(1, int(n * test_fraction))
+    if n_test >= n:
+        raise ValueError("test_fraction leaves no training samples")
+    order = rng.permutation(n)
+    test = dataset.subset(order[:n_test], name=f"{dataset.name}-test")
+    train = dataset.subset(order[n_test:], name=f"{dataset.name}-train")
+    return train, test

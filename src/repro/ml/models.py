@@ -1,0 +1,247 @@
+"""Numpy classifiers with a flat-parameter-vector API.
+
+Every decentralized algorithm in this repo manipulates models as points in
+R^d -- exactly the abstraction the paper's analysis uses (``x_i`` in
+Eq. (1)). A :class:`Model` therefore exposes:
+
+- ``get_params() -> np.ndarray``: copy of the flat parameter vector;
+- ``set_params(vec)``: overwrite parameters from a flat vector;
+- ``loss_and_grad(X, y) -> (loss, flat_grad)``: minibatch loss + gradient;
+- ``loss(X, y)`` and ``predict_logits(X)`` for evaluation.
+
+The paper's CNNs (MobileNet, ResNet18/50, VGG19, GoogLeNet) are replaced by
+small MLPs that genuinely train; the *cost* side of those architectures
+(parameter counts, message bytes, GPU compute time) lives in
+:mod:`repro.network.costmodel`. ``build_model`` maps a paper architecture
+name to a default MLP configuration whose depth grows with the original
+architecture's capacity, preserving the capacity ordering used by the paper
+(e.g. "MobileNet is very simple, its capacity ... is not as good as larger
+models", Sec. V-G).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import accuracy, softmax_cross_entropy
+
+__all__ = ["Model", "SoftmaxRegression", "MLPClassifier", "build_model", "MODEL_HIDDEN_LAYERS"]
+
+
+class Model:
+    """Abstract classifier over flat parameter vectors."""
+
+    @property
+    def dim(self) -> int:
+        """Number of scalar parameters."""
+        raise NotImplementedError
+
+    def get_params(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def set_params(self, params: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def predict_logits(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def loss_and_grad(self, features: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    # Convenience wrappers shared by all models -----------------------------
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy on a batch (no gradient)."""
+        logp_loss, _ = softmax_cross_entropy(self.predict_logits(features), labels)
+        return logp_loss
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a batch."""
+        return accuracy(self.predict_logits(features), labels)
+
+    def clone(self) -> "Model":
+        """Independent copy with identical parameters."""
+        raise NotImplementedError
+
+
+def _check_flat(params: np.ndarray, dim: int) -> np.ndarray:
+    params = np.asarray(params, dtype=np.float64)
+    if params.shape != (dim,):
+        raise ValueError(f"expected flat parameter vector of shape ({dim},), got {params.shape}")
+    return params
+
+
+class SoftmaxRegression(Model):
+    """Multinomial logistic regression: a single dense layer plus softmax.
+
+    Convex in its parameters, which makes it the model of choice for tests
+    that want reliable, fast convergence signals.
+    """
+
+    def __init__(self, num_features: int, num_classes: int, rng: np.random.Generator | None = None):
+        if num_features < 1 or num_classes < 2:
+            raise ValueError("need num_features >= 1 and num_classes >= 2")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(num_features)
+        self._w = rng.normal(0.0, scale, size=(num_features, num_classes))
+        self._b = np.zeros(num_classes)
+
+    @property
+    def dim(self) -> int:
+        return self.num_features * self.num_classes + self.num_classes
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate([self._w.ravel(), self._b])
+
+    def set_params(self, params: np.ndarray) -> None:
+        params = _check_flat(params, self.dim)
+        split = self.num_features * self.num_classes
+        self._w = params[:split].reshape(self.num_features, self.num_classes).copy()
+        self._b = params[split:].copy()
+
+    def predict_logits(self, features: np.ndarray) -> np.ndarray:
+        return np.asarray(features, dtype=np.float64) @ self._w + self._b
+
+    def loss_and_grad(self, features: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        features = np.asarray(features, dtype=np.float64)
+        loss, dlogits = softmax_cross_entropy(features @ self._w + self._b, labels)
+        grad_w = features.T @ dlogits
+        grad_b = dlogits.sum(axis=0)
+        return loss, np.concatenate([grad_w.ravel(), grad_b])
+
+    def clone(self) -> "SoftmaxRegression":
+        copy = SoftmaxRegression(self.num_features, self.num_classes)
+        copy.set_params(self.get_params())
+        return copy
+
+
+class MLPClassifier(Model):
+    """Fully connected ReLU network with a softmax head.
+
+    Parameters are stored as a list of ``(W, b)`` per layer but exposed flat.
+    He initialization keeps gradients healthy at the depths used here.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden: tuple[int, ...] = (64,),
+        rng: np.random.Generator | None = None,
+    ):
+        if num_features < 1 or num_classes < 2:
+            raise ValueError("need num_features >= 1 and num_classes >= 2")
+        if any(h < 1 for h in hidden):
+            raise ValueError(f"hidden layer sizes must be >= 1, got {hidden}")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.hidden = tuple(int(h) for h in hidden)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        sizes = (num_features, *self.hidden, num_classes)
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+        self._dim = sum(w.size for w in self._weights) + sum(b.size for b in self._biases)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def get_params(self) -> np.ndarray:
+        parts = []
+        for w, b in zip(self._weights, self._biases):
+            parts.append(w.ravel())
+            parts.append(b)
+        return np.concatenate(parts)
+
+    def set_params(self, params: np.ndarray) -> None:
+        params = _check_flat(params, self._dim)
+        cursor = 0
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            self._weights[i] = params[cursor : cursor + w.size].reshape(w.shape).copy()
+            cursor += w.size
+            self._biases[i] = params[cursor : cursor + b.size].copy()
+            cursor += b.size
+
+    def _forward(self, features: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return logits and the post-activation of every hidden layer."""
+        activations: list[np.ndarray] = []
+        h = np.asarray(features, dtype=np.float64)
+        for w, b in zip(self._weights[:-1], self._biases[:-1]):
+            h = np.maximum(h @ w + b, 0.0)
+            activations.append(h)
+        logits = h @ self._weights[-1] + self._biases[-1]
+        return logits, activations
+
+    def predict_logits(self, features: np.ndarray) -> np.ndarray:
+        logits, _ = self._forward(features)
+        return logits
+
+    def loss_and_grad(self, features: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        features = np.asarray(features, dtype=np.float64)
+        logits, activations = self._forward(features)
+        loss, delta = softmax_cross_entropy(logits, labels)
+
+        grads_w: list[np.ndarray] = [np.empty(0)] * len(self._weights)
+        grads_b: list[np.ndarray] = [np.empty(0)] * len(self._biases)
+        inputs = [features, *activations]
+        for layer in range(len(self._weights) - 1, -1, -1):
+            grads_w[layer] = inputs[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self._weights[layer].T) * (inputs[layer] > 0)
+
+        parts = []
+        for gw, gb in zip(grads_w, grads_b):
+            parts.append(gw.ravel())
+            parts.append(gb)
+        return loss, np.concatenate(parts)
+
+    def clone(self) -> "MLPClassifier":
+        copy = MLPClassifier(self.num_features, self.num_classes, self.hidden)
+        copy.set_params(self.get_params())
+        return copy
+
+
+# Paper architecture -> default hidden-layer stack for the numpy stand-in.
+# Widths/depths grow with the original architecture's capacity, preserving
+# the paper's capacity ordering MobileNet < GoogLeNet < ResNet18 < ResNet50
+# < VGG19 while staying small enough to train in milliseconds per batch.
+MODEL_HIDDEN_LAYERS: dict[str, tuple[int, ...]] = {
+    "mobilenet": (64,),
+    "googlenet": (96,),
+    "resnet18": (128, 64),
+    "resnet50": (192, 96),
+    "vgg19": (256, 128),
+}
+
+
+def build_model(
+    architecture: str,
+    num_features: int,
+    num_classes: int,
+    rng: np.random.Generator | None = None,
+) -> MLPClassifier:
+    """Instantiate the numpy stand-in for a paper architecture.
+
+    Args:
+        architecture: one of ``MODEL_HIDDEN_LAYERS`` keys (case-insensitive).
+        num_features: input dimensionality of the dataset.
+        num_classes: output classes.
+        rng: randomness for weight init (shared across workers so all
+            replicas start from the same ``x^0``, as the analysis assumes).
+
+    Raises:
+        KeyError: for unknown architecture names, listing the valid ones.
+    """
+    key = architecture.lower()
+    if key not in MODEL_HIDDEN_LAYERS:
+        raise KeyError(
+            f"unknown architecture {architecture!r}; valid: {sorted(MODEL_HIDDEN_LAYERS)}"
+        )
+    return MLPClassifier(num_features, num_classes, MODEL_HIDDEN_LAYERS[key], rng=rng)

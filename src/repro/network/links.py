@@ -1,0 +1,270 @@
+"""Time-varying link-speed models.
+
+The paper's testbed emulates heterogeneity by throttling links and *rotating
+the throttled link every 5 minutes* ("we randomly slow down one of the
+communication links among nodes by 2x to 100x ... we further change the slow
+link every 5 minutes", Section V-A). :class:`DynamicSlowdownLinks` implements
+exactly that process, deterministically: the slowed link and factor for
+interval ``n`` are a pure function of ``(seed, n)``, so any query order gives
+the same network history.
+
+All models answer two point-in-time questions:
+
+- ``bandwidth(i, j, time)`` -> bytes/second,
+- ``latency(i, j, time)`` -> seconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.network.cluster import ClusterSpec, gbps_to_bytes_per_s
+
+__all__ = [
+    "LinkSpeedModel",
+    "StaticLinks",
+    "DynamicSlowdownLinks",
+    "TraceLinks",
+    "multi_cloud_links",
+]
+
+
+class LinkSpeedModel:
+    """Interface: pointwise link speed queries over simulated time."""
+
+    @property
+    def num_workers(self) -> int:
+        raise NotImplementedError
+
+    def bandwidth(self, a: int, b: int, time: float) -> float:
+        """Bytes/second between workers ``a`` and ``b`` at ``time``."""
+        raise NotImplementedError
+
+    def latency(self, a: int, b: int, time: float) -> float:
+        """One-way propagation latency in seconds at ``time``."""
+        raise NotImplementedError
+
+    def bandwidth_matrix(self, time: float) -> np.ndarray:
+        """Full ``(M, M)`` bandwidth snapshot (diagonal +inf)."""
+        m = self.num_workers
+        out = np.full((m, m), np.inf)
+        for a in range(m):
+            for b in range(m):
+                if a != b:
+                    out[a, b] = self.bandwidth(a, b, time)
+        return out
+
+    def _check_pair(self, a: int, b: int) -> None:
+        m = self.num_workers
+        if not (0 <= a < m and 0 <= b < m):
+            raise ValueError(f"worker pair ({a}, {b}) out of range for M={m}")
+
+
+class StaticLinks(LinkSpeedModel):
+    """Fixed bandwidth/latency matrices (the homogeneous vswitch setting)."""
+
+    def __init__(self, bandwidth: np.ndarray, latency: np.ndarray):
+        bandwidth = np.asarray(bandwidth, dtype=np.float64)
+        latency = np.asarray(latency, dtype=np.float64)
+        if bandwidth.ndim != 2 or bandwidth.shape[0] != bandwidth.shape[1]:
+            raise ValueError(f"bandwidth must be square, got {bandwidth.shape}")
+        if latency.shape != bandwidth.shape:
+            raise ValueError("latency and bandwidth shapes must match")
+        off_diag = ~np.eye(bandwidth.shape[0], dtype=bool)
+        if np.any(bandwidth[off_diag] <= 0):
+            raise ValueError("off-diagonal bandwidths must be positive")
+        if np.any(latency < 0):
+            raise ValueError("latencies must be non-negative")
+        self._bandwidth = bandwidth
+        self._latency = latency
+
+    @classmethod
+    def from_cluster(cls, cluster: ClusterSpec) -> "StaticLinks":
+        return cls(cluster.bandwidth_matrix(), cluster.latency_matrix())
+
+    @property
+    def num_workers(self) -> int:
+        return self._bandwidth.shape[0]
+
+    def bandwidth(self, a: int, b: int, time: float) -> float:
+        self._check_pair(a, b)
+        return float(self._bandwidth[a, b])
+
+    def latency(self, a: int, b: int, time: float) -> float:
+        self._check_pair(a, b)
+        return float(self._latency[a, b])
+
+
+class DynamicSlowdownLinks(LinkSpeedModel):
+    """Paper Section V-A dynamics: one rotating slowed link.
+
+    In every interval of ``period_s`` seconds, one undirected link (chosen
+    uniformly) is slowed by a factor drawn log-uniformly from
+    ``slowdown_range`` (default 2x-100x, the paper's range). The choice for
+    interval ``n`` is derived from ``(seed, n)`` alone, so the model is a
+    deterministic function of time.
+
+    Args:
+        base: the underlying static model being perturbed.
+        period_s: rotation period (paper: 300 s).
+        slowdown_range: inclusive (low, high) multiplicative slowdown.
+        seed: randomness root.
+        num_slow_links: how many links are simultaneously slowed (paper: 1).
+    """
+
+    def __init__(
+        self,
+        base: LinkSpeedModel,
+        period_s: float = 300.0,
+        slowdown_range: tuple[float, float] = (2.0, 100.0),
+        seed: int = 0,
+        num_slow_links: int = 1,
+    ):
+        low, high = slowdown_range
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        if not 1.0 <= low <= high:
+            raise ValueError(f"slowdown_range must satisfy 1 <= low <= high, got {slowdown_range}")
+        if num_slow_links < 1:
+            raise ValueError("num_slow_links must be >= 1")
+        self._base = base
+        self.period_s = float(period_s)
+        self.slowdown_range = (float(low), float(high))
+        self.seed = int(seed)
+        self.num_slow_links = int(num_slow_links)
+        m = base.num_workers
+        self._links = [(a, b) for a in range(m) for b in range(a + 1, m)]
+        if num_slow_links > len(self._links):
+            raise ValueError("more slow links requested than links exist")
+
+    @property
+    def num_workers(self) -> int:
+        return self._base.num_workers
+
+    def _interval(self, time: float) -> int:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        return int(time // self.period_s)
+
+    def slowed_links(self, time: float) -> dict[tuple[int, int], float]:
+        """The slowed undirected links and their factors active at ``time``."""
+        interval = self._interval(time)
+        rng = np.random.default_rng([self.seed, interval])
+        chosen = rng.choice(len(self._links), size=self.num_slow_links, replace=False)
+        low, high = self.slowdown_range
+        # Log-uniform: 2x and 100x slowdowns are both plausible tenant effects.
+        factors = np.exp(rng.uniform(np.log(low), np.log(high), size=self.num_slow_links))
+        return {self._links[int(c)]: float(f) for c, f in zip(chosen, factors)}
+
+    def bandwidth(self, a: int, b: int, time: float) -> float:
+        self._check_pair(a, b)
+        base = self._base.bandwidth(a, b, time)
+        if a == b:
+            return base
+        key = (a, b) if a < b else (b, a)
+        factor = self.slowed_links(time).get(key)
+        return base / factor if factor is not None else base
+
+    def latency(self, a: int, b: int, time: float) -> float:
+        return self._base.latency(a, b, time)
+
+
+class TraceLinks(LinkSpeedModel):
+    """Piecewise-constant bandwidth trace: explicit ``(start_time, matrix)``.
+
+    Used by tests and the dynamic-network example to script exact link-speed
+    changes (e.g. the Fig. 2 scenario where the fast link at T1 turns slow
+    at T2).
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[tuple[float, np.ndarray]],
+        latency: np.ndarray,
+    ):
+        if not segments:
+            raise ValueError("need at least one trace segment")
+        starts = [s for s, _ in segments]
+        if starts[0] != 0.0:
+            raise ValueError("first segment must start at time 0")
+        if any(b <= a for a, b in zip(starts[:-1], starts[1:])):
+            raise ValueError("segment start times must be strictly increasing")
+        matrices = [np.asarray(m, dtype=np.float64) for _, m in segments]
+        shape = matrices[0].shape
+        if any(m.shape != shape for m in matrices):
+            raise ValueError("all trace matrices must share a shape")
+        latency = np.asarray(latency, dtype=np.float64)
+        if latency.shape != shape:
+            raise ValueError("latency shape must match trace matrices")
+        self._starts = np.asarray(starts)
+        self._matrices = matrices
+        self._latency = latency
+
+    @property
+    def num_workers(self) -> int:
+        return self._latency.shape[0]
+
+    def _segment(self, time: float) -> np.ndarray:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        idx = int(np.searchsorted(self._starts, time, side="right") - 1)
+        return self._matrices[idx]
+
+    def bandwidth(self, a: int, b: int, time: float) -> float:
+        self._check_pair(a, b)
+        if a == b:
+            return np.inf
+        return float(self._segment(time)[a, b])
+
+    def latency(self, a: int, b: int, time: float) -> float:
+        self._check_pair(a, b)
+        if a == b:
+            return 0.0
+        return float(self._latency[a, b])
+
+
+# Appendix G: six EC2 regions. Geographic groups determine WAN quality; the
+# paper notes geographically-close regions can be ~12x faster than distant
+# ones. Values are plausible WAN figures (bandwidth Gbps, one-way latency s)
+# chosen to preserve that spread.
+_REGIONS = ("us-west", "us-east", "ireland", "mumbai", "singapore", "tokyo")
+_REGION_GROUP = {
+    "us-west": "america",
+    "us-east": "america",
+    "ireland": "europe",
+    "mumbai": "asia",
+    "singapore": "asia",
+    "tokyo": "asia",
+}
+_SAME_GROUP_GBPS = 0.6
+_CROSS_GROUP_GBPS = 0.05
+_SAME_GROUP_LATENCY = 0.04
+_CROSS_GROUP_LATENCY = 0.15
+
+
+def multi_cloud_links(regions: Sequence[str] = _REGIONS) -> StaticLinks:
+    """WAN link model across cloud regions (Appendix G substitute).
+
+    Same-continent pairs get ~12x the bandwidth of cross-continent pairs,
+    matching the paper's observation about geographic distance. One worker
+    per region.
+    """
+    unknown = [r for r in regions if r not in _REGION_GROUP]
+    if unknown:
+        raise ValueError(f"unknown regions {unknown}; valid: {sorted(_REGION_GROUP)}")
+    if len(regions) < 2:
+        raise ValueError("need at least 2 regions")
+    m = len(regions)
+    bandwidth = np.full((m, m), np.inf)
+    latency = np.zeros((m, m))
+    for a in range(m):
+        for b in range(m):
+            if a == b:
+                continue
+            same = _REGION_GROUP[regions[a]] == _REGION_GROUP[regions[b]]
+            gbps = _SAME_GROUP_GBPS if same else _CROSS_GROUP_GBPS
+            bandwidth[a, b] = gbps_to_bytes_per_s(gbps)
+            latency[a, b] = _SAME_GROUP_LATENCY if same else _CROSS_GROUP_LATENCY
+    return StaticLinks(bandwidth, latency)

@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate.
+
+The paper measures wall-clock behaviour on a physical cluster; here a
+deterministic event queue plays that role. Every trainer in
+:mod:`repro.algorithms` schedules its worker iterations, synchronization
+rounds, and monitor ticks as events on a shared virtual clock, so
+"training loss vs. time" series are exact functions of the seed.
+"""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.records import TrainingHistory, EpochCostTracker, TrainingResult
+
+__all__ = ["Simulator", "TrainingHistory", "EpochCostTracker", "TrainingResult"]

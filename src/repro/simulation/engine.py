@@ -1,0 +1,101 @@
+"""A deterministic discrete-event simulator.
+
+Minimal by design: a priority queue of ``(time, sequence, callback)`` and a
+virtual clock. Ties in time are broken by insertion order (the monotonically
+increasing sequence number), which makes every run a pure function of its
+seed -- a property the test-suite relies on heavily.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Virtual clock plus event queue.
+
+    Events are zero-argument callbacks; they may schedule further events.
+    The clock only moves forward: scheduling in the past raises.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        heapq.heappush(self._queue, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Execute the earliest event. Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(
+        self,
+        until_time: float | None = None,
+        max_events: int | None = None,
+        stop_condition: Callable[[], bool] | None = None,
+    ) -> None:
+        """Drain events until a stop criterion fires.
+
+        Args:
+            until_time: stop before executing any event scheduled strictly
+                after this time (the clock ends at the last executed event,
+                or at ``until_time`` if provided).
+            max_events: hard cap on events executed by this call (a guard
+                against accidental infinite self-scheduling loops).
+            stop_condition: checked before each event; truthy halts the run.
+
+        At least one of the three criteria must be supplied.
+        """
+        if until_time is None and max_events is None and stop_condition is None:
+            raise ValueError("run() needs at least one stop criterion")
+        executed = 0
+        while self._queue:
+            if stop_condition is not None and stop_condition():
+                return
+            if max_events is not None and executed >= max_events:
+                return
+            next_time = self._queue[0][0]
+            if until_time is not None and next_time > until_time:
+                self._now = until_time
+                return
+            self.step()
+            executed += 1
+        if until_time is not None and self._now < until_time:
+            self._now = until_time

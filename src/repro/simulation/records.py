@@ -1,0 +1,204 @@
+"""Training histories and the epoch-time cost accounting of Figs. 5-6.
+
+The paper decomposes the average epoch time into *computation cost* (GPU
+busy time) and *communication cost* (everything else). That decomposition is
+what :class:`EpochCostTracker` maintains: every iteration reports its
+compute time and its total duration, and per-epoch averages fall out.
+
+:class:`TrainingHistory` is the loss/accuracy-versus-time record behind
+Figs. 8-9 and 12-19; :class:`TrainingResult` bundles both together with the
+final models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TrainingHistory", "EpochCostTracker", "TrainingResult"]
+
+
+class TrainingHistory:
+    """Append-only evaluation trace.
+
+    One row per evaluation event: virtual time, global iteration count, mean
+    epoch progress across workers, mean training loss, and (optionally) test
+    accuracy of the consensus model.
+    """
+
+    def __init__(self):
+        self.times: list[float] = []
+        self.global_steps: list[int] = []
+        self.epochs: list[float] = []
+        self.train_losses: list[float] = []
+        self.test_accuracies: list[float] = []
+
+    def add(
+        self,
+        time: float,
+        global_step: int,
+        epoch: float,
+        train_loss: float,
+        test_accuracy: float = float("nan"),
+    ) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("history times must be non-decreasing")
+        self.times.append(float(time))
+        self.global_steps.append(int(global_step))
+        self.epochs.append(float(epoch))
+        self.train_losses.append(float(train_loss))
+        self.test_accuracies.append(float(test_accuracy))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Columns as numpy arrays, keyed by name."""
+        return {
+            "time": np.asarray(self.times),
+            "global_step": np.asarray(self.global_steps),
+            "epoch": np.asarray(self.epochs),
+            "train_loss": np.asarray(self.train_losses),
+            "test_accuracy": np.asarray(self.test_accuracies),
+        }
+
+    def final_loss(self) -> float:
+        if not self.train_losses:
+            raise ValueError("history is empty")
+        return self.train_losses[-1]
+
+    def final_accuracy(self) -> float:
+        if not self.test_accuracies:
+            raise ValueError("history is empty")
+        return self.test_accuracies[-1]
+
+    def best_accuracy(self) -> float:
+        if not self.test_accuracies:
+            raise ValueError("history is empty")
+        return float(np.nanmax(self.test_accuracies))
+
+    def time_to_loss(self, target: float) -> float:
+        """First virtual time at which the train loss dips to ``target``.
+
+        Returns ``inf`` if the loss never reaches the target; this is the
+        "time to convergence" measure behind the paper's speedup numbers.
+        """
+        for time, loss in zip(self.times, self.train_losses):
+            if loss <= target:
+                return time
+        return float("inf")
+
+
+class EpochCostTracker:
+    """Per-worker decomposition of epoch time into compute vs. communication.
+
+    Every local iteration calls :meth:`record_iteration` with the worker id,
+    the compute time ``C_i``, and the iteration duration ``t_im``
+    (``max(C_i, N_im)`` when overlapped, ``C_i + N_im`` when serial). Epoch
+    boundaries are reported via :meth:`record_epoch_boundary`. The summary
+    averages *completed* epochs across workers:
+
+    - average epoch time = total busy duration / completed epochs;
+    - computation cost  = total compute time / completed epochs;
+    - communication cost = the difference.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._duration = np.zeros(num_workers)
+        self._compute = np.zeros(num_workers)
+        self._iterations = np.zeros(num_workers, dtype=np.int64)
+        # Snapshot of duration/compute at the last completed epoch boundary,
+        # so partially finished epochs do not skew the averages.
+        self._duration_at_boundary = np.zeros(num_workers)
+        self._compute_at_boundary = np.zeros(num_workers)
+        self._epochs = np.zeros(num_workers, dtype=np.int64)
+
+    def record_iteration(self, worker: int, compute_time: float, duration: float) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range")
+        if compute_time < 0 or duration < 0:
+            raise ValueError("times must be non-negative")
+        if duration + 1e-12 < compute_time:
+            raise ValueError("iteration duration cannot be shorter than its compute time")
+        self._duration[worker] += duration
+        self._compute[worker] += compute_time
+        self._iterations[worker] += 1
+
+    def record_epoch_boundary(self, worker: int) -> None:
+        """Mark that ``worker`` just finished one pass over its local data."""
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range")
+        self._epochs[worker] += 1
+        self._duration_at_boundary[worker] = self._duration[worker]
+        self._compute_at_boundary[worker] = self._compute[worker]
+
+    @property
+    def total_iterations(self) -> int:
+        return int(self._iterations.sum())
+
+    @property
+    def epochs_completed(self) -> np.ndarray:
+        return self._epochs.copy()
+
+    def summary(self) -> dict[str, float]:
+        """Average per-epoch cost decomposition across workers.
+
+        Workers that have not completed any epoch are excluded; if none has,
+        the totals-so-far are used as a single partial epoch (so short test
+        runs still produce numbers).
+        """
+        finished = self._epochs > 0
+        if np.any(finished):
+            epoch_time = self._duration_at_boundary[finished] / self._epochs[finished]
+            compute = self._compute_at_boundary[finished] / self._epochs[finished]
+        else:
+            epoch_time = self._duration
+            compute = self._compute
+        avg_epoch = float(np.mean(epoch_time))
+        avg_compute = float(np.mean(compute))
+        return {
+            "epoch_time": avg_epoch,
+            "computation_cost": avg_compute,
+            "communication_cost": max(0.0, avg_epoch - avg_compute),
+        }
+
+
+@dataclass
+class TrainingResult:
+    """Everything a finished training run exposes to the harness.
+
+    Attributes:
+        algorithm: registry name of the trainer.
+        history: the evaluation trace.
+        costs: epoch cost decomposition tracker.
+        final_params: per-worker final flat parameter vectors, ``(M, d)``.
+        sim_time: virtual time at which the run stopped.
+        global_steps: total local iterations across all workers.
+        extras: algorithm-specific diagnostics (e.g. NetMax's final policy).
+    """
+
+    algorithm: str
+    history: TrainingHistory
+    costs: EpochCostTracker
+    final_params: np.ndarray
+    sim_time: float
+    global_steps: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def consensus_distance(self) -> float:
+        """Mean squared distance of worker models from their average.
+
+        The consensus measure of Eq. (1)'s second term: zero iff all workers
+        agree exactly.
+        """
+        mean = self.final_params.mean(axis=0, keepdims=True)
+        return float(np.mean(np.sum((self.final_params - mean) ** 2, axis=1)))
+
+    def mean_params(self) -> np.ndarray:
+        """Average model across workers (what we evaluate test accuracy on)."""
+        return self.final_params.mean(axis=0)

@@ -1,0 +1,271 @@
+"""Behavioral tests for every training algorithm.
+
+Shared across trainers: runs complete, losses decrease on an easy problem,
+histories are deterministic in the seed, and cost accounting is coherent.
+Then per-algorithm specifics (synchrony, policy adoption, PS bias, fixed
+subgraph, group formation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ADPSGDMonitorTrainer,
+    ADPSGDTrainer,
+    AllreduceTrainer,
+    NetMaxTrainer,
+    PragueTrainer,
+    PSAsynTrainer,
+    PSSynTrainer,
+    SAPSTrainer,
+    TrainerConfig,
+    create_trainer,
+    trainer_names,
+)
+from repro.experiments import heterogeneous_scenario, make_workload, run_trainer
+
+ALL_ALGORITHMS = trainer_names()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return heterogeneous_scenario(num_workers=4, seed=1)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(
+        "mobilenet", "mnist", num_workers=4, batch_size=32, num_samples=512, seed=1
+    )
+
+
+def quick_config(**kwargs):
+    defaults = dict(max_sim_time=30.0, eval_interval_s=5.0, seed=3)
+    defaults.update(kwargs)
+    return TrainerConfig(**defaults)
+
+
+class TestAllTrainersShared:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_run_completes_and_loss_decreases(self, name, scenario, workload):
+        result = run_trainer(name, scenario, workload, quick_config())
+        arrays = result.history.as_arrays()
+        assert result.global_steps > 0
+        assert arrays["train_loss"][-1] < arrays["train_loss"][0]
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_deterministic_given_seed(self, name, scenario, workload):
+        a = run_trainer(name, scenario, workload, quick_config())
+        b = run_trainer(name, scenario, workload, quick_config())
+        np.testing.assert_array_equal(
+            a.history.as_arrays()["train_loss"], b.history.as_arrays()["train_loss"]
+        )
+        assert a.global_steps == b.global_steps
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_cost_accounting_coherent(self, name, scenario, workload):
+        result = run_trainer(name, scenario, workload, quick_config())
+        summary = result.costs.summary()
+        assert summary["epoch_time"] > 0
+        assert summary["computation_cost"] > 0
+        assert summary["communication_cost"] >= 0
+        assert summary["epoch_time"] == pytest.approx(
+            summary["computation_cost"] + summary["communication_cost"]
+        )
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_max_epochs_stops_early(self, name, scenario, workload):
+        config = quick_config(max_sim_time=500.0, max_epochs=2.0)
+        result = run_trainer(name, scenario, workload, config)
+        assert result.sim_time < 500.0
+
+
+class TestRegistry:
+    def test_all_expected_names(self):
+        assert set(ALL_ALGORITHMS) == {
+            "netmax", "adpsgd", "allreduce", "prague",
+            "ps-syn", "ps-asyn", "saps", "adpsgd-monitor",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="valid"):
+            create_trainer("sgd-ultra", None, None, None, None, None)
+
+    def test_case_insensitive(self, scenario, workload):
+        result = run_trainer("NetMax", scenario, workload, quick_config())
+        assert result.algorithm == "netmax"
+
+
+class TestNetMaxSpecifics:
+    def test_monitor_publishes_and_workers_adopt(self, scenario, workload):
+        result = run_trainer(
+            "netmax", scenario, workload, quick_config(), monitor_period_s=5.0
+        )
+        stats = result.extras["monitor_stats"]
+        assert stats.ticks >= 3
+        assert stats.policies_published >= 1
+        assert result.extras["policies_adopted"] >= 1
+        assert "final_policy" in result.extras
+        np.testing.assert_allclose(result.extras["final_policy"].sum(axis=1), 1.0)
+
+    def test_non_adaptive_never_publishes(self, scenario, workload):
+        result = run_trainer(
+            "netmax", scenario, workload, quick_config(), adaptive=False
+        )
+        assert result.extras["monitor_stats"].ticks == 0
+        assert result.extras["policies_adopted"] == 0
+
+    def test_serial_slower_than_overlap(self, scenario, workload):
+        # Without NIC contention C + N strictly dominates max(C, N).
+        overlap = run_trainer(
+            "netmax", scenario, workload, quick_config(),
+            adaptive=False, flow_sharing=False,
+        )
+        serial = run_trainer(
+            "netmax", scenario, workload, quick_config(),
+            adaptive=False, overlap=False, flow_sharing=False,
+        )
+        assert (
+            serial.costs.summary()["epoch_time"]
+            > overlap.costs.summary()["epoch_time"]
+        )
+
+    def test_no_clipping_under_feasible_policies(self, scenario, workload):
+        result = run_trainer("netmax", scenario, workload, quick_config())
+        assert result.extras["clip_events"] == 0
+
+
+class TestAllreduceSpecifics:
+    def test_all_replicas_identical(self, scenario, workload):
+        result = run_trainer("allreduce", scenario, workload, quick_config())
+        params = result.final_params
+        for worker in range(1, params.shape[0]):
+            np.testing.assert_allclose(params[worker], params[0])
+
+    def test_synchronous_equal_iteration_counts(self, scenario, workload):
+        result = run_trainer("allreduce", scenario, workload, quick_config())
+        assert result.global_steps % 4 == 0
+
+
+class TestPSSpecifics:
+    def test_ps_syn_replicas_identical(self, scenario, workload):
+        result = run_trainer("ps-syn", scenario, workload, quick_config())
+        for worker in range(1, 4):
+            np.testing.assert_allclose(result.final_params[worker], result.final_params[0])
+
+    def test_ps_asyn_colocated_workers_iterate_more(self, workload):
+        # 4 workers over 2 servers; PS anchored at worker 0's server. Workers
+        # on server 0 exchange over the fast local bus.
+        scenario = heterogeneous_scenario(num_workers=4, seed=1, dynamic=False)
+        trainer = create_trainer(
+            "ps-asyn",
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            quick_config(),
+            test_data=workload.test_data,
+        )
+        result = trainer.run()
+        iterations = [trainer.tasks[i].iterations for i in range(4)]
+        # Workers 0,1 share the PS server (layout (2,2)); they should iterate
+        # strictly more than the remote workers 2,3.
+        assert min(iterations[0], iterations[1]) > max(iterations[2], iterations[3])
+        assert result.global_steps == sum(iterations)
+
+
+class TestPragueSpecifics:
+    def test_groups_formed(self, scenario, workload):
+        trainer = create_trainer(
+            "prague",
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            quick_config(),
+            group_size=2,
+        )
+        trainer.run()
+        assert trainer.groups_formed > 0
+        # Groups may still be in flight when the time budget cuts the run.
+        assert 0 <= trainer._active_groups <= trainer.groups_formed
+
+    def test_group_size_validation(self, scenario, workload):
+        with pytest.raises(ValueError, match="group_size"):
+            create_trainer(
+                "prague",
+                workload.make_tasks(),
+                scenario.topology,
+                scenario.links,
+                workload.profile,
+                quick_config(),
+                group_size=1,
+            )
+
+    def test_contention_slows_groups(self, scenario, workload):
+        calm = run_trainer(
+            "prague", scenario, workload, quick_config(), contention_factor=0.0
+        )
+        congested = run_trainer(
+            "prague", scenario, workload, quick_config(), contention_factor=2.0
+        )
+        assert (
+            congested.costs.summary()["communication_cost"]
+            >= calm.costs.summary()["communication_cost"]
+        )
+
+
+class TestSAPSSpecifics:
+    def test_fixed_subgraph_is_spanning_and_fast(self, workload):
+        scenario = heterogeneous_scenario(num_workers=4, seed=1, dynamic=False)
+        trainer = create_trainer(
+            "saps",
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            quick_config(),
+        )
+        sub = trainer.fixed_subgraph
+        assert sub.is_connected()
+        assert len(sub.edges()) == 3  # spanning tree on 4 workers
+
+    def test_extra_edges_densify(self, workload):
+        scenario = heterogeneous_scenario(num_workers=4, seed=1, dynamic=False)
+        trainer = create_trainer(
+            "saps",
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            quick_config(),
+            extra_edges=2,
+        )
+        assert len(trainer.fixed_subgraph.edges()) == 5
+
+
+class TestADPSGDMonitorSpecifics:
+    def test_uses_monitor_but_half_weights(self, scenario, workload):
+        result = run_trainer(
+            "adpsgd-monitor", scenario, workload, quick_config(), monitor_period_s=5.0
+        )
+        assert result.extras["monitor_stats"].policies_published >= 1
+
+    def test_invalid_mixing_weight(self, scenario, workload):
+        with pytest.raises(ValueError, match="mixing_weight"):
+            run_trainer(
+                "adpsgd-monitor", scenario, workload, quick_config(), mixing_weight=1.5
+            )
+
+
+class TestADPSGDSpecifics:
+    def test_invalid_mixing_weight(self, scenario, workload):
+        with pytest.raises(ValueError, match="mixing_weight"):
+            run_trainer("adpsgd", scenario, workload, quick_config(), mixing_weight=0.0)
+
+    def test_workers_reach_consensus_neighborhood(self, scenario, workload):
+        result = run_trainer("adpsgd", scenario, workload, quick_config())
+        # Gossip averaging keeps replicas close: consensus distance should be
+        # tiny relative to parameter magnitude.
+        scale = float(np.mean(np.sum(result.final_params**2, axis=1)))
+        assert result.consensus_distance() < 0.05 * scale

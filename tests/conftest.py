@@ -1,0 +1,27 @@
+"""Shared fixtures for the test-suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Topology
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def full5():
+    """Fully connected topology on 5 workers (paper's default shape)."""
+    return Topology.fully_connected(5)
+
+
+@pytest.fixture
+def hetero_times5():
+    """Iteration-time matrix with two fast pairs, everything else slow."""
+    times = np.full((5, 5), 2.0)
+    times[0, 1] = times[1, 0] = 0.2
+    times[2, 3] = times[3, 2] = 0.3
+    np.fill_diagonal(times, 0.1)
+    return times

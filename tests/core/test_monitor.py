@@ -1,0 +1,104 @@
+"""Unit tests for the Network Monitor (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import NetworkMonitor
+from repro.graph import Topology
+
+
+def raw_times(full5, hetero_times5, missing=()):
+    """Full measurement matrix with selected entries masked NaN."""
+    raw = hetero_times5.astype(float).copy()
+    raw[~full5.adjacency] = np.nan
+    for i, m in missing:
+        raw[i, m] = np.nan
+    return raw
+
+
+class TestCoverage:
+    def test_full_coverage(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        assert monitor.coverage(raw_times(full5, hetero_times5)) == 1.0
+
+    def test_partial_coverage(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        raw = raw_times(full5, hetero_times5, missing=[(0, 1), (0, 2)])
+        assert monitor.coverage(raw) == pytest.approx(18 / 20)
+
+
+class TestAssembleTimeMatrix:
+    def test_complete_matrix_passes_through(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        assembled = monitor.assemble_time_matrix(raw_times(full5, hetero_times5))
+        off = full5.adjacency
+        np.testing.assert_allclose(assembled[off], hetero_times5[off])
+
+    def test_gap_filled_with_row_max(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=0.5)
+        raw = raw_times(full5, hetero_times5, missing=[(0, 1)])
+        assembled = monitor.assemble_time_matrix(raw)
+        # Worker 0's other links are all 2.0 -> conservative fill is 2.0.
+        assert assembled[0, 1] == pytest.approx(2.0)
+
+    def test_below_min_coverage_returns_none(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=1.0)
+        raw = raw_times(full5, hetero_times5, missing=[(0, 1)])
+        assert monitor.assemble_time_matrix(raw) is None
+
+    def test_worker_with_no_measurements_returns_none(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=0.1)
+        raw = raw_times(full5, hetero_times5)
+        raw[2, :] = np.nan
+        assert monitor.assemble_time_matrix(raw) is None
+
+    def test_non_edges_zeroed(self, hetero_times5):
+        topo = Topology.ring(5)
+        monitor = NetworkMonitor(topo)
+        raw = hetero_times5.astype(float).copy()
+        raw[~topo.adjacency] = np.nan
+        assembled = monitor.assemble_time_matrix(raw)
+        off_edges = ~topo.adjacency & ~np.eye(5, dtype=bool)
+        assert np.all(assembled[off_edges] == 0.0)
+
+    def test_wrong_shape_rejected(self, full5):
+        monitor = NetworkMonitor(full5)
+        with pytest.raises(ValueError, match="time matrix"):
+            monitor.assemble_time_matrix(np.zeros((3, 3)))
+
+
+class TestTick:
+    def test_publishes_policy_with_full_data(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        result = monitor.tick(raw_times(full5, hetero_times5), alpha=0.1)
+        assert result is not None
+        assert monitor.stats.policies_published == 1
+        assert monitor.last_result is result
+
+    def test_skips_on_insufficient_data(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=1.0)
+        raw = raw_times(full5, hetero_times5, missing=[(0, 1)])
+        assert monitor.tick(raw, alpha=0.1) is None
+        assert monitor.stats.skipped_insufficient_data == 1
+
+    def test_skips_on_infeasible_grid(self, full5, hetero_times5, monkeypatch):
+        import repro.core.monitor as monitor_module
+        from repro.core.policy import PolicyGenerationError
+
+        def boom(*args, **kwargs):
+            raise PolicyGenerationError("forced")
+
+        monkeypatch.setattr(monitor_module, "generate_policy", boom)
+        monitor = NetworkMonitor(full5)
+        assert monitor.tick(raw_times(full5, hetero_times5), alpha=0.1) is None
+        assert monitor.stats.skipped_infeasible == 1
+
+    def test_tick_counter(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        for _ in range(3):
+            monitor.tick(raw_times(full5, hetero_times5), alpha=0.1)
+        assert monitor.stats.ticks == 3
+
+    def test_invalid_min_coverage(self, full5):
+        with pytest.raises(ValueError, match="min_coverage"):
+            NetworkMonitor(full5, min_coverage=0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for the Section V data-partitioning regimes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import (
+    PAPER_CLOUD_LOST_LABELS,
+    PAPER_MNIST_LOST_LABELS,
+    paper_segment_layout,
+    partition_drop_labels,
+    partition_segments,
+    partition_uniform,
+)
+from repro.datasets.synthetic import make_classification
+
+
+@pytest.fixture
+def dataset(rng):
+    return make_classification(200, 6, 10, rng)
+
+
+class TestUniform:
+    def test_every_sample_exactly_once(self, dataset, rng):
+        shards = partition_uniform(dataset, 8, rng)
+        total = sum(len(s) for s in shards)
+        assert total == len(dataset)
+        all_rows = np.vstack([s.features for s in shards])
+        assert np.unique(all_rows, axis=0).shape[0] == len(dataset)
+
+    def test_sizes_balanced(self, dataset, rng):
+        shards = partition_uniform(dataset, 7, rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_many_workers_rejected(self, rng):
+        tiny = make_classification(10, 2, 2, rng)
+        with pytest.raises(ValueError, match="cannot split"):
+            partition_uniform(tiny, 20, rng)
+
+
+class TestSegmentLayout:
+    def test_paper_8_worker_layout(self):
+        assert paper_segment_layout(8) == (1, 1, 1, 1, 2, 1, 2, 1)
+
+    def test_paper_16_worker_layout(self):
+        layout = paper_segment_layout(16)
+        assert layout[:8] == (1,) * 8
+        assert layout[8:] == (2, 1, 2, 1, 2, 1, 2, 1)
+        assert sum(layout) == 20
+
+    def test_odd_counts_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            paper_segment_layout(7)
+
+
+class TestSegments:
+    def test_sizes_proportional_to_segments(self, dataset, rng):
+        shards = partition_segments(dataset, [1, 1, 2], rng)
+        assert len(shards[2]) == pytest.approx(2 * len(shards[0]), abs=2)
+
+    def test_every_sample_exactly_once(self, dataset, rng):
+        shards = partition_segments(dataset, [2, 3, 5], rng)
+        assert sum(len(s) for s in shards) == len(dataset)
+
+    def test_zero_segments_rejected(self, dataset, rng):
+        with pytest.raises(ValueError, match="at least one segment"):
+            partition_segments(dataset, [1, 0, 2], rng)
+
+    def test_too_many_segments_rejected(self, rng):
+        tiny = make_classification(4, 2, 2, rng)
+        with pytest.raises(ValueError, match="cannot cut"):
+            partition_segments(tiny, [3, 3], rng)
+
+
+class TestDropLabels:
+    def test_lost_labels_absent(self, dataset):
+        shards = partition_drop_labels(dataset, [(0, 1), (5,)])
+        assert not np.isin(shards[0].labels, [0, 1]).any()
+        assert not np.isin(shards[1].labels, [5]).any()
+
+    def test_kept_labels_complete(self, dataset):
+        shards = partition_drop_labels(dataset, [(0,)])
+        kept = (dataset.labels != 0).sum()
+        assert len(shards[0]) == kept
+
+    def test_num_classes_preserved(self, dataset):
+        shards = partition_drop_labels(dataset, [(0, 1, 2)])
+        assert shards[0].num_classes == dataset.num_classes
+
+    def test_paper_mnist_table(self, rng):
+        mnist_like = make_classification(400, 4, 10, rng)
+        shards = partition_drop_labels(mnist_like, PAPER_MNIST_LOST_LABELS)
+        assert len(shards) == 8
+        for shard, lost in zip(shards, PAPER_MNIST_LOST_LABELS):
+            histogram = shard.label_histogram()
+            assert all(histogram[label] == 0 for label in lost)
+            # Exactly 7 classes survive per worker.
+            assert (histogram > 0).sum() == 7
+
+    def test_paper_cloud_table(self, rng):
+        mnist_like = make_classification(400, 4, 10, rng)
+        shards = partition_drop_labels(mnist_like, PAPER_CLOUD_LOST_LABELS)
+        assert len(shards) == 6
+
+    def test_losing_all_labels_rejected(self, rng):
+        binary = make_classification(50, 2, 2, rng)
+        with pytest.raises(ValueError, match="every label"):
+            partition_drop_labels(binary, [(0, 1)])
+
+    def test_out_of_range_label_rejected(self, dataset):
+        with pytest.raises(ValueError, match="outside"):
+            partition_drop_labels(dataset, [(0, 99)])

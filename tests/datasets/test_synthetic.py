@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    DATASET_REGISTRY,
+    load_dataset,
+    make_classification,
+)
+
+
+class TestMakeClassification:
+    def test_shapes(self, rng):
+        ds = make_classification(100, 8, 5, rng)
+        assert ds.features.shape == (100, 8)
+        assert ds.labels.shape == (100,)
+        assert ds.num_classes == 5
+
+    def test_balanced_classes(self, rng):
+        ds = make_classification(100, 8, 4, rng)
+        histogram = ds.label_histogram()
+        assert histogram.min() >= 20  # 25 each up to noise-free balance
+
+    def test_every_class_present(self, rng):
+        ds = make_classification(20, 4, 10, rng)
+        assert np.all(ds.label_histogram() > 0)
+
+    def test_label_noise_bounds_agreement(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        clean = make_classification(2000, 8, 4, rng_a, label_noise=0.0)
+        noisy = make_classification(2000, 8, 4, rng_b, label_noise=0.3)
+        disagreement = np.mean(clean.labels != noisy.labels)
+        # 30% of labels are re-drawn uniformly; 3/4 of those actually change.
+        assert 0.15 < disagreement < 0.30
+
+    def test_separation_increases_separability(self, rng):
+        near = make_classification(400, 8, 2, np.random.default_rng(1), class_sep=0.1)
+        far = make_classification(400, 8, 2, np.random.default_rng(1), class_sep=10.0)
+
+        def centroid_gap(ds):
+            c0 = ds.features[ds.labels == 0].mean(axis=0)
+            c1 = ds.features[ds.labels == 1].mean(axis=0)
+            return np.linalg.norm(c0 - c1)
+
+        assert centroid_gap(far) > centroid_gap(near) * 2
+
+    def test_deterministic_in_rng(self):
+        a = make_classification(50, 4, 3, np.random.default_rng(7))
+        b = make_classification(50, 4, 3, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_samples": 5, "num_classes": 10},
+            {"num_classes": 1},
+            {"num_features": 0},
+            {"class_sep": 0.0},
+            {"label_noise": 1.0},
+        ],
+    )
+    def test_invalid_args(self, rng, kwargs):
+        defaults = dict(num_samples=100, num_features=4, num_classes=3)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            make_classification(rng=rng, **defaults)
+
+
+class TestRegistry:
+    def test_expected_datasets(self):
+        assert set(DATASET_REGISTRY) == {
+            "mnist", "cifar10", "cifar100", "tiny-imagenet", "imagenet"
+        }
+
+    def test_class_counts_match_paper(self):
+        assert DATASET_REGISTRY["mnist"].num_classes == 10
+        assert DATASET_REGISTRY["cifar10"].num_classes == 10
+        assert DATASET_REGISTRY["cifar100"].num_classes == 100
+        assert DATASET_REGISTRY["tiny-imagenet"].num_classes == 200
+        assert DATASET_REGISTRY["imagenet"].num_classes == 1000
+
+    def test_load_dataset_small(self, rng):
+        ds = load_dataset("cifar10", rng, num_samples=256)
+        assert len(ds) == 256
+        assert ds.num_classes == 10
+        assert ds.name == "cifar10-syn"
+
+    def test_syn_suffix_tolerated(self, rng):
+        ds = load_dataset("mnist-syn", rng, num_samples=64)
+        assert ds.num_classes == 10
+
+    def test_unknown_dataset(self, rng):
+        with pytest.raises(KeyError, match="valid"):
+            load_dataset("svhn", rng)
+
+    def test_difficulty_ordering(self, rng):
+        """Noise ceilings should make MNIST easiest and CIFAR100+ harder."""
+        assert (
+            DATASET_REGISTRY["mnist"].label_noise
+            < DATASET_REGISTRY["cifar10"].label_noise
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import downsample_series, format_seconds, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table(["name", "value"], [["a", 1.234], ["b", 5.0]])
+        assert "name" in text
+        assert "1.234" in text
+        assert "5.000" in text
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [[1.0]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_nan_and_inf_rendering(self):
+        text = render_table(["v"], [[float("nan")], [float("inf")]])
+        assert "-" in text
+        assert "inf" in text
+
+    def test_alignment_consistent(self):
+        text = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(5.0, "5.0s"), (119.0, "119.0s"), (600.0, "10.0min"), (7200.0, "2.0h")],
+    )
+    def test_units(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_nan_and_inf(self):
+        assert format_seconds(float("nan")) == "-"
+        assert format_seconds(float("inf")) == "inf"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestDownsample:
+    def test_short_series_untouched(self):
+        x = np.arange(5.0)
+        out_x, out_y = downsample_series(x, x, 10)
+        np.testing.assert_array_equal(out_x, x)
+
+    def test_long_series_thinned_keeping_endpoints(self):
+        x = np.arange(100.0)
+        out_x, _ = downsample_series(x, x, 10)
+        assert len(out_x) <= 10
+        assert out_x[0] == 0.0
+        assert out_x[-1] == 99.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            downsample_series(np.arange(3.0), np.arange(4.0), 2)

@@ -1,0 +1,104 @@
+"""Unit tests for scenario and workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import (
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    make_quadratic_workload,
+    make_workload,
+    multi_cloud_scenario,
+)
+from repro.network.links import DynamicSlowdownLinks, StaticLinks
+
+
+class TestScenarios:
+    def test_heterogeneous_default_is_dynamic(self):
+        scenario = heterogeneous_scenario(8)
+        assert isinstance(scenario.links, DynamicSlowdownLinks)
+        assert scenario.num_workers == 8
+        assert scenario.topology.is_connected()
+
+    def test_heterogeneous_static_option(self):
+        scenario = heterogeneous_scenario(4, dynamic=False)
+        assert isinstance(scenario.links, StaticLinks)
+
+    def test_heterogeneous_has_two_link_classes(self):
+        scenario = heterogeneous_scenario(8, dynamic=False)
+        matrix = scenario.links.bandwidth_matrix(0.0)
+        off = ~np.eye(8, dtype=bool)
+        assert len(np.unique(matrix[off])) == 2  # intra vs inter
+
+    def test_homogeneous_uniform_links(self):
+        scenario = homogeneous_scenario(6)
+        matrix = scenario.links.bandwidth_matrix(0.0)
+        off = ~np.eye(6, dtype=bool)
+        assert len(np.unique(matrix[off])) == 1
+
+    def test_multi_cloud_six_workers(self):
+        scenario = multi_cloud_scenario()
+        assert scenario.num_workers == 6
+
+
+class TestMakeWorkload:
+    def test_uniform_default(self):
+        workload = make_workload(num_workers=4, num_samples=512, seed=0)
+        assert workload.num_workers == 4
+        assert len(set(workload.batch_sizes)) == 1
+        assert workload.test_data is not None
+
+    def test_segment_batch_scaling(self):
+        workload = make_workload(
+            num_workers=4, num_samples=512, partition="segments",
+            segments_per_worker=[1, 1, 2, 1], batch_size=16, seed=0,
+        )
+        assert workload.batch_sizes == [16, 16, 32, 16]
+        assert len(workload.shards[2]) > len(workload.shards[0])
+
+    def test_drop_labels_partition(self):
+        workload = make_workload(
+            model="mobilenet", dataset="mnist", num_workers=2, num_samples=512,
+            partition="drop-labels", lost_labels=[(0, 1), (2, 3)], seed=0,
+        )
+        assert not np.isin(workload.shards[0].labels, [0, 1]).any()
+
+    def test_tasks_start_identical(self):
+        workload = make_workload(num_workers=3, num_samples=512, seed=0)
+        tasks = workload.make_tasks()
+        for task in tasks[1:]:
+            np.testing.assert_array_equal(
+                task.model.get_params(), tasks[0].model.get_params()
+            )
+
+    def test_make_tasks_independent_copies(self):
+        workload = make_workload(num_workers=2, num_samples=512, seed=0)
+        a = workload.make_tasks()
+        b = workload.make_tasks()
+        a[0].model.set_params(np.zeros(a[0].model.dim))
+        assert not np.allclose(b[0].model.get_params(), 0.0)
+
+    def test_segment_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            make_workload(
+                num_workers=4, num_samples=512, partition="segments",
+                segments_per_worker=[1, 2], seed=0,
+            )
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            make_workload(num_workers=2, num_samples=512, partition="zipf", seed=0)
+
+    def test_profile_matches_model(self):
+        workload = make_workload(model="vgg19", num_workers=2, num_samples=512, seed=0)
+        assert workload.profile.name == "vgg19"
+        assert workload.profile.param_count == 143_700_000
+
+
+class TestQuadraticWorkload:
+    def test_counts(self):
+        tasks, x_star, profile = make_quadratic_workload(4, dim=3, seed=1)
+        assert len(tasks) == 4
+        assert x_star.shape == (3,)
+        assert profile.name == "resnet18"
+        assert tasks[0].sampler is None

@@ -1,0 +1,139 @@
+"""Unit tests for repro.ml.data."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import BatchSampler, Dataset, train_test_split
+
+
+def make_dataset(n=20, d=3, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        features=rng.normal(size=(n, d)),
+        labels=rng.integers(0, classes, size=n),
+        num_classes=classes,
+        name="toy",
+    )
+
+
+class TestDataset:
+    def test_len_and_num_features(self):
+        ds = make_dataset(n=15, d=7)
+        assert len(ds) == 15
+        assert ds.num_features == 7
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), num_classes=2)
+
+    def test_one_dimensional_features_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(np.zeros(3), np.zeros(3, dtype=int), num_classes=2)
+
+    def test_labels_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), num_classes=3)
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Dataset(np.zeros((2, 2)), np.array([0, -1]), num_classes=3)
+
+    def test_num_classes_minimum(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), num_classes=1)
+
+    def test_subset_selects_rows(self):
+        ds = make_dataset()
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.features, ds.features[[1, 3, 5]])
+
+    def test_subset_keeps_num_classes(self):
+        ds = make_dataset(classes=4)
+        sub = ds.subset(np.array([0]))
+        assert sub.num_classes == 4
+
+    def test_label_histogram(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 0, 2, 1]), num_classes=3)
+        np.testing.assert_array_equal(ds.label_histogram(), [2, 1, 1])
+
+
+class TestBatchSampler:
+    def test_batch_shapes(self, rng):
+        sampler = BatchSampler(make_dataset(n=10), batch_size=4, rng=rng)
+        features, labels = sampler.next_batch()
+        assert features.shape == (4, 3)
+        assert labels.shape == (4,)
+
+    def test_epoch_covers_every_sample_once(self, rng):
+        ds = make_dataset(n=10)
+        sampler = BatchSampler(ds, batch_size=3, rng=rng)
+        seen = []
+        while sampler.epochs_completed == 0:
+            features, _ = sampler.next_batch()
+            seen.extend(features[:, 0].tolist())
+        assert sorted(seen) == sorted(ds.features[:, 0].tolist())
+
+    def test_final_batch_may_be_short(self, rng):
+        sampler = BatchSampler(make_dataset(n=10), batch_size=4, rng=rng)
+        sizes = [len(sampler.next_batch()[1]) for _ in range(3)]
+        assert sizes == [4, 4, 2]
+
+    def test_epoch_progress_fraction(self, rng):
+        sampler = BatchSampler(make_dataset(n=10), batch_size=5, rng=rng)
+        sampler.next_batch()
+        assert sampler.epoch_progress == pytest.approx(0.5)
+        sampler.next_batch()
+        assert sampler.epochs_completed == 1
+        assert sampler.epoch_progress == pytest.approx(1.0)
+
+    def test_samples_drawn_accumulates(self, rng):
+        sampler = BatchSampler(make_dataset(n=10), batch_size=4, rng=rng)
+        for _ in range(5):
+            sampler.next_batch()
+        assert sampler.samples_drawn == 4 + 4 + 2 + 4 + 4
+
+    def test_batch_size_capped_at_dataset(self, rng):
+        sampler = BatchSampler(make_dataset(n=5), batch_size=100, rng=rng)
+        assert sampler.batch_size == 5
+
+    def test_empty_dataset_rejected(self, rng):
+        empty = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), num_classes=2)
+        with pytest.raises(ValueError, match="empty"):
+            BatchSampler(empty, batch_size=1, rng=rng)
+
+    def test_invalid_batch_size_rejected(self, rng):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchSampler(make_dataset(), batch_size=0, rng=rng)
+
+    def test_reshuffles_between_epochs(self):
+        ds = make_dataset(n=32)
+        sampler = BatchSampler(ds, batch_size=32, rng=np.random.default_rng(3))
+        first, _ = sampler.next_batch()
+        second, _ = sampler.next_batch()
+        assert not np.array_equal(first, second)  # different permutations
+
+
+class TestTrainTestSplit:
+    def test_partition_is_exact(self, rng):
+        ds = make_dataset(n=20)
+        train, test = train_test_split(ds, 0.25, rng)
+        assert len(train) + len(test) == 20
+        assert len(test) == 5
+
+    def test_no_overlap(self, rng):
+        ds = make_dataset(n=20, d=1)
+        train, test = train_test_split(ds, 0.3, rng)
+        train_vals = set(train.features[:, 0].tolist())
+        test_vals = set(test.features[:, 0].tolist())
+        assert not train_vals & test_vals
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_fraction_rejected(self, rng, fraction):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), fraction, rng)
+
+    def test_at_least_one_test_sample(self, rng):
+        ds = make_dataset(n=20)
+        _, test = train_test_split(ds, 0.01, rng)
+        assert len(test) == 1

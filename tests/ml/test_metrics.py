@@ -1,0 +1,159 @@
+"""Unit tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    ExponentialMovingAverage,
+    accuracy,
+    log_softmax,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        out = softmax(logits)
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_positive(self):
+        out = softmax(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.all(out > 0)
+
+    def test_invariant_to_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 42.0))
+
+    def test_extreme_logits_stable(self):
+        out = softmax(np.array([[1e4, -1e4, 0.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_uniform_for_equal_logits(self):
+        out = softmax(np.zeros((1, 4)))
+        np.testing.assert_allclose(out, 0.25)
+
+    def test_single_row_shape(self):
+        out = softmax(np.array([1.0, 2.0]))
+        assert out.shape == (2,)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        logits = np.random.default_rng(0).normal(size=(6, 5))
+        np.testing.assert_allclose(log_softmax(logits), np.log(softmax(logits)), atol=1e-12)
+
+    def test_stable_for_large_values(self):
+        out = log_softmax(np.array([[1e5, 0.0]]))
+        assert np.all(np.isfinite(out))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-8)
+
+    def test_uniform_prediction_loss_is_log_c(self):
+        loss, _ = softmax_cross_entropy(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numeric = (
+                    softmax_cross_entropy(plus, labels)[0]
+                    - softmax_cross_entropy(minus, labels)[0]
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(5, 7))
+        labels = rng.integers(0, 7, size=5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            softmax_cross_entropy(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_all_wrong(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_fractional(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1, 1, 0])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestEMA:
+    def test_first_observation_initializes(self):
+        ema = ExponentialMovingAverage(beta=0.9)
+        assert ema.value is None
+        assert ema.update(5.0) == 5.0
+        assert ema.value == 5.0
+
+    def test_smoothing_formula(self):
+        ema = ExponentialMovingAverage(beta=0.8)
+        ema.update(1.0)
+        assert ema.update(2.0) == pytest.approx(0.8 * 1.0 + 0.2 * 2.0)
+
+    def test_count_increments(self):
+        ema = ExponentialMovingAverage()
+        for i in range(5):
+            ema.update(float(i))
+        assert ema.count == 5
+
+    def test_converges_to_constant_input(self):
+        ema = ExponentialMovingAverage(beta=0.5)
+        for _ in range(60):
+            ema.update(3.0)
+        assert ema.value == pytest.approx(3.0)
+
+    def test_small_beta_tracks_faster(self):
+        slow = ExponentialMovingAverage(beta=0.95)
+        fast = ExponentialMovingAverage(beta=0.3)
+        for value in [1.0] * 10 + [10.0] * 3:
+            slow.update(value)
+            fast.update(value)
+        assert fast.value > slow.value  # fast EMA reacted to the jump sooner
+
+    def test_reset(self):
+        ema = ExponentialMovingAverage()
+        ema.update(1.0)
+        ema.reset()
+        assert ema.value is None
+        assert ema.count == 0
+
+    @pytest.mark.parametrize("beta", [-0.1, 1.0, 1.5])
+    def test_invalid_beta_rejected(self, beta):
+        with pytest.raises(ValueError, match="beta"):
+            ExponentialMovingAverage(beta=beta)
+
+    def test_zero_beta_is_last_value(self):
+        ema = ExponentialMovingAverage(beta=0.0)
+        ema.update(1.0)
+        ema.update(7.0)
+        assert ema.value == 7.0

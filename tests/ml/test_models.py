@@ -1,0 +1,149 @@
+"""Unit tests for repro.ml.models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.models import (
+    MLPClassifier,
+    MODEL_HIDDEN_LAYERS,
+    SoftmaxRegression,
+    build_model,
+)
+
+
+def finite_diff_grad(model, features, labels, eps=1e-6):
+    base = model.get_params()
+    grad = np.zeros_like(base)
+    for i in range(len(base)):
+        plus = base.copy()
+        plus[i] += eps
+        model.set_params(plus)
+        loss_plus = model.loss(features, labels)
+        minus = base.copy()
+        minus[i] -= eps
+        model.set_params(minus)
+        loss_minus = model.loss(features, labels)
+        grad[i] = (loss_plus - loss_minus) / (2 * eps)
+    model.set_params(base)
+    return grad
+
+
+class TestSoftmaxRegression:
+    def test_param_roundtrip(self, rng):
+        model = SoftmaxRegression(4, 3, rng=rng)
+        params = rng.normal(size=model.dim)
+        model.set_params(params)
+        np.testing.assert_allclose(model.get_params(), params)
+
+    def test_dim(self):
+        model = SoftmaxRegression(4, 3)
+        assert model.dim == 4 * 3 + 3
+
+    def test_gradient_matches_finite_differences(self, rng):
+        model = SoftmaxRegression(3, 2, rng=rng)
+        features = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 2, size=6)
+        _, grad = model.loss_and_grad(features, labels)
+        numeric = finite_diff_grad(model, features, labels)
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_clone_is_independent(self, rng):
+        model = SoftmaxRegression(3, 2, rng=rng)
+        copy = model.clone()
+        copy.set_params(np.zeros(copy.dim))
+        assert not np.allclose(model.get_params(), 0.0)
+
+    def test_training_reduces_loss(self, rng):
+        model = SoftmaxRegression(2, 2, rng=rng)
+        features = np.vstack([rng.normal(-2, 0.5, (30, 2)), rng.normal(2, 0.5, (30, 2))])
+        labels = np.array([0] * 30 + [1] * 30)
+        initial = model.loss(features, labels)
+        for _ in range(100):
+            _, grad = model.loss_and_grad(features, labels)
+            model.set_params(model.get_params() - 0.5 * grad)
+        assert model.loss(features, labels) < initial / 2
+        assert model.accuracy(features, labels) > 0.9
+
+    def test_wrong_param_shape_rejected(self, rng):
+        model = SoftmaxRegression(3, 2, rng=rng)
+        with pytest.raises(ValueError, match="flat parameter vector"):
+            model.set_params(np.zeros(model.dim + 1))
+
+
+class TestMLPClassifier:
+    def test_param_roundtrip(self, rng):
+        model = MLPClassifier(4, 3, hidden=(8, 5), rng=rng)
+        params = rng.normal(size=model.dim)
+        model.set_params(params)
+        np.testing.assert_allclose(model.get_params(), params)
+
+    def test_dim_formula(self):
+        model = MLPClassifier(4, 3, hidden=(8,))
+        assert model.dim == (4 * 8 + 8) + (8 * 3 + 3)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        model = MLPClassifier(3, 2, hidden=(5,), rng=rng)
+        features = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 2, size=4)
+        _, grad = model.loss_and_grad(features, labels)
+        numeric = finite_diff_grad(model, features, labels)
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_deep_gradient_matches_finite_differences(self, rng):
+        model = MLPClassifier(3, 3, hidden=(6, 4), rng=rng)
+        features = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        _, grad = model.loss_and_grad(features, labels)
+        numeric = finite_diff_grad(model, features, labels)
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_logits_shape(self, rng):
+        model = MLPClassifier(4, 7, hidden=(6,), rng=rng)
+        assert model.predict_logits(rng.normal(size=(9, 4))).shape == (9, 7)
+
+    def test_clone_preserves_params(self, rng):
+        model = MLPClassifier(4, 3, hidden=(5,), rng=rng)
+        copy = model.clone()
+        np.testing.assert_allclose(copy.get_params(), model.get_params())
+        assert copy.hidden == model.hidden
+
+    def test_identical_seeds_identical_init(self):
+        a = MLPClassifier(4, 3, rng=np.random.default_rng(7))
+        b = MLPClassifier(4, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.get_params(), b.get_params())
+
+    def test_invalid_hidden_rejected(self):
+        with pytest.raises(ValueError, match="hidden"):
+            MLPClassifier(4, 3, hidden=(0,))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(0, 3)
+        with pytest.raises(ValueError):
+            MLPClassifier(4, 1)
+
+
+class TestBuildModel:
+    @pytest.mark.parametrize("name", sorted(MODEL_HIDDEN_LAYERS))
+    def test_all_zoo_entries_buildable(self, name, rng):
+        model = build_model(name, 8, 5, rng=rng)
+        assert model.dim > 0
+        assert model.hidden == MODEL_HIDDEN_LAYERS[name]
+
+    def test_case_insensitive(self, rng):
+        model = build_model("ResNet18", 8, 5, rng=rng)
+        assert model.hidden == MODEL_HIDDEN_LAYERS["resnet18"]
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError, match="valid"):
+            build_model("alexnet", 8, 5)
+
+    def test_capacity_ordering_preserved(self):
+        sizes = {
+            name: build_model(name, 32, 10).dim
+            for name in ("mobilenet", "googlenet", "resnet18", "resnet50", "vgg19")
+        }
+        assert (
+            sizes["mobilenet"] < sizes["googlenet"] < sizes["resnet18"]
+            < sizes["resnet50"] < sizes["vgg19"]
+        )

@@ -1,0 +1,163 @@
+"""Unit tests for repro.network.links."""
+
+import numpy as np
+import pytest
+
+from repro.network.cluster import ClusterSpec
+from repro.network.links import (
+    DynamicSlowdownLinks,
+    StaticLinks,
+    TraceLinks,
+    multi_cloud_links,
+)
+
+
+def make_static(num_workers=4, bandwidth=100.0, latency=0.001):
+    bw = np.full((num_workers, num_workers), bandwidth)
+    np.fill_diagonal(bw, np.inf)
+    lat = np.full((num_workers, num_workers), latency)
+    np.fill_diagonal(lat, 0.0)
+    return StaticLinks(bw, lat)
+
+
+class TestStaticLinks:
+    def test_point_queries(self):
+        links = make_static(bandwidth=50.0, latency=0.002)
+        assert links.bandwidth(0, 1, 123.0) == 50.0
+        assert links.latency(1, 2, 0.0) == 0.002
+
+    def test_from_cluster(self):
+        links = StaticLinks.from_cluster(ClusterSpec((2, 2)))
+        assert links.num_workers == 4
+        assert links.bandwidth(0, 1, 0.0) > links.bandwidth(0, 2, 0.0)
+
+    def test_bandwidth_matrix_snapshot(self):
+        links = make_static(num_workers=3)
+        matrix = links.bandwidth_matrix(0.0)
+        assert matrix.shape == (3, 3)
+        assert np.isinf(matrix[1, 1])
+
+    def test_rejects_nonpositive_bandwidth(self):
+        bw = np.ones((2, 2))
+        bw[0, 1] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            StaticLinks(bw, np.zeros((2, 2)))
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            StaticLinks(np.ones((2, 2)), -np.ones((2, 2)))
+
+    def test_out_of_range_pair(self):
+        links = make_static(num_workers=3)
+        with pytest.raises(ValueError, match="out of range"):
+            links.bandwidth(0, 9, 0.0)
+
+
+class TestDynamicSlowdownLinks:
+    def test_exactly_one_link_slowed(self):
+        dyn = DynamicSlowdownLinks(make_static(), period_s=10.0, seed=1)
+        slowed = dyn.slowed_links(5.0)
+        assert len(slowed) == 1
+        (pair, factor), = slowed.items()
+        assert 2.0 <= factor <= 100.0
+        assert pair[0] < pair[1]
+
+    def test_deterministic_in_time(self):
+        dyn = DynamicSlowdownLinks(make_static(), period_s=10.0, seed=1)
+        assert dyn.slowed_links(3.0) == dyn.slowed_links(7.0)
+        # A second instance with the same seed agrees.
+        dyn2 = DynamicSlowdownLinks(make_static(), period_s=10.0, seed=1)
+        assert dyn.slowed_links(3.0) == dyn2.slowed_links(3.0)
+
+    def test_rotation_changes_link_eventually(self):
+        dyn = DynamicSlowdownLinks(make_static(), period_s=10.0, seed=2)
+        pairs = {tuple(dyn.slowed_links(t).keys())[0] for t in (5.0, 15.0, 25.0, 35.0, 45.0)}
+        assert len(pairs) > 1
+
+    def test_bandwidth_divided_by_factor(self):
+        dyn = DynamicSlowdownLinks(
+            make_static(bandwidth=100.0), period_s=10.0,
+            slowdown_range=(4.0, 4.0), seed=3,
+        )
+        (a, b), = dyn.slowed_links(0.0).keys()
+        assert dyn.bandwidth(a, b, 0.0) == pytest.approx(25.0)
+        assert dyn.bandwidth(b, a, 0.0) == pytest.approx(25.0)  # undirected
+
+    def test_unaffected_links_keep_base_speed(self):
+        dyn = DynamicSlowdownLinks(make_static(bandwidth=100.0), period_s=10.0, seed=3)
+        slowed = set(dyn.slowed_links(0.0))
+        for a in range(4):
+            for b in range(a + 1, 4):
+                if (a, b) not in slowed:
+                    assert dyn.bandwidth(a, b, 0.0) == 100.0
+
+    def test_latency_passthrough(self):
+        dyn = DynamicSlowdownLinks(make_static(latency=0.005), period_s=10.0, seed=0)
+        assert dyn.latency(0, 1, 0.0) == 0.005
+
+    def test_negative_time_rejected(self):
+        dyn = DynamicSlowdownLinks(make_static(), period_s=10.0)
+        with pytest.raises(ValueError, match="time"):
+            dyn.bandwidth(0, 1, -1.0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError, match="slowdown_range"):
+            DynamicSlowdownLinks(make_static(), slowdown_range=(0.5, 2.0))
+
+    def test_multiple_slow_links(self):
+        dyn = DynamicSlowdownLinks(make_static(6), period_s=10.0, num_slow_links=3, seed=0)
+        assert len(dyn.slowed_links(0.0)) == 3
+
+
+class TestTraceLinks:
+    def make_trace(self):
+        fast = np.full((3, 3), 100.0)
+        slow = np.full((3, 3), 10.0)
+        latency = np.zeros((3, 3))
+        return TraceLinks([(0.0, fast), (50.0, slow)], latency)
+
+    def test_segment_selection(self):
+        trace = self.make_trace()
+        assert trace.bandwidth(0, 1, 0.0) == 100.0
+        assert trace.bandwidth(0, 1, 49.9) == 100.0
+        assert trace.bandwidth(0, 1, 50.0) == 10.0
+        assert trace.bandwidth(0, 1, 1e9) == 10.0
+
+    def test_self_link_free(self):
+        trace = self.make_trace()
+        assert np.isinf(trace.bandwidth(1, 1, 0.0))
+        assert trace.latency(1, 1, 0.0) == 0.0
+
+    def test_first_segment_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="time 0"):
+            TraceLinks([(1.0, np.ones((2, 2)))], np.zeros((2, 2)))
+
+    def test_segments_must_increase(self):
+        matrix = np.ones((2, 2))
+        with pytest.raises(ValueError, match="increasing"):
+            TraceLinks([(0.0, matrix), (5.0, matrix), (5.0, matrix)], np.zeros((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            TraceLinks([(0.0, np.ones((2, 2))), (1.0, np.ones((3, 3)))], np.zeros((2, 2)))
+
+
+class TestMultiCloudLinks:
+    def test_default_six_regions(self):
+        links = multi_cloud_links()
+        assert links.num_workers == 6
+
+    def test_same_continent_faster(self):
+        links = multi_cloud_links()
+        # us-west(0) <-> us-east(1) same group; us-west(0) <-> tokyo(5) cross.
+        assert links.bandwidth(0, 1, 0.0) > links.bandwidth(0, 5, 0.0)
+        assert links.latency(0, 1, 0.0) < links.latency(0, 5, 0.0)
+
+    def test_twelve_x_spread(self):
+        links = multi_cloud_links()
+        ratio = links.bandwidth(0, 1, 0.0) / links.bandwidth(0, 5, 0.0)
+        assert ratio == pytest.approx(12.0)
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError, match="unknown regions"):
+            multi_cloud_links(("us-west", "mars"))

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the load-bearing mathematical properties:
+
+- Theorem 3's structural claims (Y_P doubly stochastic, symmetric,
+  non-negative, lambda_2 < 1) for *arbitrary* feasible policies, not just
+  the ones Algorithm 3 happens to output;
+- LP feasibility: every solution of Eq. (14) satisfies Eq. (10)-(13);
+- partitioners: exact cover / label exclusion for random datasets;
+- EMA: output stays within observed bounds;
+- event engine: execution order is sorted by time regardless of insertion.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mixing import (
+    expected_mixing_matrix,
+    is_doubly_stochastic,
+    second_largest_eigenvalue,
+)
+from repro.core.policy import solve_policy_lp, t_interval
+from repro.datasets.partition import partition_drop_labels, partition_uniform
+from repro.datasets.synthetic import make_classification
+from repro.graph import Topology
+from repro.ml.metrics import ExponentialMovingAverage
+from repro.simulation.engine import Simulator
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+workers = st.integers(min_value=3, max_value=7)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def random_times(num_workers: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    times = np.exp(rng.uniform(np.log(0.05), np.log(5.0), (num_workers, num_workers)))
+    times = (times + times.T) / 2
+    np.fill_diagonal(times, 0.01)
+    return times
+
+
+# ---------------------------------------------------------------------------
+# Mixing-matrix properties (Theorem 3 structure)
+# ---------------------------------------------------------------------------
+
+
+class TestMixingProperties:
+    @given(m=workers, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_feasible_lp_policy_yields_doubly_stochastic_mixing(self, m, seed):
+        topology = Topology.fully_connected(m)
+        indicator = topology.indicator()
+        times = random_times(m, seed)
+        alpha = 0.1
+        # Choose rho safely inside the feasible band for this graph.
+        rho = 1.0 / (4.0 * alpha * (m - 1))
+        lower, upper = t_interval(times, indicator, alpha, rho)
+        if lower > upper:
+            return  # infeasible rho for this draw; nothing to check
+        policy = solve_policy_lp(times, indicator, alpha, rho, (lower + upper) / 2)
+        if policy is None:
+            return
+        mixing = expected_mixing_matrix(policy, indicator, alpha, rho)
+        assert np.allclose(mixing, mixing.T, atol=1e-9)
+        assert is_doubly_stochastic(mixing, atol=1e-6)
+        assert np.all(mixing >= -1e-9)
+        lambda2 = second_largest_eigenvalue(mixing)
+        assert lambda2 < 1.0 - 1e-9
+
+    @given(m=workers, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_lp_solution_satisfies_constraints(self, m, seed):
+        topology = Topology.fully_connected(m)
+        indicator = topology.indicator()
+        times = random_times(m, seed)
+        alpha = 0.1
+        rho = 1.0 / (4.0 * alpha * (m - 1))
+        lower, upper = t_interval(times, indicator, alpha, rho)
+        if lower > upper:
+            return
+        t_bar = lower + 0.37 * (upper - lower)
+        policy = solve_policy_lp(times, indicator, alpha, rho, t_bar)
+        if policy is None:
+            return
+        # Eq. 13 / Eq. 11 / Eq. 10 in turn.
+        assert np.allclose(policy.sum(axis=1), 1.0, atol=1e-8)
+        off = indicator > 0
+        assert np.all(policy[off] >= 2 * alpha * rho - 1e-9)
+        mean_times = np.sum(times * policy * indicator, axis=1)
+        assert np.allclose(mean_times, m * t_bar, rtol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Partitioner properties
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionProperties:
+    @given(
+        n=st.integers(min_value=20, max_value=200),
+        m=st.integers(min_value=1, max_value=10),
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_partition_exact_cover(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        dataset = make_classification(n, 3, 4, rng)
+        if n < m:
+            return
+        shards = partition_uniform(dataset, m, rng)
+        assert sum(len(s) for s in shards) == n
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        seed=seeds,
+        lost=st.lists(
+            st.sets(st.integers(min_value=0, max_value=9), min_size=1, max_size=5),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_drop_labels_never_leaks_lost_label(self, seed, lost):
+        rng = np.random.default_rng(seed)
+        dataset = make_classification(300, 3, 10, rng)
+        shards = partition_drop_labels(dataset, [tuple(s) for s in lost])
+        for shard, lost_set in zip(shards, lost):
+            assert not np.isin(shard.labels, sorted(lost_set)).any()
+
+
+# ---------------------------------------------------------------------------
+# EMA properties
+# ---------------------------------------------------------------------------
+
+
+class TestEMAProperties:
+    @given(
+        beta=st.floats(min_value=0.0, max_value=0.99),
+        values=st.lists(
+            st.floats(min_value=0.001, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ema_bounded_by_observations(self, beta, values):
+        ema = ExponentialMovingAverage(beta=beta)
+        for value in values:
+            ema.update(value)
+        assert min(values) - 1e-9 <= ema.value <= max(values) + 1e-9
+
+    @given(beta=st.floats(min_value=0.0, max_value=0.99), value=st.floats(0.1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_stream_is_fixed_point(self, beta, value):
+        ema = ExponentialMovingAverage(beta=beta)
+        for _ in range(10):
+            ema.update(value)
+        assert ema.value == pytest.approx(value)
+
+
+# ---------------------------------------------------------------------------
+# Event-engine properties
+# ---------------------------------------------------------------------------
+
+
+class TestEngineProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_execute_in_sorted_time_order(self, delays):
+        sim = Simulator()
+        executed = []
+        for delay in delays:
+            sim.schedule_at(delay, lambda d=delay: executed.append(d))
+        sim.run(until_time=1e7)
+        assert executed == sorted(executed)
+        assert len(executed) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30),
+        cutoff=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_until_time_is_respected(self, delays, cutoff):
+        sim = Simulator()
+        executed = []
+        for delay in delays:
+            sim.schedule_at(delay, lambda d=delay: executed.append(d))
+        sim.run(until_time=cutoff)
+        assert all(d <= cutoff for d in executed)
+        assert len(executed) == sum(1 for d in delays if d <= cutoff)

@@ -1,0 +1,123 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(3.0, lambda: order.append("c"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(2.0, lambda: order.append("b"))
+        sim.run(until_time=10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule_at(1.0, lambda n=name: order.append(n))
+        sim.run(until_time=10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run(until_time=10.0)
+        assert seen == [5.0]
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule_in(2.5, lambda: times.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run(until_time=10.0)
+        assert times == [1.0, 3.5]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run(until_time=10.0)
+        with pytest.raises(ValueError, match="cannot schedule"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_until_time_excludes_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(100.0, lambda: fired.append(2))
+        sim.run(until_time=50.0)
+        assert fired == [1]
+        assert sim.now == 50.0
+        assert sim.pending == 1
+
+    def test_clock_lands_on_until_time_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run(until_time=9.0)
+        assert sim.now == 9.0
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        count = [0]
+
+        def loop():
+            count[0] += 1
+            sim.schedule_in(1.0, loop)
+
+        sim.schedule_at(0.0, loop)
+        sim.run(max_events=7)
+        assert count[0] == 7
+
+    def test_stop_condition(self):
+        sim = Simulator()
+        count = [0]
+
+        def loop():
+            count[0] += 1
+            sim.schedule_in(1.0, loop)
+
+        sim.schedule_at(0.0, loop)
+        sim.run(until_time=1e9, stop_condition=lambda: count[0] >= 4)
+        assert count[0] == 4
+
+    def test_requires_some_stop_criterion(self):
+        with pytest.raises(ValueError, match="stop criterion"):
+            Simulator().run()
+
+    def test_step_returns_false_on_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run(until_time=10.0)
+        assert sim.events_processed == 3
+
+    def test_events_may_schedule_new_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule_in(1.0, lambda: chain(depth + 1))
+
+        sim.schedule_at(0.0, lambda: chain(0))
+        sim.run(until_time=10.0)
+        assert seen == [0, 1, 2, 3]

@@ -1,0 +1,139 @@
+"""Unit tests for training histories, cost tracking, and results."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.records import EpochCostTracker, TrainingHistory, TrainingResult
+
+
+class TestTrainingHistory:
+    def test_add_and_arrays(self):
+        history = TrainingHistory()
+        history.add(0.0, 0, 0.0, 2.3, 0.1)
+        history.add(10.0, 50, 1.0, 1.5, 0.4)
+        arrays = history.as_arrays()
+        np.testing.assert_allclose(arrays["time"], [0.0, 10.0])
+        np.testing.assert_allclose(arrays["train_loss"], [2.3, 1.5])
+        assert len(history) == 2
+
+    def test_times_must_be_monotone(self):
+        history = TrainingHistory()
+        history.add(5.0, 0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            history.add(4.0, 1, 0.1, 0.9)
+
+    def test_final_and_best(self):
+        history = TrainingHistory()
+        history.add(0.0, 0, 0.0, 2.0, 0.2)
+        history.add(1.0, 1, 0.1, 1.0, 0.6)
+        history.add(2.0, 2, 0.2, 1.2, 0.5)
+        assert history.final_loss() == 1.2
+        assert history.final_accuracy() == 0.5
+        assert history.best_accuracy() == 0.6
+
+    def test_best_accuracy_ignores_nan(self):
+        history = TrainingHistory()
+        history.add(0.0, 0, 0.0, 2.0)  # accuracy defaults to NaN
+        history.add(1.0, 1, 0.1, 1.0, 0.7)
+        assert history.best_accuracy() == 0.7
+
+    def test_time_to_loss(self):
+        history = TrainingHistory()
+        for t, loss in [(0.0, 2.0), (10.0, 1.0), (20.0, 0.4)]:
+            history.add(t, 0, 0.0, loss)
+        assert history.time_to_loss(1.0) == 10.0
+        assert history.time_to_loss(0.5) == 20.0
+        assert history.time_to_loss(0.1) == float("inf")
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TrainingHistory().final_loss()
+
+
+class TestEpochCostTracker:
+    def test_summary_decomposition(self):
+        tracker = EpochCostTracker(1)
+        for _ in range(4):
+            tracker.record_iteration(0, compute_time=0.5, duration=2.0)
+        tracker.record_epoch_boundary(0)
+        summary = tracker.summary()
+        assert summary["epoch_time"] == pytest.approx(8.0)
+        assert summary["computation_cost"] == pytest.approx(2.0)
+        assert summary["communication_cost"] == pytest.approx(6.0)
+
+    def test_partial_epoch_excluded_after_boundary(self):
+        tracker = EpochCostTracker(1)
+        tracker.record_iteration(0, 1.0, 1.0)
+        tracker.record_epoch_boundary(0)
+        tracker.record_iteration(0, 1.0, 100.0)  # partial second epoch
+        assert tracker.summary()["epoch_time"] == pytest.approx(1.0)
+
+    def test_no_boundary_falls_back_to_totals(self):
+        tracker = EpochCostTracker(2)
+        tracker.record_iteration(0, 1.0, 3.0)
+        tracker.record_iteration(1, 1.0, 5.0)
+        assert tracker.summary()["epoch_time"] == pytest.approx(4.0)
+
+    def test_averages_across_workers(self):
+        tracker = EpochCostTracker(2)
+        tracker.record_iteration(0, 1.0, 2.0)
+        tracker.record_iteration(1, 1.0, 6.0)
+        for worker in (0, 1):
+            tracker.record_epoch_boundary(worker)
+        assert tracker.summary()["epoch_time"] == pytest.approx(4.0)
+
+    def test_multiple_epochs_averaged(self):
+        tracker = EpochCostTracker(1)
+        tracker.record_iteration(0, 0.0, 2.0)
+        tracker.record_epoch_boundary(0)
+        tracker.record_iteration(0, 0.0, 4.0)
+        tracker.record_epoch_boundary(0)
+        assert tracker.summary()["epoch_time"] == pytest.approx(3.0)
+
+    def test_duration_shorter_than_compute_rejected(self):
+        tracker = EpochCostTracker(1)
+        with pytest.raises(ValueError, match="shorter"):
+            tracker.record_iteration(0, compute_time=2.0, duration=1.0)
+
+    def test_total_iterations(self):
+        tracker = EpochCostTracker(2)
+        tracker.record_iteration(0, 0.1, 0.1)
+        tracker.record_iteration(1, 0.1, 0.1)
+        tracker.record_iteration(1, 0.1, 0.1)
+        assert tracker.total_iterations == 3
+        np.testing.assert_array_equal(tracker.epochs_completed, [0, 0])
+
+    def test_worker_range_checked(self):
+        tracker = EpochCostTracker(2)
+        with pytest.raises(ValueError, match="out of range"):
+            tracker.record_iteration(3, 0.1, 0.1)
+        with pytest.raises(ValueError, match="out of range"):
+            tracker.record_epoch_boundary(3)
+
+
+class TestTrainingResult:
+    def make_result(self, params):
+        history = TrainingHistory()
+        history.add(0.0, 0, 0.0, 1.0)
+        return TrainingResult(
+            algorithm="test",
+            history=history,
+            costs=EpochCostTracker(params.shape[0]),
+            final_params=params,
+            sim_time=1.0,
+            global_steps=10,
+        )
+
+    def test_consensus_distance_zero_when_equal(self):
+        params = np.tile(np.array([1.0, 2.0]), (3, 1))
+        assert self.make_result(params).consensus_distance() == pytest.approx(0.0)
+
+    def test_consensus_distance_positive_when_spread(self):
+        params = np.array([[0.0, 0.0], [2.0, 0.0]])
+        result = self.make_result(params)
+        # Mean is (1, 0); each worker deviates by 1^2; mean over workers = 1.
+        assert result.consensus_distance() == pytest.approx(1.0)
+
+    def test_mean_params(self):
+        params = np.array([[0.0, 2.0], [2.0, 4.0]])
+        np.testing.assert_allclose(self.make_result(params).mean_params(), [1.0, 3.0])

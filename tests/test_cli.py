@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import FIGURE_FUNCTIONS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.algorithms == ["netmax", "adpsgd"]
+        assert args.workers == 8
+
+    def test_figure_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_every_paper_artifact_registered(self):
+        expected = {f"fig{n}" for n in (3, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                        14, 15, 16, 17, 18, 19)}
+        expected |= {"table2", "table3", "table5", "table6"}
+        assert set(FIGURE_FUNCTIONS) == expected
+
+
+class TestCommands:
+    def test_figure_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out
+        assert "[fig3]" in out
+
+    def test_compare_tiny(self, capsys):
+        code = main([
+            "compare", "--algorithms", "adpsgd", "allreduce",
+            "--model", "mobilenet", "--dataset", "mnist",
+            "--workers", "4", "--batch-size", "32",
+            "--samples", "512", "--sim-time", "15",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adpsgd" in out and "allreduce" in out
+
+    def test_policy_from_csv(self, tmp_path, capsys):
+        times = np.full((4, 4), 1.0)
+        times[0, 1] = times[1, 0] = 0.1
+        np.fill_diagonal(times, 0.05)
+        csv = tmp_path / "times.csv"
+        np.savetxt(csv, times, delimiter=",")
+        assert main(["policy", "--times", str(csv), "--alpha", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda2" in out
+
+    def test_policy_rejects_non_square(self, tmp_path, capsys):
+        csv = tmp_path / "bad.csv"
+        np.savetxt(csv, np.ones((2, 3)), delimiter=",")
+        assert main(["policy", "--times", str(csv)]) == 2
