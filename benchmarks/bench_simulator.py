@@ -1,10 +1,21 @@
-"""Micro-benchmark: discrete-event simulator throughput.
+"""Micro-benchmark: discrete-event simulator and trainer-loop throughput.
 
 Every training experiment rides on the event queue; this measures raw
 events/second on a self-rescheduling workload resembling the trainers'
-iteration loops.
+iteration loops, plus end-to-end trainer throughput on the paper's
+16-worker heterogeneous scenario with a data-free quadratic workload (so
+framework overhead, not model math, dominates -- the quantity the O(1)
+hot-path work targets).
 """
 
+import time
+
+from repro.algorithms.base import TrainerConfig
+from repro.algorithms.registry import create_trainer
+from repro.experiments.scenarios import (
+    heterogeneous_scenario,
+    make_quadratic_workload,
+)
 from repro.simulation.engine import Simulator
 
 
@@ -31,3 +42,55 @@ def test_simulator_throughput_small(benchmark):
 def test_simulator_throughput_many_chains(benchmark):
     executed = benchmark(chain_events, 64, 250)
     assert executed >= 16000
+
+
+def trainer_events(
+    algorithm: str,
+    num_workers: int = 16,
+    sim_time: float = 500.0,
+    **trainer_kwargs,
+) -> float:
+    """Run one trainer on the 16-worker scenario; return events/second.
+
+    The quadratic (sampler-less) workload keeps per-iteration model math in
+    the microsecond range, so this measures the per-event cost of the
+    trainer machinery itself: epoch/LR accounting, peer selection, flow
+    bookkeeping, and the event queue.
+    """
+    tasks, _, profile = make_quadratic_workload(num_workers, seed=1)
+    scenario = heterogeneous_scenario(num_workers, dynamic=False)
+    config = TrainerConfig(
+        max_sim_time=sim_time,
+        eval_interval_s=50.0,
+        seed=1,
+        max_epochs=500.0,
+        iterations_per_epoch_hint=50,
+    )
+    trainer = create_trainer(
+        algorithm, tasks, scenario.topology, scenario.links, profile, config,
+        **trainer_kwargs,
+    )
+    start = time.perf_counter()
+    trainer.run()
+    elapsed = time.perf_counter() - start
+    return trainer.sim.events_processed / elapsed
+
+
+def test_trainer_throughput_16_workers_adpsgd(benchmark, capsys):
+    events_per_s = benchmark.pedantic(
+        trainer_events, args=("adpsgd",), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print(f"\nadpsgd 16-worker trainer loop: {events_per_s:,.0f} events/s")
+    assert events_per_s > 0
+
+
+def test_trainer_throughput_16_workers_netmax(benchmark, capsys):
+    # adaptive=False: pure event loop, no Algorithm 3 LP solves in the way.
+    events_per_s = benchmark.pedantic(
+        trainer_events, args=("netmax",), kwargs={"adaptive": False},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print(f"\nnetmax 16-worker trainer loop: {events_per_s:,.0f} events/s")
+    assert events_per_s > 0

@@ -44,10 +44,15 @@ class ADPSGDTrainer(DecentralizedTrainer):
             np.random.default_rng(self.rng.integers(2**63))
             for _ in range(self.num_workers)
         ]
+        self._neighbor_cache = [
+            self.topology.neighbors(i) for i in range(self.num_workers)
+        ]
 
     def _choose_peer(self, worker: int) -> int:
-        neighbors = self.topology.neighbors(worker)
-        return int(self._selection_rngs[worker].choice(neighbors))
+        # Indexing with rng.integers draws the same stream as rng.choice on
+        # the cached neighbor array, without choice()'s per-call setup.
+        neighbors = self._neighbor_cache[worker]
+        return int(neighbors[self._selection_rngs[worker].integers(neighbors.size)])
 
     def _setup(self) -> None:
         for i in range(self.num_workers):

@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 import copy
 from dataclasses import dataclass, field, replace
+from functools import partial
 
 import numpy as np
 
@@ -33,6 +34,11 @@ from repro.simulation.engine import Simulator
 from repro.simulation.records import EpochCostTracker, TrainingHistory, TrainingResult
 
 __all__ = ["WorkerTask", "TrainerConfig", "DecentralizedTrainer"]
+
+# Seed-sequence tag separating the evaluation subsample stream from the
+# training streams, so providing (or resizing) test data never perturbs
+# worker seeding or any other training randomness.
+_TEST_SUBSAMPLE_STREAM = 0x7E57
 
 
 class WorkerTask:
@@ -51,14 +57,21 @@ class WorkerTask:
         self.model = model
         self.sampler = sampler
         self.iterations = 0
+        # Set by the owning trainer so epoch-progress accounting stays O(1):
+        # called after every drawn sample, when progress has just advanced.
+        self.progress_hook = None
 
     def sample_loss_and_grad(self) -> tuple[float, np.ndarray]:
         """Draw a minibatch (if any) and return loss + flat gradient."""
         self.iterations += 1
         if self.sampler is None:
-            return self.model.loss_and_grad()
-        features, labels = self.sampler.next_batch()
-        return self.model.loss_and_grad(features, labels)
+            result = self.model.loss_and_grad()
+        else:
+            features, labels = self.sampler.next_batch()
+            result = self.model.loss_and_grad(features, labels)
+        if self.progress_hook is not None:
+            self.progress_hook()
+        return result
 
     @property
     def batch_size(self) -> int | None:
@@ -171,10 +184,25 @@ class DecentralizedTrainer(abc.ABC):
         self.sim = Simulator()
         self.history = TrainingHistory()
         self.costs = EpochCostTracker(len(tasks))
-        self._epoch_boundaries_seen = np.zeros(len(tasks), dtype=np.int64)
+        self._epoch_boundaries_seen = [0] * len(tasks)
         self._eval_model = tasks[0].model.clone()
         self._test_data = self._subsample_test(test_data)
         self._probes = [self._make_probe(task) for task in tasks]
+        # O(1) per-event accounting: epoch progress and iteration totals are
+        # maintained incrementally through each task's progress hook instead
+        # of an O(M) pass over all workers before every simulator event.
+        self._epoch_hint = self.config.iterations_per_epoch_hint
+        self._progress = [task.epoch_progress(self._epoch_hint) for task in tasks]
+        self._progress_sum = float(sum(self._progress))
+        self._iterations_total = int(sum(task.iterations for task in tasks))
+        self._lr_value = self.config.lr_schedule.lr(self._progress_sum / len(tasks))
+        self._lr_dirty = False
+        for index, task in enumerate(tasks):
+            task.progress_hook = partial(self._on_task_progress, index)
+        self._worker_batches = [
+            task.batch_size if task.batch_size is not None else profile.reference_batch
+            for task in tasks
+        ]
 
     # -- construction helpers -------------------------------------------------
 
@@ -190,7 +218,10 @@ class DecentralizedTrainer(abc.ABC):
             raise ValueError("test features and labels disagree on sample count")
         cap = self.config.eval_max_samples
         if features.shape[0] > cap:
-            idx = self.rng.choice(features.shape[0], size=cap, replace=False)
+            # A dedicated stream (not self.rng): training randomness must be
+            # invariant to whether and how much test data was provided.
+            eval_rng = np.random.default_rng([self.config.seed, _TEST_SUBSAMPLE_STREAM])
+            idx = eval_rng.choice(features.shape[0], size=cap, replace=False)
             return features[idx], labels[idx]
         return features, labels
 
@@ -212,32 +243,44 @@ class DecentralizedTrainer(abc.ABC):
         return self.profile.message_bytes
 
     def worker_batch_size(self, worker: int) -> int:
-        batch = self.tasks[worker].batch_size
-        return batch if batch is not None else self.profile.reference_batch
+        return self._worker_batches[worker]
 
     def compute_time(self, worker: int) -> float:
         """Local gradient computation time ``C_i`` for one iteration."""
-        return self.compute_model.compute_time(worker, self.worker_batch_size(worker))
+        return self.compute_model.compute_time(worker, self._worker_batches[worker])
 
     def mean_epoch(self) -> float:
-        hint = self.config.iterations_per_epoch_hint
-        return float(np.mean([task.epoch_progress(hint) for task in self.tasks]))
+        """Mean epoch progress across workers, maintained incrementally."""
+        return self._progress_sum / len(self.tasks)
 
     def current_lr(self) -> float:
-        return self.config.lr_schedule.lr(self.mean_epoch())
+        if self._lr_dirty:
+            self._lr_value = self.config.lr_schedule.lr(
+                self._progress_sum / len(self.tasks)
+            )
+            self._lr_dirty = False
+        return self._lr_value
 
     def total_iterations(self) -> int:
-        return int(sum(task.iterations for task in self.tasks))
+        return self._iterations_total
 
     def params_matrix(self) -> np.ndarray:
         return np.stack([task.model.get_params() for task in self.tasks])
 
     # -- accounting --------------------------------------------------------------
 
+    def _on_task_progress(self, worker: int) -> None:
+        """Progress hook: one task just drew a sample (O(1) bookkeeping)."""
+        progress = self.tasks[worker].epoch_progress(self._epoch_hint)
+        self._progress_sum += progress - self._progress[worker]
+        self._progress[worker] = progress
+        self._iterations_total += 1
+        self._lr_dirty = True
+
     def record_iteration(self, worker: int, compute_time: float, duration: float) -> None:
         """Book one finished local iteration into the cost tracker."""
         self.costs.record_iteration(worker, compute_time, duration)
-        completed = self.tasks[worker].epochs_completed(self.config.iterations_per_epoch_hint)
+        completed = self.tasks[worker].epochs_completed(self._epoch_hint)
         while self._epoch_boundaries_seen[worker] < completed:
             self.costs.record_epoch_boundary(worker)
             self._epoch_boundaries_seen[worker] += 1
@@ -271,6 +314,8 @@ class DecentralizedTrainer(abc.ABC):
             test_accuracy=self.test_accuracy(),
         )
         self.config.lr_schedule.observe_loss(loss)
+        # Loss-adaptive schedules may have changed their rate.
+        self._lr_dirty = True
 
     def _evaluation_event(self) -> None:
         self.evaluate()
@@ -303,7 +348,12 @@ class DecentralizedTrainer(abc.ABC):
             max_events=self.config.max_events,
             stop_condition=self._should_stop,
         )
-        self.evaluate()
+        # The run may have halted right after a scheduled evaluation (e.g. a
+        # max_epochs or max_events stop); re-evaluating at the same virtual
+        # time would duplicate the history point and double-feed
+        # loss-adaptive LR schedules, biasing plateau detection.
+        if not self.history.times or self.history.times[-1] != self.sim.now:
+            self.evaluate()
         return TrainingResult(
             algorithm=self.name,
             history=self.history,

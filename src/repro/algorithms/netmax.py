@@ -38,6 +38,12 @@ class NetMaxTrainer(DecentralizedTrainer):
         ema_beta: smoothing factor of the iteration-time EMA (line 21).
         policy_outer_rounds / policy_inner_rounds: Algorithm 3's ``K``/``R``.
         policy_epsilon: accuracy target in the convergence-time prediction.
+        monitor_min_coverage: fraction of neighbor pairs that must have a
+            time measurement before the monitor publishes. Strictly below 1:
+            waiting for *every* directed pair makes the first policy hostage
+            to the slowest unprobed link (a coupon-collector tail measured in
+            slow-link round trips), leaving whole runs stuck on the uniform
+            fallback; the monitor's conservative gap-filling covers the rest.
         initial_rho: consensus weight before the first policy arrives;
             defaults to ``1 / (4 * alpha_0 * max_degree)``, which keeps the
             pull coefficient ``alpha rho / p_im`` at most 1/4 under the
@@ -56,6 +62,7 @@ class NetMaxTrainer(DecentralizedTrainer):
         policy_outer_rounds: int = 8,
         policy_inner_rounds: int = 8,
         policy_epsilon: float = 1e-2,
+        monitor_min_coverage: float = 0.9,
         initial_rho: float | None = None,
         **kwargs,
     ):
@@ -87,6 +94,7 @@ class NetMaxTrainer(DecentralizedTrainer):
             outer_rounds=policy_outer_rounds,
             inner_rounds=policy_inner_rounds,
             epsilon=policy_epsilon,
+            min_coverage=monitor_min_coverage,
         )
         self.policies_adopted = 0
 

@@ -70,10 +70,13 @@ class SAPSTrainer(ADPSGDTrainer):
         self.fixed_subgraph = initially_fast_subgraph(
             self.topology, bandwidth_now, extra_edges=extra_edges
         )
+        self._neighbor_cache = [
+            self.fixed_subgraph.neighbors(i) for i in range(self.num_workers)
+        ]
 
     def _choose_peer(self, worker: int) -> int:
-        neighbors = self.fixed_subgraph.neighbors(worker)
-        return int(self._selection_rngs[worker].choice(neighbors))
+        neighbors = self._neighbor_cache[worker]
+        return int(neighbors[self._selection_rngs[worker].integers(neighbors.size)])
 
     def _extras(self) -> dict:
         return {"fixed_subgraph_edges": self.fixed_subgraph.edges()}

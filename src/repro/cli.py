@@ -6,9 +6,17 @@ Examples::
     python -m repro compare --algorithms netmax adpsgd allreduce \
         --model resnet18 --dataset cifar10 --workers 8 --sim-time 300
 
-    # Regenerate one paper artifact at a chosen scale
+    # Regenerate one paper artifact at a chosen scale (optionally in
+    # parallel across processes)
     python -m repro figure fig3
-    python -m repro figure fig8 --sim-time 240 --samples 2048
+    python -m repro figure fig8 --sim-time 240 --samples 2048 --parallel 4
+
+    # Run a declarative sweep grid (algorithms x seeds x scenarios) across
+    # processes, with on-disk result caching; --dry-run lists the cells
+    python -m repro sweep --algorithms netmax adpsgd --seeds 0 1 2 3 \
+        --scenarios heterogeneous homogeneous --workers 8 \
+        --parallel 4 --cache-dir .sweep-cache
+    python -m repro sweep --algorithms netmax adpsgd --seeds 0 1 --dry-run
 
     # Solve a communication policy for a measured time matrix (CSV)
     python -m repro policy --times times.csv --alpha 0.1
@@ -17,6 +25,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 import numpy as np
@@ -30,6 +39,15 @@ from repro.experiments import (
     render_table,
     run_comparison,
     time_to_loss_speedups,
+)
+from repro.experiments.sweeps import (
+    SCENARIO_KINDS,
+    RunSpec,
+    ScenarioSpec,
+    SweepSpec,
+    WorkloadSpec,
+    aggregate_sweep,
+    run_sweep,
 )
 from repro.core.policy import generate_policy
 from repro.graph import Topology
@@ -84,6 +102,31 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--sim-time", type=float, default=None)
     figure.add_argument("--samples", type=int, default=None)
     figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--parallel", type=int, default=0,
+                        help="worker processes for the figure's training runs")
+
+    sweep = sub.add_parser(
+        "sweep", help="run an algorithm x seed x scenario grid, in parallel"
+    )
+    sweep.add_argument("--algorithms", nargs="+", default=["netmax", "adpsgd"])
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2, 3])
+    sweep.add_argument("--scenarios", nargs="+", choices=sorted(SCENARIO_KINDS),
+                       default=["heterogeneous"])
+    sweep.add_argument("--workers", type=int, default=8)
+    sweep.add_argument("--model", default="mobilenet")
+    sweep.add_argument("--dataset", default="mnist")
+    sweep.add_argument("--batch-size", type=int, default=32)
+    sweep.add_argument("--samples", type=int, default=512)
+    sweep.add_argument("--sim-time", type=float, default=60.0)
+    sweep.add_argument("--max-epochs", type=float, default=None)
+    sweep.add_argument("--parallel", type=int, default=0,
+                       help="worker processes (0/1 = sequential)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk result cache")
+    sweep.add_argument("--force", action="store_true",
+                       help="re-run cells even when cached")
+    sweep.add_argument("--dry-run", action="store_true",
+                       help="list the grid cells without running anything")
 
     policy = sub.add_parser("policy", help="run Algorithm 3 on a time matrix")
     policy.add_argument("--times", required=True, help="CSV file, MxM iteration times")
@@ -143,10 +186,60 @@ def _run_figure(args: argparse.Namespace) -> int:
         kwargs["max_sim_time"] = args.sim_time
     if args.samples is not None:
         kwargs["num_samples"] = args.samples
+    if args.parallel > 1:
+        if "parallel" in inspect.signature(function).parameters:
+            kwargs["parallel"] = args.parallel
+        else:
+            print(f"note: {args.name} does not support --parallel; "
+                  "running sequentially", file=sys.stderr)
     if args.name == "fig3":  # takes no scale arguments
         kwargs = {}
     output = function(**kwargs)
     print(output.render())
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.algorithms.registry import trainer_names
+
+    unknown = [a for a in args.algorithms if a.lower() not in trainer_names()]
+    if unknown:
+        # Validate upfront so --dry-run is a trustworthy preflight.
+        print(f"error: unknown algorithm(s) {unknown}; valid: {trainer_names()}",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = SweepSpec(
+            algorithms=tuple(args.algorithms),
+            seeds=tuple(args.seeds),
+            scenarios=tuple(
+                ScenarioSpec(kind=kind, num_workers=args.workers)
+                for kind in args.scenarios
+            ),
+            workload=WorkloadSpec(
+                model=args.model,
+                dataset=args.dataset,
+                batch_size=args.batch_size,
+                num_samples=args.samples,
+            ),
+            run=RunSpec(max_sim_time=args.sim_time, max_epochs=args.max_epochs),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cells = spec.cells()
+    if args.dry_run:
+        print(render_table(
+            ["algorithm", "seed", "scenario", "cache_key"],
+            [[c.algorithm, c.seed, c.scenario.label(), c.cache_key()[:12]]
+             for c in cells],
+            title=f"sweep grid: {len(cells)} cell(s) (dry run)",
+        ))
+        return 0
+    sweep = run_sweep(
+        spec, parallel=args.parallel, cache_dir=args.cache_dir, force=args.force
+    )
+    print(aggregate_sweep(sweep).render())
     return 0
 
 
@@ -178,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_compare(args)
     if args.command == "figure":
         return _run_figure(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "policy":
         return _run_policy(args)
     raise AssertionError(f"unhandled command {args.command!r}")

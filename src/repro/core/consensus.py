@@ -82,6 +82,7 @@ class ConsensusWorker:
             probabilities = np.zeros(num_workers)
             probabilities[neighbors] = 1.0 / neighbors.size
         self.probabilities = self._validate_row(probabilities)
+        self._refresh_cdf()
         self._pending: tuple[np.ndarray, float] | None = None
         # Diagnostics: how often the pull coefficient had to be clipped below
         # 1 (only possible when a stale policy meets a larger learning rate).
@@ -105,6 +106,14 @@ class ConsensusWorker:
         row = np.clip(row, 0.0, None)
         return row / row.sum()
 
+    def _refresh_cdf(self) -> None:
+        """Cache the selection CDF; rebuilt only when the row changes, so
+        choose_peer is one uniform draw + searchsorted per iteration (the
+        same stream rng.choice(p=row) would consume)."""
+        cdf = self.probabilities.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
+
     # -- policy management (Algorithm 2, lines 5-8) ---------------------------
 
     def stage_policy(self, row: np.ndarray, rho: float) -> None:
@@ -118,6 +127,7 @@ class ConsensusWorker:
         if self._pending is None:
             return False
         self.probabilities, self.rho = self._pending
+        self._refresh_cdf()
         self._pending = None
         return True
 
@@ -125,7 +135,7 @@ class ConsensusWorker:
 
     def choose_peer(self) -> int:
         """Line 9: sample a peer (possibly self) from the probability row."""
-        return int(self._rng.choice(self.num_workers, p=self.probabilities))
+        return int(self._cdf.searchsorted(self._rng.random(), side="right"))
 
     def local_gradient_step(self, grad: np.ndarray, lr: float) -> None:
         """Line 11: first update, ``x <- x - alpha * grad`` with momentum."""

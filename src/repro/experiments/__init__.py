@@ -16,8 +16,20 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.harness import (
     run_trainer,
+    run_trainer_jobs,
     run_comparison,
     time_to_loss_speedups,
+)
+from repro.experiments.sweeps import (
+    ScenarioSpec,
+    WorkloadSpec,
+    RunSpec,
+    SweepSpec,
+    SweepResult,
+    ResultCache,
+    run_sweep,
+    aggregate_sweep,
+    parallel_map,
 )
 from repro.experiments.reporting import render_table, format_seconds
 from repro.experiments.common import ExperimentOutput, Series
@@ -57,8 +69,18 @@ __all__ = [
     "make_workload",
     "make_quadratic_workload",
     "run_trainer",
+    "run_trainer_jobs",
     "run_comparison",
     "time_to_loss_speedups",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "RunSpec",
+    "SweepSpec",
+    "SweepResult",
+    "ResultCache",
+    "run_sweep",
+    "aggregate_sweep",
+    "parallel_map",
     "render_table",
     "format_seconds",
     "ExperimentOutput",

@@ -12,7 +12,12 @@ import numpy as np
 
 from repro.algorithms.base import TrainerConfig
 from repro.experiments.common import ExperimentOutput, Series
-from repro.experiments.harness import run_comparison, run_trainer, time_to_loss_speedups
+from repro.experiments.harness import (
+    run_comparison,
+    run_trainer,
+    run_trainer_jobs,
+    time_to_loss_speedups,
+)
 from repro.experiments.scenarios import (
     heterogeneous_scenario,
     homogeneous_scenario,
@@ -84,6 +89,7 @@ def _epoch_time_rows(
     max_sim_time: float,
     seed: int,
     algorithms: tuple[str, ...],
+    parallel: int = 0,
 ) -> tuple[list[list[object]], dict]:
     scenario = (
         heterogeneous_scenario(num_workers, seed=seed)
@@ -95,7 +101,9 @@ def _epoch_time_rows(
         num_samples=num_samples, seed=seed,
     )
     config = _default_config(max_sim_time, seed)
-    results = run_comparison(list(algorithms), scenario, workload, config)
+    results = run_comparison(
+        list(algorithms), scenario, workload, config, parallel=parallel
+    )
     rows = []
     for name in algorithms:
         summary = results[name].costs.summary()
@@ -117,12 +125,14 @@ def figure5_epoch_time_heterogeneous(
     max_sim_time: float = 300.0,
     seed: int = 0,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 5: epoch-time decomposition, heterogeneous network, 8 workers."""
     rows = []
     for model in models:
         model_rows, _ = _epoch_time_rows(
-            model, True, num_workers, num_samples, max_sim_time, seed, algorithms
+            model, True, num_workers, num_samples, max_sim_time, seed,
+            algorithms, parallel,
         )
         rows.extend([[model, *r] for r in model_rows])
     return ExperimentOutput(
@@ -144,12 +154,14 @@ def figure6_epoch_time_homogeneous(
     max_sim_time: float = 300.0,
     seed: int = 0,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 6: same decomposition on the homogeneous 10 Gbps network."""
     rows = []
     for model in models:
         model_rows, _ = _epoch_time_rows(
-            model, False, num_workers, num_samples, max_sim_time, seed, algorithms
+            model, False, num_workers, num_samples, max_sim_time, seed,
+            algorithms, parallel,
         )
         rows.extend([[model, *r] for r in model_rows])
     return ExperimentOutput(
@@ -170,6 +182,7 @@ def figure7_ablation(
     num_samples: int = 4096,
     max_sim_time: float = 300.0,
     seed: int = 0,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 7: serial/parallel x uniform/adaptive NetMax ablation."""
     settings = [
@@ -178,7 +191,8 @@ def figure7_ablation(
         ("serial+adaptive", {"overlap": False, "adaptive": True}),
         ("parallel+adaptive", {"overlap": True, "adaptive": True}),
     ]
-    rows = []
+    jobs = []
+    labels = []
     for model in models:
         scenario = heterogeneous_scenario(num_workers, seed=seed)
         workload = make_workload(
@@ -187,8 +201,13 @@ def figure7_ablation(
         )
         for label, kwargs in settings:
             config = _default_config(max_sim_time, seed)
-            result = run_trainer("netmax", scenario, workload, config, **kwargs)
-            rows.append([model, label, result.costs.summary()["epoch_time"]])
+            jobs.append(("netmax", scenario, workload, config, 0, kwargs))
+            labels.append((model, label))
+    results = run_trainer_jobs(jobs, parallel=parallel)
+    rows = [
+        [model, label, result.costs.summary()["epoch_time"]]
+        for (model, label), result in zip(labels, results)
+    ]
     return ExperimentOutput(
         experiment_id="fig7",
         title="NetMax source-of-improvement ablation (average epoch time)",
@@ -210,6 +229,7 @@ def _loss_vs_time(
     seed: int,
     algorithms: tuple[str, ...],
     experiment_id: str,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     scenario = (
         heterogeneous_scenario(num_workers, seed=seed)
@@ -221,7 +241,9 @@ def _loss_vs_time(
         num_samples=num_samples, seed=seed,
     )
     config = _default_config(max_sim_time, seed)
-    results = run_comparison(list(algorithms), scenario, workload, config)
+    results = run_comparison(
+        list(algorithms), scenario, workload, config, parallel=parallel
+    )
     series = [
         Series(name, results[name].history.as_arrays()["time"],
                results[name].history.as_arrays()["train_loss"])
@@ -250,10 +272,12 @@ def figure8_loss_vs_time_heterogeneous(
     max_sim_time: float = 300.0,
     seed: int = 0,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 8: loss vs time, heterogeneous network."""
     return _loss_vs_time(
-        model, True, num_workers, num_samples, max_sim_time, seed, algorithms, "fig8"
+        model, True, num_workers, num_samples, max_sim_time, seed, algorithms,
+        "fig8", parallel,
     )
 
 
@@ -264,10 +288,12 @@ def figure9_loss_vs_time_homogeneous(
     max_sim_time: float = 300.0,
     seed: int = 0,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 9: loss vs time, homogeneous network."""
     return _loss_vs_time(
-        model, False, num_workers, num_samples, max_sim_time, seed, algorithms, "fig9"
+        model, False, num_workers, num_samples, max_sim_time, seed, algorithms,
+        "fig9", parallel,
     )
 
 
@@ -281,6 +307,7 @@ def _scalability(
     algorithms: tuple[str, ...],
     experiment_id: str,
     max_sim_time: float,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Speedup = baseline time / own time to finish ``target_epochs``.
 
@@ -292,7 +319,8 @@ def _scalability(
             "scalability figures use allreduce at the smallest worker count "
             "as their baseline (Section V-E); include it in `algorithms`"
         )
-    times: dict[tuple[str, int], float] = {}
+    jobs = []
+    keys = []
     for workers in worker_counts:
         scenario = (
             heterogeneous_scenario(workers, seed=seed)
@@ -307,8 +335,10 @@ def _scalability(
             config = _default_config(max_sim_time, seed).with_overrides(
                 max_epochs=target_epochs
             )
-            result = run_trainer(name, scenario, workload, config)
-            times[(name, workers)] = result.sim_time
+            jobs.append((name, scenario, workload, config, 0, {}))
+            keys.append((name, workers))
+    results = run_trainer_jobs(jobs, parallel=parallel)
+    times = {key: result.sim_time for key, result in zip(keys, results)}
     baseline = times[("allreduce", worker_counts[0])]
     rows = [
         [name, workers, times[(name, workers)], baseline / times[(name, workers)]]
@@ -334,11 +364,12 @@ def figure10_scalability_heterogeneous(
     seed: int = 0,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     max_sim_time: float = 1200.0,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 10: heterogeneous-network scalability."""
     return _scalability(
         True, worker_counts, model, target_epochs, num_samples, seed,
-        algorithms, "fig10", max_sim_time,
+        algorithms, "fig10", max_sim_time, parallel,
     )
 
 
@@ -350,9 +381,10 @@ def figure11_scalability_homogeneous(
     seed: int = 0,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     max_sim_time: float = 1200.0,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 11: homogeneous-network scalability."""
     return _scalability(
         False, worker_counts, model, target_epochs, num_samples, seed,
-        algorithms, "fig11", max_sim_time,
+        algorithms, "fig11", max_sim_time, parallel,
     )

@@ -51,6 +51,7 @@ def nonuniform_loss_curves(
     decay_epoch: float = 40.0,
     seed: int = 0,
     algorithms: tuple[str, ...] = _NONIID_ALGORITHMS,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Section V-F recipe: segment partition, batch = base x segments.
 
@@ -75,7 +76,9 @@ def nonuniform_loss_curves(
         lr_schedule=StepDecayLR(0.1, milestones=(decay_epoch,)),
         seed=seed,
     )
-    results = run_comparison(list(algorithms), scenario, workload, config)
+    results = run_comparison(
+        list(algorithms), scenario, workload, config, parallel=parallel
+    )
     series = []
     for name in algorithms:
         arrays = results[name].history.as_arrays()
@@ -134,6 +137,7 @@ def figure14_mobilenet_cifar100(
     num_samples: int = 8192,
     max_sim_time: float = 300.0,
     seed: int = 0,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 14 / Section V-G: MobileNet on CIFAR100 incl. PS baselines."""
     algorithms = ("prague", "allreduce", "adpsgd", "ps-syn", "ps-asyn", "netmax")
@@ -155,7 +159,9 @@ def figure14_mobilenet_cifar100(
         lr_schedule=StepDecayLR(0.1, milestones=(40.0,)),
         seed=seed,
     )
-    results = run_comparison(list(algorithms), scenario, workload, config)
+    results = run_comparison(
+        list(algorithms), scenario, workload, config, parallel=parallel
+    )
     series = []
     for name in algorithms:
         arrays = results[name].history.as_arrays()
@@ -188,6 +194,7 @@ def figure15_adpsgd_monitor(
     num_samples: int = 8192,
     max_sim_time: float = 300.0,
     seed: int = 0,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 15 / Section V-H: the Network Monitor retrofit of AD-PSGD."""
     algorithms = ("adpsgd", "adpsgd-monitor", "netmax")
@@ -209,7 +216,9 @@ def figure15_adpsgd_monitor(
         lr_schedule=StepDecayLR(0.1, milestones=(40.0,)),
         seed=seed,
     )
-    results = run_comparison(list(algorithms), scenario, workload, config)
+    results = run_comparison(
+        list(algorithms), scenario, workload, config, parallel=parallel
+    )
     series = []
     for name in algorithms:
         arrays = results[name].history.as_arrays()
@@ -242,6 +251,7 @@ def figure18_mnist_noniid(
     max_sim_time: float = 200.0,
     seed: int = 0,
     algorithms: tuple[str, ...] = _NONIID_ALGORITHMS,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 18 (Appendix F): MobileNet on non-IID MNIST (Table IV drops)."""
     workload = make_workload(
@@ -261,7 +271,9 @@ def figure18_mnist_noniid(
         lr_schedule=ConstantLR(0.01),
         seed=seed,
     )
-    results = run_comparison(list(algorithms), scenario, workload, config)
+    results = run_comparison(
+        list(algorithms), scenario, workload, config, parallel=parallel
+    )
     series = []
     for name in algorithms:
         arrays = results[name].history.as_arrays()
@@ -296,6 +308,7 @@ def figure19_multicloud(
     num_samples: int = 4096,
     max_sim_time: float = 600.0,
     seed: int = 0,
+    parallel: int = 0,
 ) -> ExperimentOutput:
     """Fig. 19 (Appendix G): test accuracy vs time across six cloud regions."""
     algorithms = ("ps-syn", "ps-asyn", "adpsgd", "netmax")
@@ -319,7 +332,9 @@ def figure19_multicloud(
             lr_schedule=ConstantLR(0.01),
             seed=seed,
         )
-        results = run_comparison(list(algorithms), scenario, workload, config)
+        results = run_comparison(
+            list(algorithms), scenario, workload, config, parallel=parallel
+        )
         for name in algorithms:
             arrays = results[name].history.as_arrays()
             series.append(

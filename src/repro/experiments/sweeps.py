@@ -1,0 +1,500 @@
+"""Declarative experiment sweeps: grids of (algorithm x seed x scenario).
+
+The figure/table functions each run a handful of trainers; credible
+comparisons across many seeds, topologies, and network regimes need orders
+of magnitude more. This module provides the scale-out layer:
+
+- :class:`SweepSpec` describes a grid declaratively (plain strings and
+  numbers, so every cell is hashable and picklable);
+- :func:`run_sweep` executes the grid -- sequentially or across processes
+  via :class:`~concurrent.futures.ProcessPoolExecutor` -- with
+  *deterministic per-cell seeding*: a cell's result is a pure function of
+  its spec, never of scheduling order or worker count, so parallel runs are
+  bit-identical to sequential ones;
+- :class:`ResultCache` stores finished cells on disk keyed by a hash of the
+  cell spec, so re-running a sweep only pays for cells that changed;
+- :func:`aggregate_sweep` folds cell results into the tabular form the
+  reporting helpers render.
+
+``parallel_map`` is also the execution backend for the harness's
+``run_comparison(..., parallel=N)`` and the figure functions' ``parallel``
+knob, so full artifact regeneration shares the same machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import TrainerConfig
+from repro.experiments.common import ExperimentOutput
+from repro.experiments.scenarios import (
+    Scenario,
+    Workload,
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    make_workload,
+    multi_cloud_scenario,
+)
+from repro.ml.optim import ConstantLR, LRSchedule, PlateauDecayLR, StepDecayLR
+from repro.simulation.records import TrainingResult
+
+__all__ = [
+    "CACHE_VERSION",
+    "SCENARIO_KINDS",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "RunSpec",
+    "SweepSpec",
+    "SweepCell",
+    "CellOutcome",
+    "SweepResult",
+    "ResultCache",
+    "run_sweep",
+    "aggregate_sweep",
+    "parallel_map",
+]
+
+# Folded into every cache key; bump whenever trainer numerics change so
+# stale on-disk results can never masquerade as fresh ones.
+CACHE_VERSION = 1
+
+SCENARIO_KINDS = (
+    "heterogeneous",
+    "heterogeneous-static",
+    "homogeneous",
+    "multi-cloud",
+)
+
+
+def parallel_map(fn: Callable, items: Sequence, parallel: int = 0) -> list:
+    """``[fn(x) for x in items]``, optionally fanned out across processes.
+
+    ``parallel <= 1`` runs in-process (no pool overhead, easiest to debug);
+    larger values use a :class:`ProcessPoolExecutor`. ``fn`` and every item
+    must be picklable for the parallel path. Result order always matches
+    input order, so both paths are interchangeable.
+    """
+    items = list(items)
+    if parallel <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(parallel, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# -- declarative grid specs ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Names a network scenario buildable from ``(kind, num_workers, seed)``."""
+
+    kind: str = "heterogeneous"
+    num_workers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(
+                f"unknown scenario kind {self.kind!r}; valid: {SCENARIO_KINDS}"
+            )
+        if self.num_workers < 2:
+            raise ValueError("num_workers must be >= 2")
+        # Fail at spec construction, not cell execution: a grid that cannot
+        # run should never survive a dry run.
+        if self.kind == "multi-cloud" and self.num_workers != 6:
+            raise ValueError(
+                "the multi-cloud scenario is fixed at 6 workers (one per "
+                f"region), got num_workers={self.num_workers}"
+            )
+
+    def build(self, seed: int) -> Scenario:
+        if self.kind == "heterogeneous":
+            return heterogeneous_scenario(self.num_workers, seed=seed)
+        if self.kind == "heterogeneous-static":
+            return heterogeneous_scenario(self.num_workers, dynamic=False)
+        if self.kind == "homogeneous":
+            return homogeneous_scenario(self.num_workers)
+        return multi_cloud_scenario()
+
+    def label(self) -> str:
+        return f"{self.kind}-{self.num_workers}w"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Names a learning problem buildable from ``(num_workers, seed)``."""
+
+    model: str = "mobilenet"
+    dataset: str = "mnist"
+    batch_size: int = 32
+    num_samples: int | None = 512
+    partition: str = "uniform"
+    segments_per_worker: tuple[int, ...] | None = None
+    lost_labels: tuple[tuple[int, ...], ...] | None = None
+    test_fraction: float = 0.2
+
+    def build(self, num_workers: int, seed: int) -> Workload:
+        return make_workload(
+            self.model,
+            self.dataset,
+            num_workers=num_workers,
+            partition=self.partition,
+            batch_size=self.batch_size,
+            num_samples=self.num_samples,
+            segments_per_worker=(
+                list(self.segments_per_worker)
+                if self.segments_per_worker is not None
+                else None
+            ),
+            lost_labels=(
+                [tuple(labels) for labels in self.lost_labels]
+                if self.lost_labels is not None
+                else None
+            ),
+            test_fraction=self.test_fraction,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative :class:`TrainerConfig`: hashable, JSON-serializable.
+
+    ``lr`` names the schedule as a tuple so cache keys stay stable:
+    ``("plateau", base)``, ``("constant", base)``,
+    ``("step", base, milestone, ...)``, each mapping onto the corresponding
+    :mod:`repro.ml.optim` class.
+    """
+
+    max_sim_time: float = 60.0
+    eval_interval_s: float | None = None
+    max_epochs: float | None = None
+    eval_max_samples: int = 256
+    lr: tuple = ("plateau", 0.1)
+
+    def _schedule(self) -> LRSchedule:
+        kind, *args = self.lr
+        if kind == "plateau":
+            return PlateauDecayLR(float(args[0]))
+        if kind == "constant":
+            return ConstantLR(float(args[0]))
+        if kind == "step":
+            return StepDecayLR(float(args[0]), milestones=tuple(args[1:]))
+        raise ValueError(f"unknown lr spec {self.lr!r}")
+
+    def build(self, seed: int) -> TrainerConfig:
+        eval_interval = self.eval_interval_s
+        if eval_interval is None:
+            eval_interval = max(5.0, self.max_sim_time / 25)
+        return TrainerConfig(
+            lr_schedule=self._schedule(),
+            max_sim_time=self.max_sim_time,
+            max_epochs=self.max_epochs,
+            eval_interval_s=eval_interval,
+            eval_max_samples=self.eval_max_samples,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the grid; executing it is a pure function of this spec."""
+
+    algorithm: str
+    seed: int
+    scenario: ScenarioSpec
+    workload: WorkloadSpec
+    run: RunSpec
+    trainer_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def describe(self) -> dict:
+        """Canonical JSON-able description (the cache-key payload)."""
+        return {
+            "cache_version": CACHE_VERSION,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "scenario": {"kind": self.scenario.kind,
+                         "num_workers": self.scenario.num_workers},
+            "workload": {
+                "model": self.workload.model,
+                "dataset": self.workload.dataset,
+                "batch_size": self.workload.batch_size,
+                "num_samples": self.workload.num_samples,
+                "partition": self.workload.partition,
+                "segments_per_worker": self.workload.segments_per_worker,
+                "lost_labels": self.workload.lost_labels,
+                "test_fraction": self.workload.test_fraction,
+            },
+            "run": {
+                "max_sim_time": self.run.max_sim_time,
+                "eval_interval_s": self.run.eval_interval_s,
+                "max_epochs": self.run.max_epochs,
+                "eval_max_samples": self.run.eval_max_samples,
+                "lr": list(self.run.lr),
+            },
+            "trainer_kwargs": [[k, v] for k, v in self.trainer_kwargs],
+        }
+
+    def cache_key(self) -> str:
+        payload = json.dumps(self.describe(), sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def label(self) -> str:
+        return f"{self.algorithm}/s{self.seed}/{self.scenario.label()}"
+
+    def execute(self) -> TrainingResult:
+        """Build everything from the spec (deterministic per-cell seeding)."""
+        from repro.experiments.harness import run_trainer
+
+        scenario = self.scenario.build(self.seed)
+        workload = self.workload.build(scenario.num_workers, self.seed)
+        config = self.run.build(self.seed)
+        return run_trainer(
+            self.algorithm,
+            scenario,
+            workload,
+            config,
+            **dict(self.trainer_kwargs),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The declarative grid: algorithms x seeds x scenarios."""
+
+    algorithms: tuple[str, ...]
+    seeds: tuple[int, ...]
+    scenarios: tuple[ScenarioSpec, ...] = (ScenarioSpec(),)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    run: RunSpec = field(default_factory=RunSpec)
+    # Per-algorithm constructor extras: (("netmax", (("adaptive", False),)),)
+    trainer_kwargs: tuple[tuple[str, tuple[tuple[str, object], ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.algorithms:
+            raise ValueError("a sweep needs at least one algorithm")
+        if not self.seeds:
+            raise ValueError("a sweep needs at least one seed")
+        if not self.scenarios:
+            raise ValueError("a sweep needs at least one scenario")
+
+    def cells(self) -> list[SweepCell]:
+        """The full grid in deterministic (scenario, algorithm, seed) order."""
+        extras = dict(self.trainer_kwargs)
+        return [
+            SweepCell(
+                algorithm=algorithm,
+                seed=seed,
+                scenario=scenario,
+                workload=self.workload,
+                run=self.run,
+                trainer_kwargs=tuple(extras.get(algorithm, ())),
+            )
+            for scenario in self.scenarios
+            for algorithm in self.algorithms
+            for seed in self.seeds
+        ]
+
+
+# -- execution + caching -------------------------------------------------------
+
+
+@dataclass
+class CellOutcome:
+    """One executed (or cache-loaded) cell."""
+
+    cell: SweepCell
+    result: TrainingResult
+    from_cache: bool
+    runtime_s: float
+
+
+class ResultCache:
+    """Pickle-per-cell on-disk cache keyed by the cell's config hash.
+
+    Writes go through a temp file + :func:`os.replace`, so concurrent sweep
+    processes sharing a directory can never observe a half-written entry.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def load(self, key: str) -> TrainingResult | None:
+        try:
+            with open(self.path(key), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError):
+            # A corrupt or stale entry is treated as a miss, not an error.
+            return None
+
+    def store(self, key: str, result: TrainingResult) -> None:
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp_path, self.path(key))
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".pkl"))
+
+
+def _execute_cell(
+    payload: tuple[SweepCell, str | None],
+) -> tuple[TrainingResult, float]:
+    """Top-level worker function (must be picklable for the process pool).
+
+    The cache write happens here, per finished cell, so a sweep that dies
+    or is interrupted partway keeps every cell completed so far.
+    """
+    cell, cache_dir = payload
+    start = time.perf_counter()
+    result = cell.execute()
+    if cache_dir is not None:
+        ResultCache(cache_dir).store(cell.cache_key(), result)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one sweep execution, in grid order."""
+
+    spec: SweepSpec
+    outcomes: list[CellOutcome]
+    wall_time_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cells_from_cache(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    @property
+    def cells_executed(self) -> int:
+        return len(self.outcomes) - self.cells_from_cache
+
+    def result_for(self, cell: SweepCell) -> TrainingResult:
+        for outcome in self.outcomes:
+            if outcome.cell == cell:
+                return outcome.result
+        raise KeyError(f"cell {cell.label()} not part of this sweep")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    parallel: int = 0,
+    cache_dir: str | None = None,
+    force: bool = False,
+) -> SweepResult:
+    """Execute every cell of the grid, reusing cached results where allowed.
+
+    Args:
+        spec: the declarative grid.
+        parallel: process count for cell execution (``<= 1`` = in-process).
+            Results are identical for any value -- cells are independently
+            seeded from their own spec.
+        cache_dir: directory for the on-disk result cache (``None`` disables
+            caching).
+        force: execute every cell even if a cached result exists (fresh
+            results still overwrite the cache entries).
+    """
+    start = time.perf_counter()
+    cells = spec.cells()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    outcomes: list[CellOutcome | None] = [None] * len(cells)
+
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        if cache is not None and not force:
+            cached = cache.load(cell.cache_key())
+            if cached is not None:
+                outcomes[index] = CellOutcome(cell, cached, True, 0.0)
+                continue
+        pending.append(index)
+
+    executed = parallel_map(
+        _execute_cell,
+        [(cells[i], cache_dir) for i in pending],
+        parallel,
+    )
+    for index, (result, runtime) in zip(pending, executed):
+        outcomes[index] = CellOutcome(cells[index], result, False, runtime)
+
+    return SweepResult(spec, outcomes, wall_time_s=time.perf_counter() - start)
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
+    """Mean/std summary per (algorithm, scenario) across seeds.
+
+    The aggregation is order-independent within each group (results arrive
+    in grid order regardless of execution backend), so parallel, sequential,
+    and cache-served sweeps aggregate to identical numbers.
+    """
+    groups: dict[tuple[str, str], list[TrainingResult]] = {}
+    for outcome in sweep.outcomes:
+        key = (outcome.cell.algorithm, outcome.cell.scenario.label())
+        groups.setdefault(key, []).append(outcome.result)
+
+    rows: list[list[object]] = []
+    for (algorithm, scenario_label), results in groups.items():
+        losses = np.array([r.history.final_loss() for r in results])
+        accuracies = np.array([r.history.best_accuracy() for r in results])
+        epoch_times = np.array(
+            [r.costs.summary()["epoch_time"] for r in results]
+        )
+        rows.append(
+            [
+                algorithm,
+                scenario_label,
+                len(results),
+                float(losses.mean()),
+                float(losses.std()),
+                float(np.nanmean(accuracies)) if accuracies.size else float("nan"),
+                float(epoch_times.mean()),
+            ]
+        )
+    spec = sweep.spec
+    return ExperimentOutput(
+        experiment_id="sweep",
+        title=(
+            f"Sweep: {spec.workload.model} on {spec.workload.dataset}, "
+            f"{len(spec.seeds)} seed(s) x {len(spec.scenarios)} scenario(s)"
+        ),
+        headers=[
+            "algorithm",
+            "scenario",
+            "seeds",
+            "final_loss_mean",
+            "final_loss_std",
+            "best_acc_mean",
+            "epoch_time_mean",
+        ],
+        rows=rows,
+        notes=(
+            f"{sweep.cells_executed} cell(s) executed, "
+            f"{sweep.cells_from_cache} from cache, "
+            f"{sweep.wall_time_s:.1f}s wall time."
+        ),
+    )

@@ -114,9 +114,11 @@ class CommunicationModel:
         self.links = links
         self.flow_sharing = flow_sharing
         # NICs are full duplex: a transfer b -> a loads b's uplink and a's
-        # downlink, so the two directions are tracked separately.
-        self._inbound = np.zeros(links.num_workers, dtype=np.int64)
-        self._outbound = np.zeros(links.num_workers, dtype=np.int64)
+        # downlink, so the two directions are tracked separately. Plain lists:
+        # these counters are bumped on every transfer, where numpy scalar
+        # indexing is pure overhead.
+        self._inbound = [0] * links.num_workers
+        self._outbound = [0] * links.num_workers
 
     @property
     def num_workers(self) -> int:
@@ -124,7 +126,7 @@ class CommunicationModel:
 
     def active_flows(self, worker: int) -> int:
         """Number of in-flight transfers touching ``worker`` (either way)."""
-        return int(self._inbound[worker] + self._outbound[worker])
+        return self._inbound[worker] + self._outbound[worker]
 
     def comm_time(self, a: int, b: int, nbytes: float, time: float) -> float:
         """Seconds to move ``nbytes`` from ``b`` to ``a`` starting at ``time``.
@@ -154,7 +156,7 @@ class CommunicationModel:
         self._outbound[sender] += 1
         if not self.flow_sharing:
             return base
-        share = int(max(self._inbound[receiver], self._outbound[sender]))
+        share = max(self._inbound[receiver], self._outbound[sender])
         latency = self.links.latency(receiver, sender, time)
         return latency + (base - latency) * share
 
@@ -184,9 +186,12 @@ class ComputeModel:
     """Per-worker local computation time ``C_i`` for a given model profile.
 
     ``C_i = profile.compute_time_s * (batch / reference_batch) * speed_factor_i``
-    with optional multiplicative log-normal jitter, seeded per worker so runs
-    are reproducible. ``speed_factor_i`` models heterogeneous accelerators
-    (all 1.0 by default: the paper's GPUs are identical RTX 2080 Ti).
+    with optional multiplicative log-normal jitter. Each worker draws its
+    jitter from its own ``default_rng([seed, worker])`` stream, so a worker's
+    sequence of compute times is a pure function of ``(seed, worker)`` no
+    matter how the simulator interleaves events across workers.
+    ``speed_factor_i`` models heterogeneous accelerators (all 1.0 by default:
+    the paper's GPUs are identical RTX 2080 Ti).
     """
 
     def __init__(
@@ -214,7 +219,15 @@ class ComputeModel:
             raise ValueError("speed factors must be positive")
         self.speed_factors = speed_factors
         self.jitter_std = float(jitter_std)
-        self._rng = np.random.default_rng(seed)
+        self._rngs = [
+            np.random.default_rng([seed, worker]) for worker in range(num_workers)
+        ]
+        # Per-worker seconds-per-sample, precomputed once: compute_time sits
+        # on the simulator's per-iteration hot path.
+        self._per_sample = [
+            float(profile.compute_time_s * factor / profile.reference_batch)
+            for factor in speed_factors
+        ]
 
     def compute_time(self, worker: int, batch_size: int) -> float:
         """Duration of one gradient computation on ``worker``."""
@@ -222,11 +235,7 @@ class ComputeModel:
             raise ValueError(f"worker {worker} out of range")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        base = (
-            self.profile.compute_time_s
-            * (batch_size / self.profile.reference_batch)
-            * self.speed_factors[worker]
-        )
+        base = self._per_sample[worker] * batch_size
         if self.jitter_std:
-            base *= float(np.exp(self._rng.normal(0.0, self.jitter_std)))
-        return float(base)
+            base *= float(np.exp(self._rngs[worker].normal(0.0, self.jitter_std)))
+        return base

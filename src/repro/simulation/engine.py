@@ -85,17 +85,24 @@ class Simulator:
         """
         if until_time is None and max_events is None and stop_condition is None:
             raise ValueError("run() needs at least one stop criterion")
+        # The event pop is inlined (rather than calling self.step) and the
+        # queue bound to a local: this loop runs once per simulated event, so
+        # attribute lookups here are a measurable share of total runtime.
+        queue = self._queue
+        heappop = heapq.heappop
         executed = 0
-        while self._queue:
+        while queue:
             if stop_condition is not None and stop_condition():
                 return
             if max_events is not None and executed >= max_events:
                 return
-            next_time = self._queue[0][0]
-            if until_time is not None and next_time > until_time:
+            if until_time is not None and queue[0][0] > until_time:
                 self._now = until_time
                 return
-            self.step()
+            time, _, callback = heappop(queue)
+            self._now = time
+            self._events_processed += 1
+            callback()
             executed += 1
         if until_time is not None and self._now < until_time:
             self._now = until_time

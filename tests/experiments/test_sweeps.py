@@ -1,0 +1,183 @@
+"""Unit and property tests for the sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweeps import (
+    CellOutcome,
+    ResultCache,
+    RunSpec,
+    ScenarioSpec,
+    SweepCell,
+    SweepSpec,
+    WorkloadSpec,
+    aggregate_sweep,
+    parallel_map,
+    run_sweep,
+)
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        algorithms=("adpsgd", "allreduce"),
+        seeds=(0, 1),
+        scenarios=(ScenarioSpec("heterogeneous", 4),),
+        workload=WorkloadSpec(model="mobilenet", dataset="mnist",
+                              batch_size=32, num_samples=256),
+        run=RunSpec(max_sim_time=10.0, eval_interval_s=5.0),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def assert_results_identical(a, b):
+    """Bit-identical histories and final parameters."""
+    arrays_a, arrays_b = a.history.as_arrays(), b.history.as_arrays()
+    for column in arrays_a:
+        np.testing.assert_array_equal(arrays_a[column], arrays_b[column])
+    np.testing.assert_array_equal(a.final_params, b.final_params)
+
+
+class TestSpecs:
+    def test_grid_expansion(self):
+        spec = tiny_spec(
+            scenarios=(ScenarioSpec("heterogeneous", 4),
+                       ScenarioSpec("homogeneous", 4)),
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2  # scenarios x algorithms x seeds
+        assert cells == spec.cells()  # deterministic order
+
+    def test_unknown_scenario_kind_rejected(self):
+        with pytest.raises(ValueError, match="scenario kind"):
+            ScenarioSpec("mesh", 4)
+
+    def test_multi_cloud_worker_count_rejected_at_spec_time(self):
+        """An unrunnable grid must fail at construction, not mid-sweep."""
+        with pytest.raises(ValueError, match="6 workers"):
+            ScenarioSpec("multi-cloud", 8)
+        assert ScenarioSpec("multi-cloud", 6).build(0).num_workers == 6
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            tiny_spec(algorithms=())
+        with pytest.raises(ValueError, match="seed"):
+            tiny_spec(seeds=())
+
+    def test_unknown_lr_spec_rejected(self):
+        with pytest.raises(ValueError, match="lr spec"):
+            RunSpec(lr=("cosine", 0.1)).build(0)
+
+    def test_lr_specs_map_to_schedules(self):
+        assert RunSpec(lr=("constant", 0.05)).build(0).lr_schedule.lr(10) == 0.05
+        step = RunSpec(lr=("step", 0.1, 5.0)).build(0).lr_schedule
+        assert step.lr(6.0) == pytest.approx(0.01)
+
+    def test_cache_key_stable_and_sensitive(self):
+        cell = tiny_spec().cells()[0]
+        same = tiny_spec().cells()[0]
+        assert cell.cache_key() == same.cache_key()
+        other = tiny_spec(seeds=(7, 1)).cells()[0]
+        assert cell.cache_key() != other.cache_key()
+        other_run = tiny_spec(run=RunSpec(max_sim_time=11.0)).cells()[0]
+        assert cell.cache_key() != other_run.cache_key()
+
+
+class TestParallelMap:
+    def test_sequential_path(self):
+        assert parallel_map(str, [1, 2, 3], parallel=0) == ["1", "2", "3"]
+
+    def test_parallel_path_preserves_order(self):
+        assert parallel_map(abs, [-3, 2, -1], parallel=2) == [3, 2, 1]
+
+    def test_single_item_stays_in_process(self):
+        calls = []
+        assert parallel_map(calls.append, [1], parallel=4) == [None]
+        assert calls == [1]  # ran in this process, not a pool
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return run_sweep(tiny_spec(), parallel=0)
+
+    def test_all_cells_executed(self, sequential):
+        assert len(sequential) == 4
+        assert sequential.cells_executed == 4
+        assert sequential.cells_from_cache == 0
+
+    def test_parallel_equals_sequential(self, sequential):
+        """The property the whole engine is built around."""
+        parallel = run_sweep(tiny_spec(), parallel=2)
+        for a, b in zip(sequential.outcomes, parallel.outcomes):
+            assert a.cell == b.cell
+            assert_results_identical(a.result, b.result)
+
+    def test_rerun_is_deterministic(self, sequential):
+        again = run_sweep(tiny_spec(), parallel=0)
+        for a, b in zip(sequential.outcomes, again.outcomes):
+            assert_results_identical(a.result, b.result)
+
+    def test_result_for(self, sequential):
+        cell = tiny_spec().cells()[0]
+        assert sequential.result_for(cell).algorithm == cell.algorithm
+        with pytest.raises(KeyError):
+            sequential.result_for(tiny_spec(seeds=(9,)).cells()[0])
+
+    def test_cache_roundtrip(self, sequential, tmp_path):
+        fresh = run_sweep(tiny_spec(), cache_dir=str(tmp_path))
+        assert fresh.cells_from_cache == 0
+        cached = run_sweep(tiny_spec(), cache_dir=str(tmp_path))
+        assert cached.cells_from_cache == 4
+        assert cached.cells_executed == 0
+        for a, b in zip(fresh.outcomes, cached.outcomes):
+            assert_results_identical(a.result, b.result)
+        # Cached results equal a from-scratch sequential run too.
+        for a, b in zip(sequential.outcomes, cached.outcomes):
+            assert_results_identical(a.result, b.result)
+
+    def test_force_reruns_cached_cells(self, tmp_path):
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        run_sweep(spec, cache_dir=str(tmp_path))
+        forced = run_sweep(spec, cache_dir=str(tmp_path), force=True)
+        assert forced.cells_from_cache == 0
+
+    def test_completed_cells_cached_despite_later_failure(self, tmp_path):
+        """A crash partway through a sweep must not discard finished cells."""
+        spec = tiny_spec(algorithms=("adpsgd", "nonexistent"), seeds=(0,))
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            run_sweep(spec, cache_dir=str(tmp_path))
+        # The adpsgd cell ran first (grid order) and must already be stored.
+        assert len(ResultCache(str(tmp_path))) == 1
+        recovered = run_sweep(tiny_spec(algorithms=("adpsgd",), seeds=(0,)),
+                              cache_dir=str(tmp_path))
+        assert recovered.cells_from_cache == 1
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        run_sweep(spec, cache_dir=str(tmp_path))
+        key = spec.cells()[0].cache_key()
+        cache = ResultCache(str(tmp_path))
+        with open(cache.path(key), "wb") as handle:
+            handle.write(b"not a pickle")
+        recovered = run_sweep(spec, cache_dir=str(tmp_path))
+        assert recovered.cells_from_cache == 0
+        assert recovered.cells_executed == 1
+
+
+class TestAggregate:
+    def test_rows_per_algorithm_scenario(self):
+        sweep = run_sweep(tiny_spec(), parallel=0)
+        output = aggregate_sweep(sweep)
+        assert {row[0] for row in output.rows} == {"adpsgd", "allreduce"}
+        by_algorithm = output.row_dict()
+        assert by_algorithm["adpsgd"][2] == 2  # seeds aggregated
+        assert np.isfinite(by_algorithm["adpsgd"][3])  # loss mean
+
+    def test_aggregation_independent_of_backend(self, tmp_path):
+        seq = aggregate_sweep(run_sweep(tiny_spec(), parallel=0))
+        par = aggregate_sweep(run_sweep(tiny_spec(), parallel=2))
+        run_sweep(tiny_spec(), cache_dir=str(tmp_path))  # populate the cache
+        cached = aggregate_sweep(run_sweep(tiny_spec(), cache_dir=str(tmp_path)))
+        assert seq.rows == par.rows
+        assert seq.rows == cached.rows

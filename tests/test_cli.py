@@ -26,6 +26,18 @@ class TestParser:
         expected |= {"table2", "table3", "table5", "table6"}
         assert set(FIGURE_FUNCTIONS) == expected
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.algorithms == ["netmax", "adpsgd"]
+        assert args.seeds == [0, 1, 2, 3]
+        assert args.scenarios == ["heterogeneous"]
+        assert args.parallel == 0
+        assert not args.dry_run
+
+    def test_sweep_scenario_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--scenarios", "mesh"])
+
 
 class TestCommands:
     def test_figure_fig3(self, capsys):
@@ -44,6 +56,38 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "adpsgd" in out and "allreduce" in out
+
+    def test_sweep_rejects_unknown_algorithm_upfront(self, capsys):
+        code = main(["sweep", "--algorithms", "gossipx", "--dry-run"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_sweep_dry_run_lists_cells(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "allreduce",
+            "--seeds", "0", "1", "--workers", "4", "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 cell(s)" in out
+        assert "adpsgd" in out and "allreduce" in out
+
+    def test_sweep_tiny_run_with_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0", "1",
+            "--workers", "4", "--model", "mobilenet", "--dataset", "mnist",
+            "--samples", "256", "--sim-time", "10",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 cell(s) executed, 0 from cache" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 cell(s) executed, 2 from cache" in second
+        # Cached and fresh aggregate to the same numbers (only the
+        # wall-time note may differ).
+        assert first.split("\n")[:-2] == second.split("\n")[:-2]
 
     def test_policy_from_csv(self, tmp_path, capsys):
         times = np.full((4, 4), 1.0)
