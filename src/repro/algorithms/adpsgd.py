@@ -27,9 +27,15 @@ class ADPSGDTrainer(DecentralizedTrainer):
         mixing_weight: weight on the pulled model in the averaging step
             (AD-PSGD uses 1/2; GoSGD-style variants use other values).
         overlap: overlap compute and communication (default True).
+
+    Under churn, selection renormalizes over the currently active neighbors;
+    a worker whose neighbors are all departed runs compute-only iterations
+    (local SGD, no gossip) until a peer returns, and a departed worker's own
+    loop parks until its rejoin.
     """
 
     name = "adpsgd"
+    supports_churn = True
 
     def __init__(self, *args, mixing_weight: float = 0.5, overlap: bool = True, **kwargs):
         super().__init__(*args, **kwargs)
@@ -49,48 +55,95 @@ class ADPSGDTrainer(DecentralizedTrainer):
         ]
 
     def _choose_peer(self, worker: int) -> int:
-        # Indexing with rng.integers draws the same stream as rng.choice on
-        # the cached neighbor array, without choice()'s per-call setup.
+        """Sample a gossip partner; ``worker`` itself means "no active peer".
+
+        With every worker up (always true without churn, and most of the
+        time with it) this is the O(1) hot path: indexing with rng.integers
+        draws the same stream as rng.choice on the cached neighbor array,
+        without choice()'s per-call setup. The filtered path draws the same
+        stream too whenever the active list coincides with the cache.
+        """
         neighbors = self._neighbor_cache[worker]
+        if not self._all_active:
+            active = [int(n) for n in neighbors if self._active[n]]
+            if not active:
+                return worker  # compute-only iteration until a peer returns
+            return active[self._selection_rngs[worker].integers(len(active))]
         return int(neighbors[self._selection_rngs[worker].integers(neighbors.size)])
 
     def _setup(self) -> None:
         for i in range(self.num_workers):
             self._start_iteration(i)
 
+    def _on_worker_join(self, worker: int) -> None:
+        # The rejoined worker resumes from its frozen model state; its loop
+        # restarts here. Any pre-departure continuation still in flight was
+        # invalidated by the epoch bump at the leave, so this is the only
+        # live loop for the worker.
+        self._start_iteration(worker)
+
     def _start_iteration(self, worker: int) -> None:
+        if not self._active[worker]:
+            return
+        epoch = self._churn_epoch[worker]
         peer = self._choose_peer(worker)
         compute = self.compute_time(worker)
-        if self.overlap:
-            network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+        if peer == worker:
+            self.sim.schedule_in(
+                compute,
+                partial(self._complete_iteration, worker, peer, compute, compute, epoch),
+            )
+        elif self.overlap:
+            network = self.start_transfer(worker, peer)
             self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
             duration = max(compute, network)
             self.sim.schedule_in(
-                duration, partial(self._complete_iteration, worker, peer, compute, duration)
+                duration,
+                partial(self._complete_iteration, worker, peer, compute, duration, epoch),
             )
         else:
-            self.sim.schedule_in(compute, partial(self._serial_pull, worker, peer, compute))
+            self.sim.schedule_in(
+                compute, partial(self._serial_pull, worker, peer, compute, epoch)
+            )
 
-    def _serial_pull(self, worker: int, peer: int, compute: float) -> None:
-        network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+    def _serial_pull(self, worker: int, peer: int, compute: float, epoch: int) -> None:
+        if epoch != self._churn_epoch[worker]:
+            return  # the worker departed during the computation: stale loop
+        if not self._active[peer]:
+            # The chosen peer departed during the gradient computation; fall
+            # back to a compute-only completion rather than pull from it.
+            self._complete_iteration(worker, worker, compute, compute, epoch)
+            return
+        network = self.start_transfer(worker, peer)
         self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
         duration = compute + network
         self.sim.schedule_in(
-            network, partial(self._complete_iteration, worker, peer, compute, duration)
+            network,
+            partial(self._complete_iteration, worker, peer, compute, duration, epoch),
         )
 
     def _complete_iteration(
-        self, worker: int, peer: int, compute: float, duration: float
+        self, worker: int, peer: int, compute: float, duration: float, epoch: int = 0
     ) -> None:
+        if epoch != self._churn_epoch[worker]:
+            # Scheduled before the worker's departure: the work is discarded
+            # and the loop is NOT rescheduled -- the rejoin (with a fresh
+            # epoch) owns the one live loop.
+            return
         model = self.tasks[worker].model
         lr = self.current_lr()
         _, grad = self.tasks[worker].sample_loss_and_grad()
-        # Average with the pulled model, then apply the local gradient --
-        # AD-PSGD computes the gradient at the pre-averaging parameters.
-        averaged = (
-            (1.0 - self.mixing_weight) * model.get_params()
-            + self.mixing_weight * self.tasks[peer].model.get_params()
-        )
-        model.set_params(self._optimizers[worker].step(averaged, grad, lr))
+        if peer != worker and self._active[peer]:
+            # Average with the pulled model, then apply the local gradient --
+            # AD-PSGD computes the gradient at the pre-averaging parameters.
+            # (A peer that departed mid-flight is skipped: updates never
+            # incorporate state from a departed worker.)
+            base = (
+                (1.0 - self.mixing_weight) * model.get_params()
+                + self.mixing_weight * self.tasks[peer].model.get_params()
+            )
+        else:
+            base = model.get_params()
+        model.set_params(self._optimizers[worker].step(base, grad, lr))
         self.record_iteration(worker, compute, duration)
         self._start_iteration(worker)

@@ -26,7 +26,7 @@ class ADPSGDMonitorTrainer(NetMaxTrainer):
             raise ValueError(f"mixing_weight must be in (0, 1), got {mixing_weight}")
         self.mixing_weight = float(mixing_weight)
 
-    def _apply_pull(self, worker: int, peer: int, lr: float) -> None:
+    def _apply_pull(self, worker: int, peer: int, lr: float, p_selected: float) -> None:
         model = self.tasks[worker].model
         peer_params = self.tasks[peer].model.get_params()
         blended = (

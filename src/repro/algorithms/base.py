@@ -30,6 +30,7 @@ from repro.ml.models import Model
 from repro.ml.optim import LRSchedule, PlateauDecayLR, SGDConfig
 from repro.network.costmodel import CommunicationModel, ComputeModel, ModelCostProfile
 from repro.network.links import LinkSpeedModel
+from repro.simulation.churn import ChurnSchedule
 from repro.simulation.engine import Simulator
 from repro.simulation.records import EpochCostTracker, TrainingHistory, TrainingResult
 
@@ -147,9 +148,20 @@ class DecentralizedTrainer(abc.ABC):
         compute_model: override the default homogeneous compute model.
         flow_sharing: model NIC contention between concurrent transfers
             (default True; disable for idealized-network ablations).
+        churn: optional :class:`~repro.simulation.churn.ChurnSchedule` of
+            worker departures/rejoins. Only trainers with
+            ``supports_churn = True`` accept one: a departed worker's loop
+            parks (model frozen in place, so a rejoin resumes from its last
+            state), peers renormalize selection over the active set, and no
+            transfer may start against a departed endpoint
+            (:meth:`start_transfer` enforces this).
     """
 
     name = "base"
+    # Whether this algorithm knows how to skip departed peers. Synchronous
+    # trainers (allreduce, PS, Prague) involve every worker each round and
+    # reject churn outright rather than silently hanging on departed ones.
+    supports_churn = False
 
     def __init__(
         self,
@@ -161,6 +173,7 @@ class DecentralizedTrainer(abc.ABC):
         test_data: tuple[np.ndarray, np.ndarray] | None = None,
         compute_model: ComputeModel | None = None,
         flow_sharing: bool = True,
+        churn: ChurnSchedule | None = None,
     ):
         if len(tasks) != topology.num_workers:
             raise ValueError(
@@ -169,6 +182,16 @@ class DecentralizedTrainer(abc.ABC):
         if links.num_workers != topology.num_workers:
             raise ValueError("link model and topology disagree on worker count")
         topology.require_connected()
+        if churn is not None:
+            if not self.supports_churn:
+                raise ValueError(
+                    f"trainer {self.name!r} does not support churn schedules"
+                )
+            if churn.num_workers != topology.num_workers:
+                raise ValueError(
+                    f"churn schedule is for {churn.num_workers} workers but "
+                    f"topology has {topology.num_workers}"
+                )
         dims = {task.model.dim for task in tasks}
         if len(dims) != 1:
             raise ValueError(f"all worker models must share a dimension, got {dims}")
@@ -203,6 +226,18 @@ class DecentralizedTrainer(abc.ABC):
             task.batch_size if task.batch_size is not None else profile.reference_batch
             for task in tasks
         ]
+        self.churn = churn
+        self._active = [True] * len(tasks)
+        self._all_active = True
+        # Per-worker loop generation: bumped on every departure so iteration
+        # continuations scheduled before the leave are recognizably stale.
+        # Without it, a rejoin that lands while a pre-departure event is
+        # still in flight would start a second concurrent loop for the
+        # worker (the stale completion would also reschedule).
+        self._churn_epoch = [0] * len(tasks)
+        # (time, worker, kind) transitions actually executed, for diagnostics
+        # and the churn correctness tests.
+        self.churn_log: list[tuple[float, int, str]] = []
 
     # -- construction helpers -------------------------------------------------
 
@@ -249,6 +284,14 @@ class DecentralizedTrainer(abc.ABC):
         """Local gradient computation time ``C_i`` for one iteration."""
         return self.compute_model.compute_time(worker, self._worker_batches[worker])
 
+    def is_active(self, worker: int) -> bool:
+        """Whether ``worker`` is currently part of the run (churn-aware)."""
+        return self._active[worker]
+
+    def active_workers(self) -> list[int]:
+        """Indices of the currently active workers."""
+        return [i for i, active in enumerate(self._active) if active]
+
     def mean_epoch(self) -> float:
         """Mean epoch progress across workers, maintained incrementally."""
         return self._progress_sum / len(self.tasks)
@@ -277,6 +320,56 @@ class DecentralizedTrainer(abc.ABC):
         self._iterations_total += 1
         self._lr_dirty = True
 
+    def start_transfer(self, receiver: int, sender: int) -> float:
+        """One model-sized transfer via the comm model, with a churn guard.
+
+        All gossip-style trainers route their pulls through here: starting a
+        transfer against a departed endpoint is a protocol violation (the
+        conservation property the churn tests pin down), not a recoverable
+        condition -- peer selection must already have skipped it.
+        """
+        if not (self._active[receiver] and self._active[sender]):
+            raise RuntimeError(
+                f"transfer {sender} -> {receiver} at t={self.sim.now:.3f} "
+                "targets a departed worker"
+            )
+        return self.comm.begin_transfer(receiver, sender, self.message_bytes, self.sim.now)
+
+    # -- churn -----------------------------------------------------------------
+
+    def _schedule_churn(self) -> None:
+        """Schedule every churn transition (called before ``_setup`` so churn
+        events win simulator ties against same-time iteration events)."""
+        if self.churn is None:
+            return
+        for event in self.churn.events:
+            if event.time < self.config.max_sim_time:
+                self.sim.schedule_at(event.time, partial(self._churn_event, event))
+
+    def _churn_event(self, event) -> None:
+        worker, kind = event.worker, event.kind
+        if kind == "leave":
+            if not self._active[worker]:
+                raise RuntimeError(f"worker {worker} left twice")
+            self._active[worker] = False
+            self._all_active = False
+            self._churn_epoch[worker] += 1
+            self.churn_log.append((self.sim.now, worker, "leave"))
+            self._on_worker_leave(worker)
+        else:
+            if self._active[worker]:
+                raise RuntimeError(f"worker {worker} joined while active")
+            self._active[worker] = True
+            self._all_active = all(self._active)
+            self.churn_log.append((self.sim.now, worker, "join"))
+            self._on_worker_join(worker)
+
+    def _on_worker_leave(self, worker: int) -> None:
+        """Hook: ``worker`` just departed (subclasses update selection state)."""
+
+    def _on_worker_join(self, worker: int) -> None:
+        """Hook: ``worker`` just rejoined (subclasses restart its loop)."""
+
     def record_iteration(self, worker: int, compute_time: float, duration: float) -> None:
         """Book one finished local iteration into the cost tracker."""
         self.costs.record_iteration(worker, compute_time, duration)
@@ -288,9 +381,15 @@ class DecentralizedTrainer(abc.ABC):
     # -- evaluation ----------------------------------------------------------------
 
     def train_loss(self) -> float:
-        """Mean loss across workers, each on its fixed local probe."""
+        """Mean loss across *active* workers, each on its fixed local probe.
+
+        Departed replicas are frozen and excluded -- the metric tracks the
+        learners that are actually training (with no churn this is simply
+        every worker).
+        """
         losses = []
-        for task, probe in zip(self.tasks, self._probes):
+        for worker in self.active_workers():
+            task, probe = self.tasks[worker], self._probes[worker]
             if probe is None:
                 losses.append(task.model.loss())
             else:
@@ -298,10 +397,12 @@ class DecentralizedTrainer(abc.ABC):
         return float(np.mean(losses))
 
     def test_accuracy(self) -> float:
-        """Accuracy of the parameter-averaged model on the test probe."""
+        """Accuracy of the active-worker parameter average on the test probe."""
         if self._test_data is None:
             return float("nan")
-        self._eval_model.set_params(self.params_matrix().mean(axis=0))
+        self._eval_model.set_params(
+            self.params_matrix()[self.active_workers()].mean(axis=0)
+        )
         return self._eval_model.accuracy(self._test_data[0], self._test_data[1])
 
     def evaluate(self) -> None:
@@ -341,6 +442,7 @@ class DecentralizedTrainer(abc.ABC):
 
     def run(self) -> TrainingResult:
         """Execute the training run to its stopping criterion."""
+        self._schedule_churn()
         self._setup()
         self.sim.schedule_at(0.0, self._evaluation_event)
         self.sim.run(
@@ -354,6 +456,9 @@ class DecentralizedTrainer(abc.ABC):
         # loss-adaptive LR schedules, biasing plateau detection.
         if not self.history.times or self.history.times[-1] != self.sim.now:
             self.evaluate()
+        extras = self._extras()
+        if self.churn is not None:
+            extras["churn_events"] = list(self.churn_log)
         return TrainingResult(
             algorithm=self.name,
             history=self.history,
@@ -361,5 +466,5 @@ class DecentralizedTrainer(abc.ABC):
             final_params=self.params_matrix(),
             sim_time=self.sim.now,
             global_steps=self.total_iterations(),
-            extras=self._extras(),
+            extras=extras,
         )

@@ -51,6 +51,7 @@ class NetMaxTrainer(DecentralizedTrainer):
     """
 
     name = "netmax"
+    supports_churn = True
 
     def __init__(
         self,
@@ -106,63 +107,130 @@ class NetMaxTrainer(DecentralizedTrainer):
         if self.adaptive:
             self.sim.schedule_in(self.monitor_period_s, self._monitor_tick)
 
+    # -- churn ------------------------------------------------------------------
+
+    def _apply_active_mask(self) -> None:
+        """Push the cluster's activity mask into every consensus worker, so
+        neighbor selection renormalizes the policy row over live peers."""
+        mask = None if all(self._active) else np.asarray(self._active, dtype=bool)
+        for state in self.workers:
+            state.set_active_mask(mask)
+
+    def _on_worker_leave(self, worker: int) -> None:
+        self._apply_active_mask()
+
+    def _on_worker_join(self, worker: int) -> None:
+        self._apply_active_mask()
+        # Resume from the frozen model state; any pre-departure continuation
+        # still in flight was invalidated by the epoch bump at the leave, so
+        # this restart owns the worker's one live loop.
+        self._start_iteration(worker)
+
     def _start_iteration(self, worker: int) -> None:
+        if not self._active[worker]:
+            return
+        epoch = self._churn_epoch[worker]
         state = self.workers[worker]
         if state.adopt_pending_policy():
             self.policies_adopted += 1
         peer = state.choose_peer()
+        # The selection-time probability is the right 1/p_im debias weight
+        # for the pull; reading it again at completion would be wrong if a
+        # churn transition re-renormalized the row mid-flight.
+        p_selected = float(state.effective_probabilities[peer])
         compute = self.compute_time(worker)
         if peer == worker:
             # Self-selection (probability p_ii): a compute-only iteration.
             self.sim.schedule_in(
-                compute, partial(self._complete_iteration, worker, peer, compute, compute)
+                compute,
+                partial(self._complete_iteration, worker, peer, compute, compute,
+                        p_selected, epoch),
             )
         elif self.overlap:
-            network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+            network = self.start_transfer(worker, peer)
             self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
             duration = max(compute, network)
             self.sim.schedule_in(
-                duration, partial(self._complete_iteration, worker, peer, compute, duration)
+                duration,
+                partial(self._complete_iteration, worker, peer, compute, duration,
+                        p_selected, epoch),
             )
         else:
             # Serial ablation (Fig. 7): the pull starts only after the
             # gradient computation finishes.
-            self.sim.schedule_in(compute, partial(self._serial_pull, worker, peer, compute))
+            self.sim.schedule_in(
+                compute,
+                partial(self._serial_pull, worker, peer, compute, p_selected, epoch),
+            )
 
-    def _serial_pull(self, worker: int, peer: int, compute: float) -> None:
-        network = self.comm.begin_transfer(worker, peer, self.message_bytes, self.sim.now)
+    def _serial_pull(
+        self, worker: int, peer: int, compute: float, p_selected: float, epoch: int
+    ) -> None:
+        if epoch != self._churn_epoch[worker]:
+            return  # the worker departed during the computation: stale loop
+        if not self._active[peer]:
+            # The chosen peer departed during the gradient computation; fall
+            # back to a compute-only completion rather than pull from it.
+            self._complete_iteration(worker, worker, compute, compute, p_selected, epoch)
+            return
+        network = self.start_transfer(worker, peer)
         self.sim.schedule_in(network, partial(self.comm.end_transfer, worker, peer))
         duration = compute + network
         self.sim.schedule_in(
-            network, partial(self._complete_iteration, worker, peer, compute, duration)
+            network,
+            partial(self._complete_iteration, worker, peer, compute, duration,
+                    p_selected, epoch),
         )
 
     def _complete_iteration(
-        self, worker: int, peer: int, compute: float, duration: float
+        self,
+        worker: int,
+        peer: int,
+        compute: float,
+        duration: float,
+        p_selected: float = 1.0,
+        epoch: int = 0,
     ) -> None:
+        if epoch != self._churn_epoch[worker]:
+            # Scheduled before the worker's departure: discard; the rejoin
+            # (with a fresh epoch) owns the one live loop.
+            return
         state = self.workers[worker]
         lr = self.current_lr()
         _, grad = self.tasks[worker].sample_loss_and_grad()
         state.local_gradient_step(grad, lr)  # first update (line 11)
+        if peer != worker and not self._active[peer]:
+            # Peer departed mid-flight: drop the stale pull and book the
+            # iteration as compute-only (updates never incorporate state
+            # from a departed worker).
+            peer = worker
         if peer != worker:
-            self._apply_pull(worker, peer, lr)  # second update (lines 13-15)
+            # Second update (lines 13-15), debiased by the selection-time
+            # probability.
+            self._apply_pull(worker, peer, lr, p_selected)
         state.record_time(peer, duration)
         self.record_iteration(worker, compute, duration)
         self._start_iteration(worker)
 
-    def _apply_pull(self, worker: int, peer: int, lr: float) -> None:
+    def _apply_pull(self, worker: int, peer: int, lr: float, p_selected: float) -> None:
         """NetMax's weighted pull; the AD-PSGD+Monitor extension overrides it."""
         peer_params = self.tasks[peer].model.get_params()
-        self.workers[worker].pull_update(peer, peer_params, lr)
+        self.workers[worker].pull_update(peer, peer_params, lr, p_im=p_selected)
 
     # -- the Network Monitor loop (Algorithm 1) ------------------------------------
 
     def _monitor_tick(self) -> None:
         raw_times = np.stack([state.time_vector() for state in self.workers])
-        result = self.monitor.tick(raw_times, self.current_lr())
+        active = None if all(self._active) else np.asarray(self._active, dtype=bool)
+        result = self.monitor.tick(raw_times, self.current_lr(), active=active)
         if result is not None:
+            # Under churn the policy covers the active subgraph only; the
+            # departed keep their previous rows (the mask already steers
+            # everyone's selection away from them) and pick up the next
+            # policy published after their rejoin.
             for i, state in enumerate(self.workers):
-                state.stage_policy(result.policy[i], result.rho)
+                if self._active[i]:
+                    state.stage_policy(result.policy[i], result.rho)
         next_time = self.sim.now + self.monitor_period_s
         if next_time < self.config.max_sim_time:
             self.sim.schedule_at(next_time, self._monitor_tick)

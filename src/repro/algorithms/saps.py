@@ -74,9 +74,10 @@ class SAPSTrainer(ADPSGDTrainer):
             self.fixed_subgraph.neighbors(i) for i in range(self.num_workers)
         ]
 
-    def _choose_peer(self, worker: int) -> int:
-        neighbors = self._neighbor_cache[worker]
-        return int(neighbors[self._selection_rngs[worker].integers(neighbors.size)])
+    # _choose_peer is inherited: it gossips over self._neighbor_cache, which
+    # this constructor repointed at the fixed subgraph, and under churn it
+    # renormalizes over that subgraph's active neighbors (a tree worker whose
+    # only fast-subgraph peers departed runs compute-only until one returns).
 
     def _extras(self) -> dict:
         return {"fixed_subgraph_edges": self.fixed_subgraph.edges()}

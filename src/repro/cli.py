@@ -18,6 +18,18 @@ Examples::
         --parallel 4 --cache-dir .sweep-cache
     python -m repro sweep --algorithms netmax adpsgd --seeds 0 1 --dry-run
 
+    # Sweep scenario families with per-cell parameter grids: unprefixed
+    # params apply to every listed family that declares them; a family:
+    # prefix pins one family; comma-separated values cross-product
+    python -m repro sweep --algorithms netmax adpsgd --seeds 0 1 \
+        --scenarios trace-diurnal churn \
+        --scenario-param trace-diurnal:amplitude=0.3,0.8 \
+        --scenario-param churn:downtime_s=10,30 --dry-run
+
+    # Compare on a named scenario family with parameter overrides
+    python -m repro compare --algorithms netmax adpsgd \
+        --scenario trace-burst --scenario-param burst_probability=0.2
+
     # Solve a communication policy for a measured time matrix (CSV)
     python -m repro policy --times times.csv --alpha 0.1
 """
@@ -26,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import itertools
 import sys
 
 import numpy as np
@@ -33,6 +46,8 @@ import numpy as np
 from repro import experiments
 from repro.algorithms.base import TrainerConfig
 from repro.experiments import (
+    build_scenario,
+    get_scenario_family,
     heterogeneous_scenario,
     homogeneous_scenario,
     make_workload,
@@ -72,11 +87,75 @@ FIGURE_FUNCTIONS = {
     "fig17": experiments.figure17_tinyimagenet_nonuniform,
     "fig18": experiments.figure18_mnist_noniid,
     "fig19": experiments.figure19_multicloud,
+    "dyn-traces": experiments.figure_dynamics_traces,
+    "dyn-churn": experiments.figure_dynamics_churn,
     "table2": experiments.table2_accuracy_heterogeneous,
     "table3": experiments.table3_accuracy_homogeneous,
     "table5": experiments.table5_accuracy_nonuniform,
     "table6": experiments.table6_mobilenet_accuracy,
 }
+
+
+def _parse_scenario_param(item: str) -> tuple[str | None, str, list[str]]:
+    """``"[family:]key=v1[,v2,...]"`` -> ``(family, key, values)``."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise ValueError(
+            f"--scenario-param must look like [family:]key=value[,value...], got {item!r}"
+        )
+    family = None
+    if ":" in key:
+        family, _, key = key.partition(":")
+    values = [value for value in raw.split(",") if value != ""]
+    if not key or not values:
+        raise ValueError(f"--scenario-param {item!r} names no key or no values")
+    return family, key, values
+
+
+def _scenario_grid(
+    kinds: list[str], num_workers: int, param_items: list[str]
+) -> list[ScenarioSpec]:
+    """Expand families x per-family parameter grids into ScenarioSpecs.
+
+    Unprefixed parameters attach to every listed family whose schema
+    declares them (and must match at least one); ``family:``-prefixed ones
+    pin a single listed family. Multiple values cross-product per family.
+    """
+    per_family: dict[str, dict[str, list[str]]] = {kind: {} for kind in kinds}
+    for item in param_items:
+        family, key, values = _parse_scenario_param(item)
+        if family is not None:
+            if family not in per_family:
+                raise ValueError(
+                    f"--scenario-param targets family {family!r}, which is "
+                    f"not among --scenarios {kinds}"
+                )
+            get_scenario_family(family).param(key)  # unknown key -> error
+            per_family[family][key] = values
+        else:
+            targets = [
+                kind for kind in kinds
+                if key in get_scenario_family(kind).param_names()
+            ]
+            if not targets:
+                raise ValueError(
+                    f"no selected scenario family accepts parameter {key!r}"
+                )
+            for kind in targets:
+                per_family[kind][key] = values
+    specs = []
+    for kind in kinds:
+        grid = per_family[kind]
+        keys = sorted(grid)
+        for combo in itertools.product(*(grid[key] for key in keys)):
+            specs.append(
+                ScenarioSpec(
+                    kind=kind,
+                    num_workers=num_workers,
+                    params=tuple(zip(keys, combo)),
+                )
+            )
+    return specs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--samples", type=int, default=4096)
     compare.add_argument("--sim-time", type=float, default=300.0)
     compare.add_argument("--homogeneous", action="store_true")
+    compare.add_argument("--scenario", choices=sorted(SCENARIO_KINDS), default=None,
+                        help="scenario family from the registry "
+                             "(overrides --homogeneous)")
+    compare.add_argument("--scenario-param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override one scenario parameter (repeatable)")
     compare.add_argument("--seed", type=int, default=0)
 
     figure = sub.add_parser("figure", help="regenerate a paper table/figure")
@@ -112,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2, 3])
     sweep.add_argument("--scenarios", nargs="+", choices=sorted(SCENARIO_KINDS),
                        default=["heterogeneous"])
+    sweep.add_argument("--scenario-param", action="append", default=[],
+                       metavar="[FAMILY:]KEY=V1[,V2...]",
+                       help="per-cell scenario parameter grid: repeatable; "
+                            "comma-separated values cross-product; an "
+                            "optional FAMILY: prefix pins one family")
     sweep.add_argument("--workers", type=int, default=8)
     sweep.add_argument("--model", default="mobilenet")
     sweep.add_argument("--dataset", default="mnist")
@@ -138,11 +228,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_compare(args: argparse.Namespace) -> int:
-    scenario = (
-        homogeneous_scenario(args.workers)
-        if args.homogeneous
-        else heterogeneous_scenario(args.workers, seed=args.seed)
-    )
+    if args.scenario is not None:
+        overrides = {}
+        for item in args.scenario_param:
+            family, key, values = _parse_scenario_param(item)
+            if family is not None and family != args.scenario:
+                print(f"error: --scenario-param targets family {family!r} but "
+                      f"--scenario is {args.scenario!r}", file=sys.stderr)
+                return 2
+            if len(values) != 1:
+                print(f"error: compare takes single-valued scenario params, got {item!r}",
+                      file=sys.stderr)
+                return 2
+            overrides[key] = values[0]
+        try:
+            scenario = build_scenario(
+                args.scenario, num_workers=args.workers, seed=args.seed, **overrides
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.scenario_param:
+        print("error: --scenario-param needs --scenario", file=sys.stderr)
+        return 2
+    else:
+        scenario = (
+            homogeneous_scenario(args.workers)
+            if args.homogeneous
+            else heterogeneous_scenario(args.workers, seed=args.seed)
+        )
     workload = make_workload(
         args.model,
         args.dataset,
@@ -156,7 +270,12 @@ def _run_compare(args: argparse.Namespace) -> int:
         eval_interval_s=max(5.0, args.sim_time / 25),
         seed=args.seed,
     )
-    results = run_comparison(args.algorithms, scenario, workload, config)
+    try:
+        results = run_comparison(args.algorithms, scenario, workload, config)
+    except ValueError as error:
+        # e.g. a churn scenario paired with a churn-incapable algorithm.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     speedups = time_to_loss_speedups(results, reference=args.algorithms[0])
     rows = []
     for name in args.algorithms:
@@ -213,8 +332,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             algorithms=tuple(args.algorithms),
             seeds=tuple(args.seeds),
             scenarios=tuple(
-                ScenarioSpec(kind=kind, num_workers=args.workers)
-                for kind in args.scenarios
+                _scenario_grid(args.scenarios, args.workers, args.scenario_param)
             ),
             workload=WorkloadSpec(
                 model=args.model,

@@ -81,6 +81,11 @@ class ConsensusWorker:
         if probabilities is None:
             probabilities = np.zeros(num_workers)
             probabilities[neighbors] = 1.0 / neighbors.size
+        # Churn support: boolean activity mask over all workers (None =
+        # everyone up). Selection renormalizes the policy row over the active
+        # neighbors; the staged policy itself is left untouched so a rejoin
+        # restores the original probabilities.
+        self._active_mask: np.ndarray | None = None
         self.probabilities = self._validate_row(probabilities)
         self._refresh_cdf()
         self._pending: tuple[np.ndarray, float] | None = None
@@ -107,12 +112,42 @@ class ConsensusWorker:
         return row / row.sum()
 
     def _refresh_cdf(self) -> None:
-        """Cache the selection CDF; rebuilt only when the row changes, so
+        """Cache the selection CDF over the *effective* probability row.
+
+        Rebuilt only when the policy row or activity mask changes, so
         choose_peer is one uniform draw + searchsorted per iteration (the
-        same stream rng.choice(p=row) would consume)."""
-        cdf = self.probabilities.cumsum()
+        same stream rng.choice(p=row) would consume). With no mask the
+        effective row IS the policy row; with departed peers their mass is
+        renormalized over the remaining active neighbors (plus self), and a
+        worker with no live peers left degenerates to all-self (compute-only
+        iterations).
+        """
+        row = self.probabilities
+        if self._active_mask is not None:
+            allowed = self._active_mask.copy()
+            allowed[self.worker_id] = True
+            row = np.where(allowed, row, 0.0)
+            total = row.sum()
+            if total <= 0.0:
+                row = np.zeros(self.num_workers)
+                row[self.worker_id] = 1.0
+            else:
+                row = row / total
+        self.effective_probabilities = row
+        cdf = row.cumsum()
         cdf /= cdf[-1]
         self._cdf = cdf
+
+    def set_active_mask(self, mask: np.ndarray | None) -> None:
+        """Install the cluster's activity mask (churn) and re-derive the CDF."""
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.num_workers,):
+                raise ValueError(
+                    f"mask must have shape ({self.num_workers},), got {mask.shape}"
+                )
+        self._active_mask = mask
+        self._refresh_cdf()
 
     # -- policy management (Algorithm 2, lines 5-8) ---------------------------
 
@@ -143,7 +178,13 @@ class ConsensusWorker:
         self.model.set_params(self._sgd_state.step(params, grad, lr))
         self.local_step += 1
 
-    def pull_update(self, peer: int, peer_params: np.ndarray, lr: float) -> None:
+    def pull_update(
+        self,
+        peer: int,
+        peer_params: np.ndarray,
+        lr: float,
+        p_im: float | None = None,
+    ) -> None:
         """Lines 13-15: second update toward the pulled parameters.
 
         ``theta = rho/2 * (d_im + d_mi)/p_im * (x - x_m)`` and
@@ -151,12 +192,22 @@ class ConsensusWorker:
         ``alpha * rho / p_im`` toward the peer (undirected graph, so
         ``d_im + d_mi = 2``). The coefficient is clipped just below 1 for
         safety; feasible policies satisfy Eq. (11), which keeps it under 1/2.
+
+        Args:
+            p_im: the (churn-renormalized) probability the peer was selected
+                with, captured at *selection time* -- under churn the
+                effective row can be re-renormalized while the pull is in
+                flight, and the debias weight must match the distribution
+                the draw actually came from. Defaults to the current
+                effective probability (exact whenever no churn transition
+                straddles the iteration).
         """
         if peer == self.worker_id:
             raise ValueError("pull_update needs a real peer, not self")
         if peer not in self.neighbors:
             raise ValueError(f"worker {peer} is not a neighbor of {self.worker_id}")
-        p_im = self.probabilities[peer]
+        if p_im is None:
+            p_im = self.effective_probabilities[peer]
         if p_im <= 0:
             raise ValueError(f"pulled from peer {peer} with zero probability")
         coefficient = lr * self.rho / p_im  # alpha * rho * gamma_im, gamma = 1/p

@@ -13,7 +13,7 @@ tests that exercise it standalone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -35,6 +35,7 @@ class MonitorStats:
     policies_published: int = 0
     skipped_insufficient_data: int = 0
     skipped_infeasible: int = 0
+    skipped_disconnected: int = 0
 
 
 class NetworkMonitor:
@@ -72,13 +73,34 @@ class NetworkMonitor:
 
     # -- time-matrix assembly --------------------------------------------------
 
-    def coverage(self, raw_times: np.ndarray) -> float:
-        """Fraction of directed neighbor pairs with a measurement."""
-        raw_times = np.asarray(raw_times, dtype=np.float64)
-        adjacency = self.topology.adjacency
+    @staticmethod
+    def _coverage_of(raw_times: np.ndarray, adjacency: np.ndarray) -> float:
         total = int(adjacency.sum())
         measured = int(np.sum(adjacency & ~np.isnan(raw_times)))
         return measured / total if total else 1.0
+
+    def coverage(self, raw_times: np.ndarray) -> float:
+        """Fraction of directed neighbor pairs with a measurement."""
+        raw_times = np.asarray(raw_times, dtype=np.float64)
+        return self._coverage_of(raw_times, self.topology.adjacency)
+
+    def _assemble(
+        self, raw_times: np.ndarray, adjacency: np.ndarray
+    ) -> np.ndarray | None:
+        """Conservative gap-filling over an arbitrary adjacency matrix."""
+        if self._coverage_of(raw_times, adjacency) < self.min_coverage:
+            return None
+        m = adjacency.shape[0]
+        filled = raw_times.copy()
+        for i in range(m):
+            row_known = filled[i][adjacency[i] & ~np.isnan(filled[i])]
+            if row_known.size == 0:
+                return None
+            fallback = float(row_known.max())
+            missing = adjacency[i] & np.isnan(filled[i])
+            filled[i, missing] = fallback
+        filled[~adjacency] = 0.0
+        return filled
 
     def assemble_time_matrix(self, raw_times: np.ndarray) -> np.ndarray | None:
         """Fill unmeasured neighbor entries conservatively.
@@ -93,44 +115,67 @@ class NetworkMonitor:
         m = self.topology.num_workers
         if raw_times.shape != (m, m):
             raise ValueError(f"expected ({m}, {m}) time matrix, got {raw_times.shape}")
-        if self.coverage(raw_times) < self.min_coverage:
-            return None
-        adjacency = self.topology.adjacency
-        filled = raw_times.copy()
-        for i in range(m):
-            row_known = filled[i][adjacency[i] & ~np.isnan(filled[i])]
-            if row_known.size == 0:
-                return None
-            fallback = float(row_known.max())
-            missing = adjacency[i] & np.isnan(filled[i])
-            filled[i, missing] = fallback
-        filled[~adjacency] = 0.0
-        return filled
+        return self._assemble(raw_times, self.topology.adjacency)
 
     # -- Algorithm 1, line 5 -----------------------------------------------------
 
-    def tick(self, raw_times: np.ndarray, alpha: float) -> PolicyResult | None:
+    def tick(
+        self,
+        raw_times: np.ndarray,
+        alpha: float,
+        active: np.ndarray | None = None,
+    ) -> PolicyResult | None:
         """One monitor period: assemble times and run Algorithm 3.
 
         Args:
             raw_times: ``(M, M)`` matrix of EMA iteration times with NaN
                 where a worker has not yet sampled a peer.
             alpha: the learning rate currently in force at the workers.
+            active: optional boolean activity mask (churn). When some workers
+                are down, the policy is solved over the *induced subgraph* of
+                active workers -- coverage, gap-filling, and the LP all
+                renormalize over the live cluster -- and the returned policy
+                is re-embedded at full size with zero rows/columns for the
+                departed (only active workers should adopt it).
 
         Returns:
             A fresh :class:`PolicyResult`, or ``None`` when no policy could
-            be produced this period (insufficient data or infeasible grid);
-            workers then simply keep their current policy.
+            be produced this period (insufficient data, infeasible grid, or
+            a disconnected active subgraph); workers then simply keep their
+            current policy.
         """
         self.stats.ticks += 1
-        matrix = self.assemble_time_matrix(raw_times)
+        raw_times = np.asarray(raw_times, dtype=np.float64)
+        m = self.topology.num_workers
+        if raw_times.shape != (m, m):
+            raise ValueError(f"expected ({m}, {m}) time matrix, got {raw_times.shape}")
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            if active.all():
+                active = None
+        if active is None:
+            idx = np.arange(m)
+            adjacency = self.topology.adjacency
+        else:
+            idx = np.flatnonzero(active)
+            if idx.size < 2:
+                self.stats.skipped_insufficient_data += 1
+                return None
+            adjacency = self.topology.adjacency[np.ix_(idx, idx)]
+            sub_graph = Topology(adjacency)
+            if not sub_graph.is_connected():
+                # Assumption 1 fails on the live cluster; publishing a policy
+                # for a split graph would strand the components.
+                self.stats.skipped_disconnected += 1
+                return None
+        matrix = self._assemble(raw_times[np.ix_(idx, idx)], adjacency)
         if matrix is None:
             self.stats.skipped_insufficient_data += 1
             return None
         try:
             result = generate_policy(
                 matrix,
-                self.topology.indicator(),
+                adjacency.astype(np.float64),
                 alpha,
                 outer_rounds=self.outer_rounds,
                 inner_rounds=self.inner_rounds,
@@ -139,6 +184,10 @@ class NetworkMonitor:
         except PolicyGenerationError:
             self.stats.skipped_infeasible += 1
             return None
+        if active is not None:
+            embedded = np.zeros((m, m))
+            embedded[np.ix_(idx, idx)] = result.policy
+            result = replace(result, policy=embedded)
         self.stats.policies_published += 1
         self.last_result = result
         return result

@@ -10,6 +10,13 @@ from repro.experiments.scenarios import (
     heterogeneous_scenario,
     homogeneous_scenario,
     multi_cloud_scenario,
+    ScenarioFamily,
+    ScenarioParam,
+    SCENARIO_FAMILIES,
+    register_scenario_family,
+    scenario_names,
+    get_scenario_family,
+    build_scenario,
     Workload,
     make_workload,
     make_quadratic_workload,
@@ -53,6 +60,10 @@ from repro.experiments.figures_noniid import (
     figure18_mnist_noniid,
     figure19_multicloud,
 )
+from repro.experiments.figures_dynamics import (
+    figure_dynamics_traces,
+    figure_dynamics_churn,
+)
 from repro.experiments.tables import (
     table2_accuracy_heterogeneous,
     table3_accuracy_homogeneous,
@@ -65,6 +76,13 @@ __all__ = [
     "heterogeneous_scenario",
     "homogeneous_scenario",
     "multi_cloud_scenario",
+    "ScenarioFamily",
+    "ScenarioParam",
+    "SCENARIO_FAMILIES",
+    "register_scenario_family",
+    "scenario_names",
+    "get_scenario_family",
+    "build_scenario",
     "Workload",
     "make_workload",
     "make_quadratic_workload",
@@ -101,6 +119,8 @@ __all__ = [
     "figure17_tinyimagenet_nonuniform",
     "figure18_mnist_noniid",
     "figure19_multicloud",
+    "figure_dynamics_traces",
+    "figure_dynamics_churn",
     "table2_accuracy_heterogeneous",
     "table3_accuracy_homogeneous",
     "table5_accuracy_nonuniform",

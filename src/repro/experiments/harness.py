@@ -55,6 +55,8 @@ def run_trainer(
             f"scenario has {scenario.num_workers} workers but workload has "
             f"{workload.num_workers}"
         )
+    if scenario.churn is not None and "churn" not in trainer_kwargs:
+        trainer_kwargs["churn"] = scenario.churn
     tasks = workload.make_tasks(seed_offset=seed_offset)
     trainer = create_trainer(
         algorithm,

@@ -1,14 +1,38 @@
 """Scenario and workload builders mirroring Section V-A's experimental setup.
 
-A :class:`Scenario` is the *network*: topology + link-speed model.
-A :class:`Workload` is the *learning problem*: per-worker tasks (model
-replica + data shard + batch size), the held-out test set, and the
-paper-scale cost profile. The harness combines one of each with an
-algorithm name.
+A :class:`Scenario` is the *network*: topology + link-speed model + an
+optional churn schedule. A :class:`Workload` is the *learning problem*:
+per-worker tasks (model replica + data shard + batch size), the held-out
+test set, and the paper-scale cost profile. The harness combines one of
+each with an algorithm name.
+
+Beyond the direct builder functions, this module hosts the **scenario
+registry**: every scenario *family* (``"heterogeneous"``,
+``"trace-diurnal"``, ``"churn"``, ...) registers a declarative
+:class:`ScenarioFamily` -- builder plus typed parameter schema -- and
+:func:`build_scenario` instantiates any family by name with
+string-coercible parameter overrides. The registry is what the sweep
+engine's per-cell scenario-parameter grids and the CLI's
+``--scenario`` / ``--scenario-param`` flags resolve against.
+
+Scenario families (see each family's description for parameters):
+
+- ``homogeneous`` -- Section V-A's single-server 10 Gbps virtual switch;
+- ``heterogeneous`` -- Section V-A's multi-tenant cluster with the rotating
+  2x-100x slowdown link;
+- ``heterogeneous-static`` -- the same cluster with the slowdown frozen off;
+- ``multi-cloud`` -- Appendix G's six-region WAN (fixed at 6 workers);
+- ``trace-diurnal`` / ``trace-random-walk`` / ``trace-burst`` -- synthetic
+  trace-driven link dynamics (:mod:`repro.network.links` generators);
+- ``trace-file`` -- replay a JSON/CSV bandwidth trace from disk;
+- ``churn`` -- the heterogeneous network plus scheduled worker
+  departures/rejoins (:class:`repro.simulation.churn.ChurnSchedule`).
 """
 
 from __future__ import annotations
 
+import os
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,20 +48,32 @@ from repro.graph.topology import Topology
 from repro.ml.data import BatchSampler, Dataset, train_test_split
 from repro.ml.models import build_model
 from repro.ml.problems import make_consensus_quadratics
-from repro.network.cluster import ClusterSpec
+from repro.network.cluster import ClusterSpec, gbps_to_bytes_per_s
 from repro.network.costmodel import ModelCostProfile, get_cost_profile
 from repro.network.links import (
     DynamicSlowdownLinks,
     LinkSpeedModel,
     StaticLinks,
+    TraceLinks,
+    burst_congestion_trace,
+    diurnal_trace,
     multi_cloud_links,
+    random_walk_trace,
 )
+from repro.simulation.churn import ChurnSchedule
 
 __all__ = [
     "Scenario",
     "heterogeneous_scenario",
     "homogeneous_scenario",
     "multi_cloud_scenario",
+    "ScenarioParam",
+    "ScenarioFamily",
+    "SCENARIO_FAMILIES",
+    "register_scenario_family",
+    "scenario_names",
+    "get_scenario_family",
+    "build_scenario",
     "Workload",
     "make_workload",
     "make_quadratic_workload",
@@ -46,11 +82,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Scenario:
-    """A network to train over."""
+    """A network to train over (plus optional worker churn)."""
 
     name: str
     topology: Topology
     links: LinkSpeedModel
+    churn: ChurnSchedule | None = None
 
     @property
     def num_workers(self) -> int:
@@ -63,13 +100,15 @@ def heterogeneous_scenario(
     slowdown_period_s: float = 300.0,
     slowdown_range: tuple[float, float] = (2.0, 100.0),
     seed: int = 0,
+    num_slow_links: int = 1,
 ) -> Scenario:
     """Section V-A's heterogeneous multi-tenant cluster.
 
     Workers are spread across servers per the paper's layout (4/8/16 workers
     on 2/3/4 servers); inter-machine links run at 1 Gbps, intra-machine at
-    10 Gbps; when ``dynamic``, one random link is slowed 2x-100x with the
-    slowed link rotating every ``slowdown_period_s`` (paper: 5 minutes).
+    10 Gbps; when ``dynamic``, ``num_slow_links`` random links are slowed
+    2x-100x with the slowed set rotating every ``slowdown_period_s``
+    (paper: 1 link, 5 minutes).
     """
     cluster = ClusterSpec.paper_heterogeneous(num_workers)
     links: LinkSpeedModel = StaticLinks.from_cluster(cluster)
@@ -79,6 +118,7 @@ def heterogeneous_scenario(
             period_s=slowdown_period_s,
             slowdown_range=slowdown_range,
             seed=seed,
+            num_slow_links=num_slow_links,
         )
     return Scenario(
         name=f"heterogeneous-{num_workers}w" + ("-dynamic" if dynamic else ""),
@@ -105,6 +145,346 @@ def multi_cloud_scenario() -> Scenario:
         topology=Topology.fully_connected(links.num_workers),
         links=links,
     )
+
+
+# -- the scenario registry -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioParam:
+    """One tunable knob of a scenario family.
+
+    The parameter's type is the type of its ``default``; :meth:`coerce`
+    turns CLI strings (and any compatible value) into that type, so sweep
+    cache keys are canonical no matter how the value was spelled.
+    """
+
+    name: str
+    default: object
+    doc: str = ""
+
+    def coerce(self, value):
+        kind = type(self.default)
+        if kind is bool:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "1", "yes", "on"):
+                    return True
+                if lowered in ("false", "0", "no", "off"):
+                    return False
+                raise ValueError(f"parameter {self.name!r}: not a boolean: {value!r}")
+            return bool(value)
+        try:
+            return kind(value)
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"parameter {self.name!r} expects {kind.__name__}, got {value!r}"
+            ) from error
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A named, parameterizable scenario builder.
+
+    Attributes:
+        name: registry key (also the sweep/CLI scenario "kind").
+        description: one-line catalog entry.
+        builder: ``(num_workers, seed, **params) -> Scenario``.
+        params: the declared parameter schema; overrides outside it are
+            rejected (a typo'd sweep grid must fail at spec time, not after
+            hours of cells).
+        fixed_workers: worker count the family is pinned to (``None`` =
+            any ``>= 2``).
+        validator: optional hook over the *merged* (defaults + overrides)
+            parameters, run at spec construction as well as at build time --
+            a grid that cannot run must never survive a dry run.
+        has_churn: whether built scenarios carry a churn schedule (lets the
+            sweep engine reject churn-incapable algorithms at spec time).
+    """
+
+    name: str
+    description: str
+    builder: Callable[..., Scenario]
+    params: tuple[ScenarioParam, ...] = ()
+    fixed_workers: int | None = None
+    validator: Callable[[dict], None] | None = None
+    has_churn: bool = False
+
+    def param(self, name: str) -> ScenarioParam:
+        for parameter in self.params:
+            if parameter.name == name:
+                return parameter
+        raise ValueError(
+            f"scenario family {self.name!r} has no parameter {name!r}; "
+            f"valid: {[p.name for p in self.params]}"
+        )
+
+    def param_names(self) -> list[str]:
+        return [parameter.name for parameter in self.params]
+
+    def coerce_params(self, overrides: dict) -> dict:
+        """Validate + canonicalize overrides against the schema."""
+        return {key: self.param(key).coerce(value) for key, value in overrides.items()}
+
+    def merge_and_validate(self, overrides: dict) -> dict:
+        """Coerced overrides over defaults, passed through the validator."""
+        merged = {parameter.name: parameter.default for parameter in self.params}
+        merged.update(self.coerce_params(overrides))
+        if self.validator is not None:
+            self.validator(merged)
+        return merged
+
+    def validate_workers(self, num_workers: int) -> None:
+        if num_workers < 2:
+            raise ValueError("num_workers must be >= 2")
+        if self.fixed_workers is not None and num_workers != self.fixed_workers:
+            raise ValueError(
+                f"the {self.name} scenario is fixed at {self.fixed_workers} "
+                f"workers, got num_workers={num_workers}"
+            )
+
+    def build(self, num_workers: int = 8, seed: int = 0, **overrides) -> Scenario:
+        self.validate_workers(num_workers)
+        return self.builder(num_workers, seed, **self.merge_and_validate(overrides))
+
+
+SCENARIO_FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def register_scenario_family(family: ScenarioFamily) -> ScenarioFamily:
+    """Add a family to the registry (name collisions are a programming error)."""
+    if family.name in SCENARIO_FAMILIES:
+        raise ValueError(f"scenario family {family.name!r} already registered")
+    SCENARIO_FAMILIES[family.name] = family
+    return family
+
+
+def scenario_names() -> list[str]:
+    """All registered family names, sorted."""
+    return sorted(SCENARIO_FAMILIES)
+
+
+def get_scenario_family(name: str) -> ScenarioFamily:
+    if name not in SCENARIO_FAMILIES:
+        raise ValueError(
+            f"unknown scenario kind {name!r}; valid: {scenario_names()}"
+        )
+    return SCENARIO_FAMILIES[name]
+
+
+def build_scenario(name: str, num_workers: int = 8, seed: int = 0, **params) -> Scenario:
+    """Instantiate a registered scenario family by name."""
+    return get_scenario_family(name).build(num_workers, seed, **params)
+
+
+def _named(base: Scenario, family: str, num_workers: int) -> Scenario:
+    """Stamp the family's canonical name onto a built scenario."""
+    return Scenario(
+        name=f"{family}-{num_workers}w",
+        topology=base.topology,
+        links=base.links,
+        churn=base.churn,
+    )
+
+
+def _build_heterogeneous(num_workers, seed, **params):
+    return heterogeneous_scenario(
+        num_workers,
+        dynamic=True,
+        slowdown_period_s=params["period_s"],
+        slowdown_range=(params["slowdown_low"], params["slowdown_high"]),
+        seed=seed,
+        num_slow_links=params["num_slow_links"],
+    )
+
+
+def _build_trace(generator, trace_kwargs, num_workers, seed, params):
+    links = generator(
+        num_workers,
+        duration_s=params["duration_s"],
+        step_s=params["step_s"],
+        base_bandwidth=gbps_to_bytes_per_s(params["base_gbps"]),
+        latency_s=params["latency_s"],
+        seed=seed,
+        **trace_kwargs(params),
+    )
+    return Scenario(
+        name="trace",
+        topology=Topology.fully_connected(num_workers),
+        links=links,
+    )
+
+
+def _validate_trace_file_params(params: dict) -> None:
+    """Spec-time check: an unset or missing trace path must fail a dry run."""
+    path = params["path"]
+    if not path:
+        raise ValueError("the trace-file scenario needs path=<file.json|file.csv>")
+    if not os.path.exists(path):
+        raise ValueError(f"trace file not found: {path!r}")
+
+
+def _build_trace_file(num_workers, seed, **params):
+    path = params["path"]
+    if path.endswith(".csv"):
+        # Worker count is inferred from the file, then checked below, so a
+        # mismatch reports the same way for both formats.
+        links = TraceLinks.from_csv(path, latency=params["latency_s"])
+    else:
+        links = TraceLinks.from_json(path)
+    if links.num_workers != num_workers:
+        raise ValueError(
+            f"trace file {path!r} describes {links.num_workers} workers, "
+            f"scenario asked for {num_workers}"
+        )
+    return Scenario(
+        name="trace-file",
+        topology=Topology.fully_connected(num_workers),
+        links=links,
+    )
+
+
+def _build_churn(num_workers, seed, **params):
+    base = heterogeneous_scenario(
+        num_workers,
+        dynamic=params["dynamic"],
+        slowdown_period_s=params["period_s"],
+        seed=seed,
+    )
+    churn = ChurnSchedule.random(
+        num_workers,
+        horizon_s=params["horizon_s"],
+        num_departures=params["num_departures"],
+        downtime_s=params["downtime_s"],
+        seed=seed,
+        min_active=params["min_active"],
+    )
+    return Scenario(
+        name="churn", topology=base.topology, links=base.links, churn=churn
+    )
+
+
+_TRACE_COMMON = (
+    ScenarioParam("base_gbps", 1.0, "quiet-network bandwidth of every link, Gbps"),
+    ScenarioParam("duration_s", 3600.0, "trace horizon; the last segment holds after it"),
+    ScenarioParam("step_s", 60.0, "piecewise-constant sampling step, seconds"),
+    ScenarioParam("latency_s", 0.001, "one-way link latency, seconds"),
+)
+
+register_scenario_family(ScenarioFamily(
+    name="homogeneous",
+    description="Section V-A single-server 10 Gbps virtual switch",
+    builder=lambda num_workers, seed, **_: _named(
+        homogeneous_scenario(num_workers), "homogeneous", num_workers
+    ),
+))
+register_scenario_family(ScenarioFamily(
+    name="heterogeneous",
+    description="Section V-A multi-tenant cluster, rotating slowed link",
+    builder=lambda num_workers, seed, **params: _named(
+        _build_heterogeneous(num_workers, seed, **params),
+        "heterogeneous", num_workers,
+    ),
+    params=(
+        ScenarioParam("period_s", 300.0, "slow-link rotation period (paper: 300 s)"),
+        ScenarioParam("slowdown_low", 2.0, "minimum slowdown factor"),
+        ScenarioParam("slowdown_high", 100.0, "maximum slowdown factor"),
+        ScenarioParam("num_slow_links", 1, "simultaneously slowed links"),
+    ),
+))
+register_scenario_family(ScenarioFamily(
+    name="heterogeneous-static",
+    description="the heterogeneous cluster with the slowdown frozen off",
+    builder=lambda num_workers, seed, **_: _named(
+        heterogeneous_scenario(num_workers, dynamic=False),
+        "heterogeneous-static", num_workers,
+    ),
+))
+register_scenario_family(ScenarioFamily(
+    name="multi-cloud",
+    description="Appendix G six-region WAN (fixed at 6 workers)",
+    builder=lambda num_workers, seed, **_: multi_cloud_scenario(),
+    fixed_workers=6,
+))
+register_scenario_family(ScenarioFamily(
+    name="trace-diurnal",
+    description="sinusoidal daily-cycle bandwidth, per-pair phase offsets",
+    builder=lambda num_workers, seed, **params: _named(
+        _build_trace(
+            diurnal_trace,
+            lambda p: {"amplitude": p["amplitude"], "period_s": p["period_s"]},
+            num_workers, seed, params,
+        ),
+        "trace-diurnal", num_workers,
+    ),
+    params=_TRACE_COMMON + (
+        ScenarioParam("amplitude", 0.6, "sine amplitude as a fraction of base"),
+        ScenarioParam("period_s", 1800.0, "diurnal cycle length, seconds"),
+    ),
+))
+register_scenario_family(ScenarioFamily(
+    name="trace-random-walk",
+    description="log-space multiplicative random walk per link",
+    builder=lambda num_workers, seed, **params: _named(
+        _build_trace(
+            random_walk_trace,
+            lambda p: {"sigma": p["sigma"]},
+            num_workers, seed, params,
+        ),
+        "trace-random-walk", num_workers,
+    ),
+    params=_TRACE_COMMON + (
+        ScenarioParam("sigma", 0.15, "per-step log-normal walk std"),
+    ),
+))
+register_scenario_family(ScenarioFamily(
+    name="trace-burst",
+    description="links intermittently crushed by bursty cross-traffic",
+    builder=lambda num_workers, seed, **params: _named(
+        _build_trace(
+            burst_congestion_trace,
+            lambda p: {
+                "burst_probability": p["burst_probability"],
+                "burst_factor_range": (p["burst_factor_low"], p["burst_factor_high"]),
+            },
+            num_workers, seed, params,
+        ),
+        "trace-burst", num_workers,
+    ),
+    params=_TRACE_COMMON + (
+        ScenarioParam("burst_probability", 0.08, "per-step burst start probability"),
+        ScenarioParam("burst_factor_low", 5.0, "minimum burst slowdown factor"),
+        ScenarioParam("burst_factor_high", 50.0, "maximum burst slowdown factor"),
+    ),
+))
+register_scenario_family(ScenarioFamily(
+    name="trace-file",
+    description="replay a JSON/CSV bandwidth trace from disk",
+    builder=lambda num_workers, seed, **params: _named(
+        _build_trace_file(num_workers, seed, **params), "trace-file", num_workers
+    ),
+    params=(
+        ScenarioParam("path", "", "trace file (.json or .csv; format in links.py)"),
+        ScenarioParam("latency_s", 0.001, "link latency for CSV traces, seconds"),
+    ),
+    validator=_validate_trace_file_params,
+))
+register_scenario_family(ScenarioFamily(
+    name="churn",
+    description="heterogeneous network plus scheduled worker departures/rejoins",
+    builder=lambda num_workers, seed, **params: _named(
+        _build_churn(num_workers, seed, **params), "churn", num_workers
+    ),
+    params=(
+        ScenarioParam("num_departures", 2, "how many departures over the horizon"),
+        ScenarioParam("downtime_s", 60.0, "seconds a departed worker stays away"),
+        ScenarioParam("horizon_s", 600.0, "window the departures are spread over"),
+        ScenarioParam("min_active", 2, "validated floor on active workers"),
+        ScenarioParam("dynamic", True, "keep the rotating slowed link too"),
+        ScenarioParam("period_s", 300.0, "slow-link rotation period, seconds"),
+    ),
+    has_churn=True,
+))
 
 
 @dataclass

@@ -40,10 +40,10 @@ from repro.experiments.common import ExperimentOutput
 from repro.experiments.scenarios import (
     Scenario,
     Workload,
-    heterogeneous_scenario,
-    homogeneous_scenario,
+    build_scenario,
+    get_scenario_family,
     make_workload,
-    multi_cloud_scenario,
+    scenario_names,
 )
 from repro.ml.optim import ConstantLR, LRSchedule, PlateauDecayLR, StepDecayLR
 from repro.simulation.records import TrainingResult
@@ -65,15 +65,19 @@ __all__ = [
 ]
 
 # Folded into every cache key; bump whenever trainer numerics change so
-# stale on-disk results can never masquerade as fresh ones.
-CACHE_VERSION = 1
+# stale on-disk results can never masquerade as fresh ones. Version 2:
+# scenario specs gained per-cell parameter grids (the cell payload changed).
+CACHE_VERSION = 2
 
-SCENARIO_KINDS = (
-    "heterogeneous",
-    "heterogeneous-static",
-    "homogeneous",
-    "multi-cloud",
-)
+
+def _scenario_kinds() -> tuple[str, ...]:
+    return tuple(scenario_names())
+
+
+# Backed by the scenario registry (repro.experiments.scenarios); evaluated at
+# import time for CLI choices -- families registered later are still valid in
+# ScenarioSpec, which consults the registry directly.
+SCENARIO_KINDS = _scenario_kinds()
 
 
 def parallel_map(fn: Callable, items: Sequence, parallel: int = 0) -> list:
@@ -96,37 +100,51 @@ def parallel_map(fn: Callable, items: Sequence, parallel: int = 0) -> list:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """Names a network scenario buildable from ``(kind, num_workers, seed)``."""
+    """Names a scenario family buildable from ``(kind, num_workers, seed)``
+    plus declarative parameter overrides.
+
+    ``params`` is a tuple of ``(name, value)`` pairs resolved against the
+    family's registered schema; values are coerced to the schema's types,
+    overrides equal to the schema default are dropped, and the tuple is
+    key-sorted at construction -- so two spellings of the same cell
+    (including spelling out a default) hash to the same cache key. Per-cell
+    scenario grids are just lists of ScenarioSpecs differing only in
+    ``params``.
+    """
 
     kind: str = "heterogeneous"
     num_workers: int = 8
+    params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in SCENARIO_KINDS:
-            raise ValueError(
-                f"unknown scenario kind {self.kind!r}; valid: {SCENARIO_KINDS}"
-            )
-        if self.num_workers < 2:
-            raise ValueError("num_workers must be >= 2")
         # Fail at spec construction, not cell execution: a grid that cannot
-        # run should never survive a dry run.
-        if self.kind == "multi-cloud" and self.num_workers != 6:
-            raise ValueError(
-                "the multi-cloud scenario is fixed at 6 workers (one per "
-                f"region), got num_workers={self.num_workers}"
-            )
+        # run should never survive a dry run. merge_and_validate also runs
+        # the family's spec-time validator (e.g. trace-file path checks).
+        family = get_scenario_family(self.kind)
+        family.validate_workers(self.num_workers)
+        coerced = family.coerce_params(dict(self.params))
+        family.merge_and_validate(coerced)
+        # Canonical form: an override spelled at its default value builds the
+        # identical scenario, so it must hash (and label) identically too.
+        coerced = {
+            key: value for key, value in coerced.items()
+            if value != family.param(key).default
+        }
+        object.__setattr__(
+            self, "params", tuple(sorted(coerced.items()))
+        )
 
     def build(self, seed: int) -> Scenario:
-        if self.kind == "heterogeneous":
-            return heterogeneous_scenario(self.num_workers, seed=seed)
-        if self.kind == "heterogeneous-static":
-            return heterogeneous_scenario(self.num_workers, dynamic=False)
-        if self.kind == "homogeneous":
-            return homogeneous_scenario(self.num_workers)
-        return multi_cloud_scenario()
+        return build_scenario(
+            self.kind, num_workers=self.num_workers, seed=seed, **dict(self.params)
+        )
 
     def label(self) -> str:
-        return f"{self.kind}-{self.num_workers}w"
+        base = f"{self.kind}-{self.num_workers}w"
+        if not self.params:
+            return base
+        rendered = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{base}[{rendered}]"
 
 
 @dataclass(frozen=True)
@@ -223,7 +241,9 @@ class SweepCell:
             "algorithm": self.algorithm,
             "seed": self.seed,
             "scenario": {"kind": self.scenario.kind,
-                         "num_workers": self.scenario.num_workers},
+                         "num_workers": self.scenario.num_workers,
+                         "params": [[key, value]
+                                    for key, value in self.scenario.params]},
             "workload": {
                 "model": self.workload.model,
                 "dataset": self.workload.dataset,
@@ -286,6 +306,26 @@ class SweepSpec:
             raise ValueError("a sweep needs at least one seed")
         if not self.scenarios:
             raise ValueError("a sweep needs at least one scenario")
+        # Fail at spec construction, not cell execution: a churn scenario
+        # paired with a churn-incapable algorithm can never run, so it must
+        # never survive a dry run either.
+        churn_kinds = sorted({
+            spec.kind for spec in self.scenarios
+            if get_scenario_family(spec.kind).has_churn
+        })
+        if churn_kinds:
+            from repro.algorithms.registry import TRAINER_REGISTRY
+
+            incapable = sorted({
+                name for name in self.algorithms
+                if name.lower() in TRAINER_REGISTRY
+                and not TRAINER_REGISTRY[name.lower()].supports_churn
+            })
+            if incapable:
+                raise ValueError(
+                    f"algorithm(s) {incapable} do not support churn and "
+                    f"cannot run scenario(s) {churn_kinds}"
+                )
 
     def cells(self) -> list[SweepCell]:
         """The full grid in deterministic (scenario, algorithm, seed) order."""

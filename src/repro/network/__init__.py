@@ -19,6 +19,9 @@ from repro.network.links import (
     DynamicSlowdownLinks,
     TraceLinks,
     multi_cloud_links,
+    diurnal_trace,
+    random_walk_trace,
+    burst_congestion_trace,
 )
 from repro.network.costmodel import (
     ModelCostProfile,
@@ -35,6 +38,9 @@ __all__ = [
     "DynamicSlowdownLinks",
     "TraceLinks",
     "multi_cloud_links",
+    "diurnal_trace",
+    "random_walk_trace",
+    "burst_congestion_trace",
     "ModelCostProfile",
     "MODEL_ZOO",
     "get_cost_profile",

@@ -8,6 +8,14 @@ rounds, and monitor ticks as events on a shared virtual clock, so
 """
 
 from repro.simulation.engine import Simulator
+from repro.simulation.churn import ChurnEvent, ChurnSchedule
 from repro.simulation.records import TrainingHistory, EpochCostTracker, TrainingResult
 
-__all__ = ["Simulator", "TrainingHistory", "EpochCostTracker", "TrainingResult"]
+__all__ = [
+    "Simulator",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "TrainingHistory",
+    "EpochCostTracker",
+    "TrainingResult",
+]

@@ -102,3 +102,44 @@ class TestTick:
     def test_invalid_min_coverage(self, full5):
         with pytest.raises(ValueError, match="min_coverage"):
             NetworkMonitor(full5, min_coverage=0.0)
+
+
+class TestTickActiveSubset:
+    def test_all_active_mask_equals_no_mask(self, full5, hetero_times5):
+        monitor_a = NetworkMonitor(full5)
+        monitor_b = NetworkMonitor(full5)
+        times = raw_times(full5, hetero_times5)
+        result_a = monitor_a.tick(times, alpha=0.1)
+        result_b = monitor_b.tick(times, alpha=0.1, active=np.ones(5, dtype=bool))
+        assert result_a is not None and result_b is not None
+        np.testing.assert_allclose(result_a.policy, result_b.policy)
+        assert result_a.rho == result_b.rho
+
+    def test_policy_embedded_with_zero_rows_for_departed(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        times = raw_times(full5, hetero_times5)
+        active = np.array([True, True, True, True, False])
+        result = monitor.tick(times, alpha=0.1, active=active)
+        assert result is not None
+        assert result.policy.shape == (5, 5)
+        np.testing.assert_array_equal(result.policy[4], 0.0)
+        np.testing.assert_array_equal(result.policy[:, 4], 0.0)
+        for i in range(4):
+            np.testing.assert_allclose(result.policy[i].sum(), 1.0)
+
+    def test_fewer_than_two_active_skips(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        active = np.array([True, False, False, False, False])
+        result = monitor.tick(raw_times(full5, hetero_times5), alpha=0.1, active=active)
+        assert result is None
+        assert monitor.stats.skipped_insufficient_data == 1
+
+    def test_disconnected_active_subgraph_skips(self, hetero_times5):
+        # Path 0-1-2-3-4: removing worker 2 splits {0,1} from {3,4}.
+        path = Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        monitor = NetworkMonitor(path, min_coverage=0.1)
+        times = np.where(path.adjacency, 1.0, np.nan)
+        active = np.array([True, True, False, True, True])
+        result = monitor.tick(times, alpha=0.1, active=active)
+        assert result is None
+        assert monitor.stats.skipped_disconnected == 1

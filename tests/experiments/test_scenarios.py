@@ -102,3 +102,90 @@ class TestQuadraticWorkload:
         assert x_star.shape == (3,)
         assert profile.name == "resnet18"
         assert tasks[0].sampler is None
+
+
+class TestScenarioRegistry:
+    def test_required_families_registered(self):
+        from repro.experiments.scenarios import scenario_names
+        names = set(scenario_names())
+        # Rotating-slowdown, trace-driven, and churn families must all exist
+        # (the dynamic-scenario subsystem's acceptance criterion).
+        assert {"heterogeneous", "homogeneous", "heterogeneous-static",
+                "multi-cloud", "trace-diurnal", "trace-random-walk",
+                "trace-burst", "trace-file", "churn"} <= names
+
+    def test_every_family_builds(self, tmp_path):
+        import json
+        from repro.experiments.scenarios import build_scenario, scenario_names
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({
+            "num_workers": 4, "latency": 0.001,
+            "segments": [{"start": 0.0, "bandwidth": 1e8}],
+        }))
+        for name in scenario_names():
+            workers = 6 if name == "multi-cloud" else 4
+            params = {"path": str(trace)} if name == "trace-file" else {}
+            scenario = build_scenario(name, num_workers=workers, seed=1, **params)
+            assert scenario.num_workers == workers
+            assert scenario.links.bandwidth(0, 1, 0.0) > 0
+            assert (scenario.churn is not None) == (name == "churn")
+
+    def test_builds_are_deterministic_in_seed(self):
+        from repro.experiments.scenarios import build_scenario
+        a = build_scenario("trace-burst", 4, seed=3)
+        b = build_scenario("trace-burst", 4, seed=3)
+        c = build_scenario("trace-burst", 4, seed=4)
+        for t in (0.0, 100.0, 500.0):
+            np.testing.assert_array_equal(
+                a.links.bandwidth_matrix(t), b.links.bandwidth_matrix(t)
+            )
+        assert any(
+            not np.array_equal(a.links.bandwidth_matrix(t), c.links.bandwidth_matrix(t))
+            for t in (0.0, 100.0, 500.0)
+        )
+
+    def test_param_coercion_and_validation(self):
+        from repro.experiments.scenarios import build_scenario, get_scenario_family
+        scenario = build_scenario("churn", 4, 0, num_departures="1",
+                                  downtime_s="5", horizon_s="60", dynamic="false")
+        assert len(scenario.churn) == 2
+        family = get_scenario_family("churn")
+        assert family.param("num_departures").coerce("3") == 3
+        with pytest.raises(ValueError, match="boolean"):
+            family.param("dynamic").coerce("maybe")
+        with pytest.raises(ValueError, match="no parameter"):
+            build_scenario("homogeneous", 4, 0, warp=1)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.scenarios import (
+            SCENARIO_FAMILIES, register_scenario_family,
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario_family(SCENARIO_FAMILIES["homogeneous"])
+
+    def test_trace_file_family_csv_and_mismatch(self, tmp_path):
+        from repro.experiments.scenarios import build_scenario
+        csv = tmp_path / "trace.csv"
+        csv.write_text(
+            "time,src,dst,bandwidth\n"
+            "0,0,1,1e8\n0,0,2,1e8\n0,1,2,1e8\n"
+            "30,0,1,1e7\n"
+        )
+        scenario = build_scenario("trace-file", 3, 0, path=str(csv))
+        assert scenario.links.bandwidth(0, 1, 31.0) == 1e7
+        with pytest.raises(ValueError, match="describes 3 workers"):
+            build_scenario("trace-file", 5, 0, path=str(csv))
+
+    def test_churn_scenario_runs_end_to_end(self):
+        from repro.algorithms.base import TrainerConfig
+        from repro.experiments.harness import run_trainer
+        from repro.experiments.scenarios import build_scenario
+
+        scenario = build_scenario("churn", 4, 0, horizon_s=10.0,
+                                  downtime_s=3.0, num_departures=1)
+        workload = make_workload("mobilenet", "mnist", num_workers=4,
+                                 batch_size=32, num_samples=256, seed=0)
+        config = TrainerConfig(max_sim_time=10.0, eval_interval_s=5.0, seed=0)
+        result = run_trainer("adpsgd", scenario, workload, config)
+        assert len(result.extras["churn_events"]) == 2

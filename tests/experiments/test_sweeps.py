@@ -181,3 +181,102 @@ class TestAggregate:
         cached = aggregate_sweep(run_sweep(tiny_spec(), cache_dir=str(tmp_path)))
         assert seq.rows == par.rows
         assert seq.rows == cached.rows
+
+
+class TestScenarioParams:
+    """Per-cell scenario parameter grids (the dynamic-scenario subsystem)."""
+
+    def test_cache_keys_differ_across_scenario_params(self):
+        base = tiny_spec(scenarios=(ScenarioSpec("trace-diurnal", 4),)).cells()[0]
+        tuned = tiny_spec(scenarios=(
+            ScenarioSpec("trace-diurnal", 4, params=(("amplitude", 0.9),)),
+        )).cells()[0]
+        other = tiny_spec(scenarios=(
+            ScenarioSpec("trace-diurnal", 4, params=(("amplitude", 0.2),)),
+        )).cells()[0]
+        assert len({base.cache_key(), tuned.cache_key(), other.cache_key()}) == 3
+
+    def test_params_canonicalized_for_cache_stability(self):
+        """String-spelled values and any key order hash identically."""
+        a = ScenarioSpec("churn", 4, params=(("downtime_s", "10"), ("num_departures", 1)))
+        b = ScenarioSpec("churn", 4, params=(("num_departures", "1"), ("downtime_s", 10.0)))
+        assert a == b
+        assert a.params == (("downtime_s", 10.0), ("num_departures", 1))
+        cell_a = tiny_spec(algorithms=("adpsgd",), scenarios=(a,)).cells()[0]
+        cell_b = tiny_spec(algorithms=("adpsgd",), scenarios=(b,)).cells()[0]
+        assert cell_a.cache_key() == cell_b.cache_key()
+
+    def test_unknown_param_fails_at_spec_time(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            ScenarioSpec("trace-diurnal", 4, params=(("warp", 9),))
+
+    def test_label_includes_params(self):
+        spec = ScenarioSpec("trace-burst", 4, params=(("burst_probability", 0.5),))
+        assert spec.label() == "trace-burst-4w[burst_probability=0.5]"
+
+    def test_parallel_equals_sequential_with_trace_scenario(self):
+        spec = tiny_spec(
+            algorithms=("adpsgd",),
+            scenarios=(ScenarioSpec("trace-random-walk", 4,
+                                    params=(("duration_s", 10.0), ("step_s", 1.0))),),
+        )
+        seq = run_sweep(spec, parallel=0)
+        par = run_sweep(spec, parallel=2)
+        for a, b in zip(seq.outcomes, par.outcomes):
+            assert_results_identical(a.result, b.result)
+
+    def test_parallel_equals_sequential_with_churn_scenario(self):
+        spec = tiny_spec(
+            algorithms=("adpsgd", "netmax"),
+            scenarios=(ScenarioSpec("churn", 4, params=(
+                ("horizon_s", 10.0), ("downtime_s", 3.0), ("num_departures", 1),
+            )),),
+        )
+        seq = run_sweep(spec, parallel=0)
+        par = run_sweep(spec, parallel=2)
+        for a, b in zip(seq.outcomes, par.outcomes):
+            assert a.cell == b.cell
+            assert_results_identical(a.result, b.result)
+
+    def test_churn_scenario_cached_equals_fresh(self, tmp_path):
+        spec = tiny_spec(
+            algorithms=("adpsgd",),
+            seeds=(0,),
+            scenarios=(ScenarioSpec("churn", 4, params=(
+                ("horizon_s", 10.0), ("downtime_s", 3.0), ("num_departures", 1),
+            )),),
+        )
+        fresh = run_sweep(spec, cache_dir=str(tmp_path))
+        cached = run_sweep(spec, cache_dir=str(tmp_path))
+        assert cached.cells_from_cache == 1
+        assert_results_identical(fresh.outcomes[0].result, cached.outcomes[0].result)
+
+    def test_trace_file_without_path_fails_at_spec_time(self):
+        """An unrunnable trace-file cell must die at spec construction (and
+        therefore in --dry-run), not hours into a sweep."""
+        with pytest.raises(ValueError, match="path"):
+            ScenarioSpec("trace-file", 4)
+        with pytest.raises(ValueError, match="not found"):
+            ScenarioSpec("trace-file", 4, params=(("path", "/no/such/trace.json"),))
+
+    def test_churn_scenario_with_incapable_algorithm_fails_at_spec_time(self):
+        with pytest.raises(ValueError, match="do not support churn"):
+            tiny_spec(
+                algorithms=("allreduce", "adpsgd"),
+                scenarios=(ScenarioSpec("churn", 4),),
+            )
+        # Churn-capable grids still construct.
+        tiny_spec(algorithms=("adpsgd", "netmax", "saps"),
+                  scenarios=(ScenarioSpec("churn", 4),))
+
+    def test_default_valued_override_hashes_like_omitted(self):
+        """Spelling out a schema default builds the identical scenario and
+        must therefore produce the identical spec, label, and cache key."""
+        bare = ScenarioSpec("trace-diurnal", 4)
+        spelled = ScenarioSpec("trace-diurnal", 4, params=(("amplitude", 0.6),))
+        assert bare == spelled
+        assert spelled.params == ()
+        assert bare.label() == spelled.label()
+        cell_a = tiny_spec(scenarios=(bare,)).cells()[0]
+        cell_b = tiny_spec(scenarios=(spelled,)).cells()[0]
+        assert cell_a.cache_key() == cell_b.cache_key()

@@ -161,3 +161,108 @@ class TestMultiCloudLinks:
     def test_unknown_region_rejected(self):
         with pytest.raises(ValueError, match="unknown regions"):
             multi_cloud_links(("us-west", "mars"))
+
+
+class TestTraceLoaders:
+    def test_json_missing_segments_rejected(self):
+        import io
+        with pytest.raises(ValueError, match="segments"):
+            TraceLinks.from_json({"num_workers": 2, "latency": 0.0})
+
+    def test_json_scalar_without_num_workers_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            TraceLinks.from_json({
+                "latency": 0.0,
+                "segments": [{"start": 0.0, "bandwidth": 1e8}],
+            })
+
+    def test_json_file_roundtrip(self, tmp_path):
+        import json
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({
+            "num_workers": 3, "latency": 0.01,
+            "segments": [{"start": 0.0, "bandwidth": 2e8},
+                         {"start": 10.0, "bandwidth": 4e7}],
+        }))
+        trace = TraceLinks.from_json(str(path))
+        assert trace.bandwidth(0, 2, 5.0) == 2e8
+        assert trace.bandwidth(0, 2, 10.0) == 4e7
+        assert trace.latency(1, 2, 0.0) == 0.01
+
+    def test_csv_time_zero_must_cover_all_pairs(self):
+        import io
+        with pytest.raises(ValueError, match="cover every pair"):
+            TraceLinks.from_csv(io.StringIO("0,0,1,100\n"), num_workers=3)
+
+    def test_csv_must_start_at_zero(self):
+        import io
+        with pytest.raises(ValueError, match="start at time 0"):
+            TraceLinks.from_csv(io.StringIO("5,0,1,100\n"), num_workers=2)
+
+    def test_csv_self_link_rejected(self):
+        import io
+        with pytest.raises(ValueError, match="self-link"):
+            TraceLinks.from_csv(io.StringIO("0,1,1,100\n"), num_workers=2)
+
+    def test_nonpositive_trace_bandwidth_rejected(self):
+        matrix = np.full((2, 2), 100.0)
+        bad = matrix.copy()
+        bad[0, 1] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            TraceLinks([(0.0, matrix), (5.0, bad)], np.zeros((2, 2)))
+
+
+class TestTraceGenerators:
+    def test_diurnal_oscillates_within_amplitude(self):
+        from repro.network.links import diurnal_trace
+        base = 1e8
+        trace = diurnal_trace(3, duration_s=600.0, step_s=10.0, period_s=300.0,
+                              base_bandwidth=base, amplitude=0.5, seed=0)
+        values = [trace.bandwidth(0, 1, t) for t in np.arange(0.0, 600.0, 10.0)]
+        assert min(values) >= base * 0.5 - 1e-6
+        assert max(values) <= base * 1.5 + 1e-6
+        assert max(values) - min(values) > base * 0.5  # genuinely oscillates
+
+    def test_random_walk_respects_clip_range(self):
+        from repro.network.links import random_walk_trace
+        base = 1e8
+        trace = random_walk_trace(3, duration_s=2000.0, step_s=10.0, sigma=0.5,
+                                  base_bandwidth=base, factor_range=(0.1, 1.5), seed=2)
+        for t in np.arange(0.0, 2000.0, 50.0):
+            matrix = trace.bandwidth_matrix(t)
+            off = matrix[~np.eye(3, dtype=bool)]
+            assert np.all(off >= base * 0.1 - 1e-6)
+            assert np.all(off <= base * 1.5 + 1e-6)
+
+    def test_random_walk_starts_at_base(self):
+        from repro.network.links import random_walk_trace
+        trace = random_walk_trace(3, duration_s=100.0, step_s=10.0,
+                                  base_bandwidth=1e8, seed=5)
+        assert trace.bandwidth(0, 1, 0.0) == 1e8
+
+    def test_burst_only_ever_slows(self):
+        from repro.network.links import burst_congestion_trace
+        base = 1e8
+        trace = burst_congestion_trace(4, duration_s=1000.0, step_s=10.0,
+                                       burst_probability=0.4,
+                                       burst_factor_range=(4.0, 10.0),
+                                       base_bandwidth=base, seed=1)
+        saw_burst = False
+        for t in np.arange(0.0, 1000.0, 10.0):
+            matrix = trace.bandwidth_matrix(t)
+            off = matrix[~np.eye(4, dtype=bool)]
+            assert np.all(off <= base + 1e-6)
+            assert np.all(off >= base / 10.0 - 1e-6)
+            if np.any(off < base * 0.9):
+                saw_burst = True
+        assert saw_burst
+
+    def test_asymmetric_trace_rejected(self):
+        asym = np.array([[0.0, 100.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            TraceLinks([(0.0, asym)], np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="symmetric"):
+            TraceLinks.from_json({
+                "num_workers": 2, "latency": 0.0,
+                "segments": [{"start": 0.0, "bandwidth": [[0, 1e2], [1.0, 0]]}],
+            })

@@ -24,6 +24,8 @@ class TestParser:
         expected = {f"fig{n}" for n in (3, 5, 6, 7, 8, 9, 10, 11, 12, 13,
                                         14, 15, 16, 17, 18, 19)}
         expected |= {"table2", "table3", "table5", "table6"}
+        # Beyond-paper dynamics experiments (trace/churn scenario families).
+        expected |= {"dyn-traces", "dyn-churn"}
         assert set(FIGURE_FUNCTIONS) == expected
 
     def test_sweep_defaults(self):
@@ -103,3 +105,110 @@ class TestCommands:
         csv = tmp_path / "bad.csv"
         np.savetxt(csv, np.ones((2, 3)), delimiter=",")
         assert main(["policy", "--times", str(csv)]) == 2
+
+
+class TestScenarioParamCLI:
+    def test_dry_run_enumerates_full_cross_product(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0", "--workers", "4",
+            "--scenarios", "heterogeneous", "trace-diurnal", "churn",
+            "--scenario-param", "trace-diurnal:amplitude=0.2,0.8",
+            "--scenario-param", "trace-diurnal:period_s=100,200",
+            "--scenario-param", "churn:downtime_s=10",
+            "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # 1 heterogeneous + 2x2 trace-diurnal + 1 churn = 6 scenario cells.
+        assert "6 cell(s)" in out
+        assert "amplitude=0.2,period_s=100.0" in out
+        assert "amplitude=0.8,period_s=200.0" in out
+        assert "churn-4w[downtime_s=10.0]" in out
+
+    def test_unprefixed_param_applies_to_accepting_families(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0", "--workers", "4",
+            "--scenarios", "trace-diurnal", "trace-burst",
+            "--scenario-param", "base_gbps=0.5",
+            "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace-diurnal-4w[base_gbps=0.5]" in out
+        assert "trace-burst-4w[base_gbps=0.5]" in out
+
+    def test_param_unknown_to_all_families_rejected(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--scenarios", "heterogeneous", "--scenario-param", "warp=9",
+            "--dry-run",
+        ])
+        assert code == 2
+        assert "warp" in capsys.readouterr().err
+
+    def test_prefixed_family_must_be_selected(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--scenarios", "heterogeneous",
+            "--scenario-param", "churn:downtime_s=10",
+            "--dry-run",
+        ])
+        assert code == 2
+        assert "not among --scenarios" in capsys.readouterr().err
+
+    def test_compare_with_scenario_family(self, capsys):
+        code = main([
+            "compare", "--algorithms", "adpsgd", "--workers", "4",
+            "--samples", "256", "--batch-size", "32", "--sim-time", "5",
+            "--scenario", "trace-diurnal", "--scenario-param", "amplitude=0.4",
+        ])
+        assert code == 0
+        assert "trace-diurnal-4w" in capsys.readouterr().out
+
+    def test_compare_scenario_param_needs_scenario(self, capsys):
+        code = main([
+            "compare", "--algorithms", "adpsgd",
+            "--scenario-param", "amplitude=0.4",
+        ])
+        assert code == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_figure_dynamics_smoke(self, capsys):
+        code = main(["figure", "dyn-churn", "--sim-time", "8", "--samples", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "churn-8w" in out and "downtime_s" in out
+
+    def test_sweep_trace_file_without_path_fails_dry_run(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--scenarios", "trace-file", "--dry-run",
+        ])
+        assert code == 2
+        assert "path" in capsys.readouterr().err
+
+    def test_compare_churn_with_incapable_algorithm_exits_cleanly(self, capsys):
+        code = main([
+            "compare", "--algorithms", "allreduce", "--workers", "4",
+            "--samples", "256", "--batch-size", "32", "--sim-time", "5",
+            "--scenario", "churn",
+        ])
+        assert code == 2
+        assert "does not support churn" in capsys.readouterr().err
+
+    def test_sweep_churn_with_incapable_algorithm_fails_dry_run(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "allreduce", "--seeds", "0",
+            "--workers", "4", "--scenarios", "churn", "--dry-run",
+        ])
+        assert code == 2
+        assert "do not support churn" in capsys.readouterr().err
+
+    def test_compare_rejects_foreign_family_prefix(self, capsys):
+        code = main([
+            "compare", "--algorithms", "adpsgd", "--workers", "4",
+            "--scenario", "churn",
+            "--scenario-param", "heterogeneous:period_s=10",
+        ])
+        assert code == 2
+        assert "targets family" in capsys.readouterr().err
