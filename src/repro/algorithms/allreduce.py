@@ -1,8 +1,8 @@
 """Synchronous Allreduce-SGD baseline [Jia et al. 2018].
 
-One global round per iteration: every worker computes a gradient on its own
-minibatch, a ring all-reduce averages the gradients, and all replicas apply
-the same update. The round takes
+One global round per iteration: every participating worker computes a
+gradient on its own minibatch, a ring all-reduce averages the gradients,
+and all replicas apply the same update. The round takes
 
     max_i C_i  +  2 (M - 1) * (S / (M * B_min) + L_max)
 
@@ -11,6 +11,14 @@ the ring at round start, and ``L_max`` the worst per-hop latency: the
 classic ring-allreduce cost, bottlenecked by the slowest link -- exactly why
 the paper finds Allreduce-SGD suffers on heterogeneous networks (Fig. 5)
 while staying competitive on homogeneous ones (Fig. 6).
+
+Under churn the algorithm degrades round by round
+(:meth:`~repro.algorithms.base.DecentralizedTrainer.round_participants`):
+membership is the active set at round start, the ring and the gradient mean
+renormalize over the members, departed replicas freeze, and a rejoiner is
+re-admitted at its next round -- where it first syncs to the group model
+(bulk-synchronous training keeps one logical model; gradients are always
+taken at the shared parameters).
 """
 
 from __future__ import annotations
@@ -27,19 +35,26 @@ class AllreduceTrainer(DecentralizedTrainer):
     """Bulk-synchronous data parallelism with ring all-reduce."""
 
     name = "allreduce"
+    supports_churn = True
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self._optimizers = [
-            SGDState(self.config.sgd, task.model.dim) for task in self.tasks
-        ]
-        self._ring = [(i, (i + 1) % self.num_workers) for i in range(self.num_workers)]
+        # One logical global model (replicated onto every member each round);
+        # a single optimizer keeps momentum attached to it rather than to
+        # any worker, so churned rounds cannot fork the momentum state.
+        self._optimizer = SGDState(self.config.sgd, self.tasks[0].model.dim)
+        self._global_params = self.tasks[0].model.get_params()
 
-    def ring_allreduce_time(self, time: float) -> float:
-        """Duration of one ring all-reduce starting at virtual ``time``."""
-        m = self.num_workers
-        bandwidths = [self.comm.links.bandwidth(a, b, time) for a, b in self._ring]
-        latencies = [self.comm.links.latency(a, b, time) for a, b in self._ring]
+    def ring_allreduce_time(self, time: float, members: list[int] | None = None) -> float:
+        """Duration of one ring all-reduce over ``members`` starting at ``time``."""
+        if members is None:
+            members = list(range(self.num_workers))
+        m = len(members)
+        if m < 2:
+            return 0.0  # a lone survivor has nothing to reduce
+        ring = [(members[i], members[(i + 1) % m]) for i in range(m)]
+        bandwidths = [self.comm.links.bandwidth(a, b, time) for a, b in ring]
+        latencies = [self.comm.links.latency(a, b, time) for a, b in ring]
         chunk = self.message_bytes / m
         steps = 2 * (m - 1)
         return steps * (chunk / min(bandwidths) + max(latencies))
@@ -48,19 +63,25 @@ class AllreduceTrainer(DecentralizedTrainer):
         self.sim.schedule_at(0.0, self._round)
 
     def _round(self) -> None:
+        members = self.round_participants()
         lr = self.current_lr()
-        computes = [self.compute_time(i) for i in range(self.num_workers)]
-        duration = max(computes) + self.ring_allreduce_time(self.sim.now)
+        computes = [self.compute_time(i) for i in members]
+        duration = max(computes) + self.ring_allreduce_time(self.sim.now, members)
 
         grads = []
-        for task in self.tasks:
-            _, grad = task.sample_loss_and_grad()
+        for i in members:
+            if self.churn is not None:
+                # Re-admitted rejoiners sync to the group model before
+                # computing; without churn every replica already holds it
+                # (skipping the per-member parameter copy on the hot path).
+                self.tasks[i].model.set_params(self._global_params)
+            _, grad = self.tasks[i].sample_loss_and_grad()
             grads.append(grad)
         mean_grad = np.mean(grads, axis=0)
-        for i, task in enumerate(self.tasks):
-            params = task.model.get_params()
-            task.model.set_params(self._optimizers[i].step(params, mean_grad, lr))
-        for i, compute in enumerate(computes):
+        self._global_params = self._optimizer.step(self._global_params, mean_grad, lr)
+        for i in members:
+            self.tasks[i].model.set_params(self._global_params)
+        for i, compute in zip(members, computes):
             self.record_iteration(i, compute, duration)
 
         next_time = self.sim.now + duration

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 import copy
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from functools import partial
 
@@ -150,17 +151,25 @@ class DecentralizedTrainer(abc.ABC):
             (default True; disable for idealized-network ablations).
         churn: optional :class:`~repro.simulation.churn.ChurnSchedule` of
             worker departures/rejoins. Only trainers with
-            ``supports_churn = True`` accept one: a departed worker's loop
-            parks (model frozen in place, so a rejoin resumes from its last
-            state), peers renormalize selection over the active set, and no
-            transfer may start against a departed endpoint
-            (:meth:`start_transfer` enforces this).
+            ``supports_churn = True`` accept one. Gossip trainers park a
+            departed worker's loop (model frozen in place, so a rejoin
+            resumes from its last state), peers renormalize selection over
+            the active set, and no transfer may start against a departed
+            endpoint (:meth:`start_transfer` enforces this). Synchronous
+            trainers use round-based semantics instead
+            (:meth:`round_participants`): stragglers departed at round
+            start are dropped, aggregation weights renormalize over the
+            members, and rejoiners are re-admitted at the next round.
     """
 
     name = "base"
-    # Whether this algorithm knows how to skip departed peers. Synchronous
-    # trainers (allreduce, PS, Prague) involve every worker each round and
-    # reject churn outright rather than silently hanging on departed ones.
+    # Whether this algorithm knows how to handle departed workers. Gossip
+    # trainers renormalize peer selection over the active set; synchronous
+    # trainers (allreduce, PS, Prague) run round-based churn: membership is
+    # the active set at round start, aggregation weights renormalize over
+    # the members, and rejoiners are re-admitted at the next round. A new
+    # trainer must opt in explicitly -- accepting a schedule it silently
+    # ignores would fake churn-robustness.
     supports_churn = False
 
     def __init__(
@@ -238,6 +247,13 @@ class DecentralizedTrainer(abc.ABC):
         # (time, worker, kind) transitions actually executed, for diagnostics
         # and the churn correctness tests.
         self.churn_log: list[tuple[float, int, str]] = []
+        # (time, members) of every synchronous aggregation actually applied
+        # (full rounds for allreduce/PS-syn, groups for Prague, single-worker
+        # applications for PS-asyn). The churn conservation tests check every
+        # entry against the schedule: no aggregate may include a departed
+        # worker. Only populated when a churn schedule is attached -- on
+        # churn-free runs the log would grow with every update for no reader.
+        self.round_log: list[tuple[float, tuple[int, ...]]] = []
 
     # -- construction helpers -------------------------------------------------
 
@@ -369,6 +385,26 @@ class DecentralizedTrainer(abc.ABC):
 
     def _on_worker_join(self, worker: int) -> None:
         """Hook: ``worker`` just rejoined (subclasses restart its loop)."""
+
+    def round_participants(self) -> list[int]:
+        """Membership of a synchronous round starting now: the active set.
+
+        Round-based churn semantics (allreduce, PS-syn): a worker departed
+        at round start is dropped from the round entirely -- it computes no
+        gradient, contributes nothing to the aggregate, and its replica
+        stays frozen -- while the aggregation weights renormalize over the
+        members (a plain mean over however many participate). Rejoiners are
+        picked up here at their next round. Every call is recorded in
+        ``round_log``.
+        """
+        members = self.active_workers()
+        self.record_round(members)
+        return members
+
+    def record_round(self, members: Sequence[int]) -> None:
+        """Log one applied aggregation (for diagnostics and churn tests)."""
+        if self.churn is not None:
+            self.round_log.append((self.sim.now, tuple(members)))
 
     def record_iteration(self, worker: int, compute_time: float, duration: float) -> None:
         """Book one finished local iteration into the cost tracker."""

@@ -14,6 +14,13 @@ The PS holds the single global model on the machine of an *anchor* worker
   observation that the PS model "enhances the information from the faster
   nodes and weakens the information from the slower nodes" (Fig. 14a's low
   convergence rate for PS-asyn).
+
+The PS itself is a *service* on the anchor's machine, so it keeps running
+even while the anchor worker is churned out. PS-syn uses round-based churn
+(membership fixed at round start, gradient mean renormalized over the
+members, rejoiners pull the current global model at their next round);
+PS-asyn parks a departed worker's loop and discards its in-flight push --
+the PS never applies a gradient from a worker that already departed.
 """
 
 from __future__ import annotations
@@ -55,19 +62,26 @@ class PSSynTrainer(_ParameterServerMixin, DecentralizedTrainer):
     """Synchronous parameter server."""
 
     name = "ps-syn"
+    supports_churn = True
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._ps_optimizer = SGDState(self.config.sgd, self.tasks[0].model.dim)
+        # The PS's own copy of the global model: under churn the anchor
+        # worker's replica may be frozen mid-run, so the PS state cannot
+        # live in any worker task.
+        self._ps_params = self.tasks[0].model.get_params()
 
-    def exchange_time(self, time: float) -> float:
+    def exchange_time(self, time: float, members: list[int] | None = None) -> float:
         """One full push-gradients + pull-model synchronous exchange."""
+        if members is None:
+            members = list(range(self.num_workers))
         size = self.message_bytes
         slowest = max(
             size / self.ps_bandwidth(w, time) + self.ps_latency(w, time)
-            for w in range(self.num_workers)
+            for w in members
         )
-        incast = self.num_workers * size / self.ps_nic_bandwidth(time)
+        incast = len(members) * size / self.ps_nic_bandwidth(time)
         # Push phase + pull phase, each bounded by the worse of incast
         # serialization at the PS NIC and the slowest individual link.
         return 2.0 * max(incast, slowest)
@@ -76,21 +90,25 @@ class PSSynTrainer(_ParameterServerMixin, DecentralizedTrainer):
         self.sim.schedule_at(0.0, self._round)
 
     def _round(self) -> None:
+        members = self.round_participants()
         lr = self.current_lr()
-        computes = [self.compute_time(i) for i in range(self.num_workers)]
-        duration = max(computes) + self.exchange_time(self.sim.now)
+        computes = [self.compute_time(i) for i in members]
+        duration = max(computes) + self.exchange_time(self.sim.now, members)
 
         grads = []
-        for task in self.tasks:
-            _, grad = task.sample_loss_and_grad()
+        for i in members:
+            if self.churn is not None:
+                # Re-admitted rejoiners pull the current global model before
+                # computing; without churn every replica already holds it
+                # (skipping the per-member parameter copy on the hot path).
+                self.tasks[i].model.set_params(self._ps_params)
+            _, grad = self.tasks[i].sample_loss_and_grad()
             grads.append(grad)
         mean_grad = np.mean(grads, axis=0)
-        new_params = self._ps_optimizer.step(
-            self.tasks[0].model.get_params(), mean_grad, lr
-        )
-        for task in self.tasks:
-            task.model.set_params(new_params)
-        for i, compute in enumerate(computes):
+        self._ps_params = self._ps_optimizer.step(self._ps_params, mean_grad, lr)
+        for i in members:
+            self.tasks[i].model.set_params(self._ps_params)
+        for i, compute in zip(members, computes):
             self.record_iteration(i, compute, duration)
 
         next_time = self.sim.now + duration
@@ -102,6 +120,7 @@ class PSAsynTrainer(_ParameterServerMixin, DecentralizedTrainer):
     """Asynchronous parameter server (Hogwild-style application order)."""
 
     name = "ps-asyn"
+    supports_churn = True
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -113,27 +132,45 @@ class PSAsynTrainer(_ParameterServerMixin, DecentralizedTrainer):
         for i in range(self.num_workers):
             self._start_iteration(i)
 
-    def _start_iteration(self, worker: int) -> None:
-        compute = self.compute_time(worker)
-        self.sim.schedule_in(compute, partial(self._compute_done, worker, compute))
+    def _on_worker_join(self, worker: int) -> None:
+        # The rejoined worker restarts its loop; its first completed exchange
+        # pulls the then-current global model. Any pre-departure continuation
+        # still in flight was invalidated by the epoch bump at the leave.
+        self._start_iteration(worker)
 
-    def _compute_done(self, worker: int, compute: float) -> None:
+    def _start_iteration(self, worker: int) -> None:
+        if not self._active[worker]:
+            return
+        epoch = self._churn_epoch[worker]
+        compute = self.compute_time(worker)
+        self.sim.schedule_in(compute, partial(self._compute_done, worker, compute, epoch))
+
+    def _compute_done(self, worker: int, compute: float, epoch: int = 0) -> None:
+        if epoch != self._churn_epoch[worker]:
+            return  # departed during the computation: the loop parks
         _, grad = self.tasks[worker].sample_loss_and_grad()
         self._in_flight += 1
         time = self.sim.now
         share = self.ps_bandwidth(worker, time) / self._in_flight
         exchange = 2.0 * (self.message_bytes / share + self.ps_latency(worker, time))
         self.sim.schedule_in(
-            exchange, partial(self._exchange_done, worker, grad, compute, compute + exchange)
+            exchange,
+            partial(self._exchange_done, worker, grad, compute, compute + exchange, epoch),
         )
 
     def _exchange_done(
-        self, worker: int, grad: np.ndarray, compute: float, duration: float
+        self, worker: int, grad: np.ndarray, compute: float, duration: float,
+        epoch: int = 0,
     ) -> None:
+        # The flow releases its bandwidth share whether or not the push
+        # lands -- the bytes were in the network either way.
         self._in_flight -= 1
+        if epoch != self._churn_epoch[worker]:
+            return  # departed mid-exchange: the gradient is discarded
         # The PS applies the (possibly stale) gradient on arrival, then the
         # worker adopts the fresh global model.
         self._ps_params = self._ps_optimizer.step(self._ps_params, grad, self.current_lr())
         self.tasks[worker].model.set_params(self._ps_params)
+        self.record_round((worker,))
         self.record_iteration(worker, compute, duration)
         self._start_iteration(worker)

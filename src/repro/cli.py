@@ -26,6 +26,11 @@ Examples::
         --scenario-param trace-diurnal:amplitude=0.3,0.8 \
         --scenario-param churn:downtime_s=10,30 --dry-run
 
+    # Every family accepts the topology axis (full|ring|star|random|torus|
+    # small-world); comma-separated values sweep graph families per cell
+    python -m repro sweep --algorithms netmax adpsgd allreduce --seeds 0 1 \
+        --scenarios heterogeneous --scenario-param topology=full,ring,random
+
     # Compare on a named scenario family with parameter overrides
     python -m repro compare --algorithms netmax adpsgd \
         --scenario trace-burst --scenario-param burst_probability=0.2
@@ -89,6 +94,7 @@ FIGURE_FUNCTIONS = {
     "fig19": experiments.figure19_multicloud,
     "dyn-traces": experiments.figure_dynamics_traces,
     "dyn-churn": experiments.figure_dynamics_churn,
+    "dyn-topology": experiments.figure_dynamics_topology,
     "table2": experiments.table2_accuracy_heterogeneous,
     "table3": experiments.table3_accuracy_homogeneous,
     "table5": experiments.table5_accuracy_nonuniform,
@@ -144,17 +150,22 @@ def _scenario_grid(
             for kind in targets:
                 per_family[kind][key] = values
     specs = []
+    seen: set[ScenarioSpec] = set()
     for kind in kinds:
         grid = per_family[kind]
         keys = sorted(grid)
         for combo in itertools.product(*(grid[key] for key in keys)):
-            specs.append(
-                ScenarioSpec(
-                    kind=kind,
-                    num_workers=num_workers,
-                    params=tuple(zip(keys, combo)),
-                )
+            spec = ScenarioSpec(
+                kind=kind,
+                num_workers=num_workers,
+                params=tuple(zip(keys, combo)),
             )
+            # Canonicalization can collapse raw combos into one spec (e.g.
+            # edge_probability crossed with a non-randomized topology is
+            # inert): enumerate each distinct cell once.
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
     return specs
 
 

@@ -63,6 +63,7 @@ from repro.experiments.figures_noniid import (
 from repro.experiments.figures_dynamics import (
     figure_dynamics_traces,
     figure_dynamics_churn,
+    figure_dynamics_topology,
 )
 from repro.experiments.tables import (
     table2_accuracy_heterogeneous,
@@ -121,6 +122,7 @@ __all__ = [
     "figure19_multicloud",
     "figure_dynamics_traces",
     "figure_dynamics_churn",
+    "figure_dynamics_topology",
     "table2_accuracy_heterogeneous",
     "table3_accuracy_homogeneous",
     "table5_accuracy_nonuniform",

@@ -9,9 +9,12 @@ scenario-registry families:
 - :func:`figure_dynamics_traces` -- rotating-slowdown vs. the three
   synthetic trace families (diurnal, random-walk, burst congestion);
 - :func:`figure_dynamics_churn` -- worker departures/rejoins at varying
-  severity (downtime x departure count).
+  severity (downtime x departure count);
+- :func:`figure_dynamics_topology` -- the same algorithms across
+  communication-graph families (complete, ring, star, random, ...), where
+  the consensus analysis says mixing structure can flip rankings.
 
-Both run through the sweep engine (deterministic per-cell seeding, optional
+All run through the sweep engine (deterministic per-cell seeding, optional
 process parallelism, shareable result cache) and return the usual
 :class:`~repro.experiments.common.ExperimentOutput` tables.
 """
@@ -32,12 +35,17 @@ from repro.experiments.sweeps import (
 
 __all__ = [
     "TRACE_FAMILIES",
+    "TOPOLOGY_FAMILIES",
     "figure_dynamics_traces",
     "figure_dynamics_churn",
+    "figure_dynamics_topology",
 ]
 
 # The trace-driven families compared against the paper's rotating slowdown.
 TRACE_FAMILIES = ("trace-diurnal", "trace-random-walk", "trace-burst")
+
+# The graph families compared against the paper's complete graph.
+TOPOLOGY_FAMILIES = ("full", "ring", "star", "random")
 
 
 def _finalize(
@@ -130,8 +138,10 @@ def figure_dynamics_churn(
     """Algorithms under worker churn at increasing severity.
 
     The scenario grid crosses downtime length with departure count (both
-    scaled into the simulated horizon); only churn-capable trainers are
-    eligible. Rejoining workers resume from their frozen replicas, so the
+    scaled into the simulated horizon); every registry algorithm is
+    eligible (the synchronous trainers run round-based churn: stragglers
+    dropped at round start, rejoiners re-admitted next round). Rejoining
+    gossip workers resume from their frozen replicas, so the
     interesting signal is how much each algorithm's consensus suffers while
     the active set shrinks. Default downtimes scale with the horizon (10%
     and 25% of it) so short smoke runs stay schedulable: a downtime must
@@ -164,4 +174,53 @@ def figure_dynamics_churn(
         aggregate_sweep(sweep),
         "dyn-churn",
         "Algorithm comparison under worker churn (downtime x departures)",
+    )
+
+
+def figure_dynamics_topology(
+    algorithms: tuple[str, ...] = ("netmax", "adpsgd", "saps", "allreduce"),
+    topologies: tuple[str, ...] = TOPOLOGY_FAMILIES,
+    num_workers: int = 8,
+    num_seeds: int = 2,
+    max_sim_time: float = 60.0,
+    num_samples: int = 512,
+    edge_probability: float = 0.35,
+    seed: int = 0,
+    parallel: int = 0,
+    cache_dir: str | None = None,
+) -> ExperimentOutput:
+    """Algorithms across communication-graph families on the paper's cluster.
+
+    The paper evaluates on complete graphs only, but Algorithm 3 and the
+    consensus analysis hold for arbitrary connected topologies -- and
+    related work shows sparse or hub-shaped mixing structure can flip the
+    rankings. The scenario grid runs the rotating-slowdown heterogeneous
+    network with its graph swapped per cell (the rotation period scaled
+    into the horizon, as in :func:`figure_dynamics_traces`). Sparse graphs
+    (ring, star) amplify the value of adaptive peer selection: fewer routes
+    exist around a slowed link, and on a star none at all.
+    """
+    scenarios = []
+    for kind in topologies:
+        params: tuple[tuple[str, object], ...] = (
+            ("period_s", float(max_sim_time) / 4.0),
+            ("topology", kind),
+        )
+        if kind in ("random", "small-world"):
+            params += (("edge_probability", float(edge_probability)),)
+        scenarios.append(
+            ScenarioSpec(kind="heterogeneous", num_workers=num_workers, params=params)
+        )
+    spec = SweepSpec(
+        algorithms=tuple(algorithms),
+        seeds=tuple(range(seed, seed + num_seeds)),
+        scenarios=tuple(scenarios),
+        workload=WorkloadSpec(num_samples=num_samples),
+        run=RunSpec(max_sim_time=max_sim_time),
+    )
+    sweep = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    return _finalize(
+        aggregate_sweep(sweep),
+        "dyn-topology",
+        "Algorithm comparison across communication-graph families",
     )

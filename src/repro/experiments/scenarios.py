@@ -44,7 +44,12 @@ from repro.datasets.partition import (
     partition_uniform,
 )
 from repro.datasets.synthetic import load_dataset
-from repro.graph.topology import Topology
+from repro.graph.topology import (
+    TOPOLOGY_KINDS,
+    Topology,
+    make_topology,
+    validate_topology_request,
+)
 from repro.ml.data import BatchSampler, Dataset, train_test_split
 from repro.ml.models import build_model
 from repro.ml.problems import make_consensus_quadratics
@@ -226,12 +231,23 @@ class ScenarioFamily:
         """Validate + canonicalize overrides against the schema."""
         return {key: self.param(key).coerce(value) for key, value in overrides.items()}
 
-    def merge_and_validate(self, overrides: dict) -> dict:
-        """Coerced overrides over defaults, passed through the validator."""
+    def merge_and_validate(
+        self, overrides: dict, num_workers: int | None = None
+    ) -> dict:
+        """Coerced overrides over defaults, passed through the validator.
+
+        When ``num_workers`` is known (spec construction and build time),
+        the shared topology axis is validated against it too, so a ring on
+        2 workers or a torus on a prime worker count dies in a dry run.
+        """
         merged = {parameter.name: parameter.default for parameter in self.params}
         merged.update(self.coerce_params(overrides))
         if self.validator is not None:
             self.validator(merged)
+        if num_workers is not None and "topology" in merged:
+            validate_topology_request(
+                merged["topology"], num_workers, merged["edge_probability"]
+            )
         return merged
 
     def validate_workers(self, num_workers: int) -> None:
@@ -245,7 +261,9 @@ class ScenarioFamily:
 
     def build(self, num_workers: int = 8, seed: int = 0, **overrides) -> Scenario:
         self.validate_workers(num_workers)
-        return self.builder(num_workers, seed, **self.merge_and_validate(overrides))
+        return self.builder(
+            num_workers, seed, **self.merge_and_validate(overrides, num_workers)
+        )
 
 
 SCENARIO_FAMILIES: dict[str, ScenarioFamily] = {}
@@ -285,6 +303,50 @@ def _named(base: Scenario, family: str, num_workers: int) -> Scenario:
         links=base.links,
         churn=base.churn,
     )
+
+
+# Shared graph axis: every scenario family accepts these two parameters and
+# runs on any TOPOLOGY_KINDS graph instead of the paper's complete graph.
+_TOPOLOGY_PARAMS = (
+    ScenarioParam(
+        "topology", "full",
+        "communication graph family: " + "|".join(TOPOLOGY_KINDS),
+    ),
+    ScenarioParam(
+        "edge_probability", 0.25,
+        "edge probability (random) / rewire probability (small-world)",
+    ),
+)
+
+
+def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]:
+    """Wrap a family builder so the shared topology axis applies to it.
+
+    The wrapper pops ``topology``/``edge_probability`` out of the merged
+    parameters (the base builders never see them), builds the scenario on
+    its default complete graph, and then swaps in the requested graph
+    family. Links and churn are untouched: the link model describes the
+    physical network, the topology describes who is *allowed* to gossip
+    over it.
+    """
+
+    def wrapped(num_workers: int, seed: int, **params) -> Scenario:
+        kind = params.pop("topology")
+        edge_probability = params.pop("edge_probability")
+        scenario = builder(num_workers, seed, **params)
+        if kind == "full":
+            return scenario
+        topology = make_topology(
+            kind, scenario.num_workers, edge_probability=edge_probability, seed=seed
+        )
+        return Scenario(
+            name=f"{scenario.name}-{kind}",
+            topology=topology,
+            links=scenario.links,
+            churn=scenario.churn,
+        )
+
+    return wrapped
 
 
 def _build_heterogeneous(num_workers, seed, **params):
@@ -374,73 +436,76 @@ _TRACE_COMMON = (
 register_scenario_family(ScenarioFamily(
     name="homogeneous",
     description="Section V-A single-server 10 Gbps virtual switch",
-    builder=lambda num_workers, seed, **_: _named(
+    builder=_topology_aware(lambda num_workers, seed, **_: _named(
         homogeneous_scenario(num_workers), "homogeneous", num_workers
-    ),
+    )),
+    params=_TOPOLOGY_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="heterogeneous",
     description="Section V-A multi-tenant cluster, rotating slowed link",
-    builder=lambda num_workers, seed, **params: _named(
+    builder=_topology_aware(lambda num_workers, seed, **params: _named(
         _build_heterogeneous(num_workers, seed, **params),
         "heterogeneous", num_workers,
-    ),
+    )),
     params=(
         ScenarioParam("period_s", 300.0, "slow-link rotation period (paper: 300 s)"),
         ScenarioParam("slowdown_low", 2.0, "minimum slowdown factor"),
         ScenarioParam("slowdown_high", 100.0, "maximum slowdown factor"),
         ScenarioParam("num_slow_links", 1, "simultaneously slowed links"),
-    ),
+    ) + _TOPOLOGY_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="heterogeneous-static",
     description="the heterogeneous cluster with the slowdown frozen off",
-    builder=lambda num_workers, seed, **_: _named(
+    builder=_topology_aware(lambda num_workers, seed, **_: _named(
         heterogeneous_scenario(num_workers, dynamic=False),
         "heterogeneous-static", num_workers,
-    ),
+    )),
+    params=_TOPOLOGY_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="multi-cloud",
     description="Appendix G six-region WAN (fixed at 6 workers)",
-    builder=lambda num_workers, seed, **_: multi_cloud_scenario(),
+    builder=_topology_aware(lambda num_workers, seed, **_: multi_cloud_scenario()),
+    params=_TOPOLOGY_PARAMS,
     fixed_workers=6,
 ))
 register_scenario_family(ScenarioFamily(
     name="trace-diurnal",
     description="sinusoidal daily-cycle bandwidth, per-pair phase offsets",
-    builder=lambda num_workers, seed, **params: _named(
+    builder=_topology_aware(lambda num_workers, seed, **params: _named(
         _build_trace(
             diurnal_trace,
             lambda p: {"amplitude": p["amplitude"], "period_s": p["period_s"]},
             num_workers, seed, params,
         ),
         "trace-diurnal", num_workers,
-    ),
+    )),
     params=_TRACE_COMMON + (
         ScenarioParam("amplitude", 0.6, "sine amplitude as a fraction of base"),
         ScenarioParam("period_s", 1800.0, "diurnal cycle length, seconds"),
-    ),
+    ) + _TOPOLOGY_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="trace-random-walk",
     description="log-space multiplicative random walk per link",
-    builder=lambda num_workers, seed, **params: _named(
+    builder=_topology_aware(lambda num_workers, seed, **params: _named(
         _build_trace(
             random_walk_trace,
             lambda p: {"sigma": p["sigma"]},
             num_workers, seed, params,
         ),
         "trace-random-walk", num_workers,
-    ),
+    )),
     params=_TRACE_COMMON + (
         ScenarioParam("sigma", 0.15, "per-step log-normal walk std"),
-    ),
+    ) + _TOPOLOGY_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="trace-burst",
     description="links intermittently crushed by bursty cross-traffic",
-    builder=lambda num_workers, seed, **params: _named(
+    builder=_topology_aware(lambda num_workers, seed, **params: _named(
         _build_trace(
             burst_congestion_trace,
             lambda p: {
@@ -450,31 +515,31 @@ register_scenario_family(ScenarioFamily(
             num_workers, seed, params,
         ),
         "trace-burst", num_workers,
-    ),
+    )),
     params=_TRACE_COMMON + (
         ScenarioParam("burst_probability", 0.08, "per-step burst start probability"),
         ScenarioParam("burst_factor_low", 5.0, "minimum burst slowdown factor"),
         ScenarioParam("burst_factor_high", 50.0, "maximum burst slowdown factor"),
-    ),
+    ) + _TOPOLOGY_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="trace-file",
     description="replay a JSON/CSV bandwidth trace from disk",
-    builder=lambda num_workers, seed, **params: _named(
+    builder=_topology_aware(lambda num_workers, seed, **params: _named(
         _build_trace_file(num_workers, seed, **params), "trace-file", num_workers
-    ),
+    )),
     params=(
         ScenarioParam("path", "", "trace file (.json or .csv; format in links.py)"),
         ScenarioParam("latency_s", 0.001, "link latency for CSV traces, seconds"),
-    ),
+    ) + _TOPOLOGY_PARAMS,
     validator=_validate_trace_file_params,
 ))
 register_scenario_family(ScenarioFamily(
     name="churn",
     description="heterogeneous network plus scheduled worker departures/rejoins",
-    builder=lambda num_workers, seed, **params: _named(
+    builder=_topology_aware(lambda num_workers, seed, **params: _named(
         _build_churn(num_workers, seed, **params), "churn", num_workers
-    ),
+    )),
     params=(
         ScenarioParam("num_departures", 2, "how many departures over the horizon"),
         ScenarioParam("downtime_s", 60.0, "seconds a departed worker stays away"),
@@ -482,7 +547,7 @@ register_scenario_family(ScenarioFamily(
         ScenarioParam("min_active", 2, "validated floor on active workers"),
         ScenarioParam("dynamic", True, "keep the rotating slowed link too"),
         ScenarioParam("period_s", 300.0, "slow-link rotation period, seconds"),
-    ),
+    ) + _TOPOLOGY_PARAMS,
     has_churn=True,
 ))
 

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.algorithms.base import TrainerConfig
 from repro.experiments.common import ExperimentOutput
+from repro.graph.topology import RANDOMIZED_TOPOLOGY_KINDS
 from repro.experiments.scenarios import (
     Scenario,
     Workload,
@@ -67,7 +68,10 @@ __all__ = [
 # Folded into every cache key; bump whenever trainer numerics change so
 # stale on-disk results can never masquerade as fresh ones. Version 2:
 # scenario specs gained per-cell parameter grids (the cell payload changed).
-CACHE_VERSION = 2
+# Version 3: the topology scenario axis landed and the synchronous trainers
+# gained round-based churn (allreduce/PS numerics changed under churn), so
+# v2 entries must never be reused.
+CACHE_VERSION = 3
 
 
 def _scenario_kinds() -> tuple[str, ...]:
@@ -119,13 +123,19 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         # Fail at spec construction, not cell execution: a grid that cannot
         # run should never survive a dry run. merge_and_validate also runs
-        # the family's spec-time validator (e.g. trace-file path checks).
+        # the family's spec-time validator (e.g. trace-file path checks) and,
+        # given the worker count, the topology-axis feasibility checks.
         family = get_scenario_family(self.kind)
         family.validate_workers(self.num_workers)
         coerced = family.coerce_params(dict(self.params))
-        family.merge_and_validate(coerced)
+        merged = family.merge_and_validate(coerced, self.num_workers)
         # Canonical form: an override spelled at its default value builds the
         # identical scenario, so it must hash (and label) identically too.
+        # Likewise edge_probability is inert unless the topology is one of
+        # the randomized kinds -- a ring cell spelled with any
+        # edge_probability is the same ring cell.
+        if merged.get("topology") not in RANDOMIZED_TOPOLOGY_KINDS:
+            coerced.pop("edge_probability", None)
         coerced = {
             key: value for key, value in coerced.items()
             if value != family.param(key).default

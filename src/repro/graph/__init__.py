@@ -8,6 +8,18 @@ route messages over non-edges), and by the baselines (ring order for
 all-reduce, fixed subgraph for SAPS).
 """
 
-from repro.graph.topology import Topology
+from repro.graph.topology import (
+    RANDOMIZED_TOPOLOGY_KINDS,
+    TOPOLOGY_KINDS,
+    Topology,
+    make_topology,
+    validate_topology_request,
+)
 
-__all__ = ["Topology"]
+__all__ = [
+    "Topology",
+    "TOPOLOGY_KINDS",
+    "RANDOMIZED_TOPOLOGY_KINDS",
+    "make_topology",
+    "validate_topology_request",
+]

@@ -14,7 +14,7 @@ from collections.abc import Iterable, Sequence
 import networkx as nx
 import numpy as np
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "TOPOLOGY_KINDS", "validate_topology_request", "make_topology"]
 
 
 class Topology:
@@ -96,6 +96,78 @@ class Topology:
         return cls(adjacency)
 
     @classmethod
+    def torus(cls, num_workers: int) -> "Topology":
+        """2D torus (wrap-around grid) on the most-square factorization.
+
+        ``num_workers`` must factor as ``rows x cols`` with both sides at
+        least 2 (so primes and ``num_workers < 4`` are rejected); the grid
+        uses the factor pair closest to square, which maximizes the torus's
+        bisection symmetry. Degree is 4 (2-length dimensions collapse the
+        duplicate wrap edge).
+        """
+        rows, cols = _torus_shape(num_workers)
+        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                for nr, nc in (((r + 1) % rows, c), (r, (c + 1) % cols)):
+                    peer = nr * cols + nc
+                    if peer != node:
+                        adjacency[node, peer] = adjacency[peer, node] = True
+        return cls(adjacency)
+
+    @classmethod
+    def small_world(
+        cls,
+        num_workers: int,
+        rewire_probability: float,
+        rng: np.random.Generator,
+        base_degree: int = 4,
+        max_tries: int = 100,
+    ) -> "Topology":
+        """Watts-Strogatz small world: ring lattice with random rewiring.
+
+        Each node starts connected to its ``base_degree`` nearest ring
+        neighbors (clamped for tiny graphs); every lattice edge is then
+        rewired with probability ``rewire_probability`` to a uniformly random
+        non-neighbor. The construction is resampled (from the same ``rng``
+        stream) until connected, so the result always satisfies Assumption 1.
+        """
+        if num_workers < 4:
+            raise ValueError("a small-world topology needs at least 4 workers")
+        if not 0.0 <= rewire_probability <= 1.0:
+            raise ValueError(
+                f"rewire_probability must be in [0, 1], got {rewire_probability}"
+            )
+        half = max(1, min(base_degree, num_workers - 1) // 2)
+        for _ in range(max_tries):
+            adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+            for node in range(num_workers):
+                for offset in range(1, half + 1):
+                    peer = (node + offset) % num_workers
+                    adjacency[node, peer] = adjacency[peer, node] = True
+            for node in range(num_workers):
+                for offset in range(1, half + 1):
+                    peer = (node + offset) % num_workers
+                    if not adjacency[node, peer]:
+                        continue  # this lattice edge was already rewired away
+                    if rng.random() >= rewire_probability:
+                        continue
+                    candidates = np.flatnonzero(~adjacency[node])
+                    candidates = candidates[candidates != node]
+                    if candidates.size == 0:
+                        continue
+                    target = int(candidates[rng.integers(candidates.size)])
+                    adjacency[node, peer] = adjacency[peer, node] = False
+                    adjacency[node, target] = adjacency[target, node] = True
+            candidate = cls(adjacency)
+            if candidate.is_connected():
+                return candidate
+        raise ValueError(
+            f"could not draw a connected small-world graph in {max_tries} tries"
+        )
+
+    @classmethod
     def from_edges(cls, num_workers: int, edges: Iterable[tuple[int, int]]) -> "Topology":
         """Build from an explicit undirected edge list."""
         adjacency = np.zeros((num_workers, num_workers), dtype=bool)
@@ -165,3 +237,87 @@ class Topology:
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Topology(M={self.num_workers}, edges={len(self.edges())})"
+
+
+# -- the topology-family factory -----------------------------------------------
+
+# Graph families the scenario registry exposes as its ``topology`` axis.
+TOPOLOGY_KINDS = ("full", "ring", "star", "random", "torus", "small-world")
+
+# The kinds whose construction actually consumes ``edge_probability`` (and
+# the seed-derived stream); for every other kind the parameter is inert, so
+# spec canonicalization drops it to keep cache keys/labels identical.
+RANDOMIZED_TOPOLOGY_KINDS = ("random", "small-world")
+
+# Seed-sequence tag separating topology sampling from every other stream
+# derived from a scenario seed (links, churn, data) -- adding a random graph
+# to a scenario must not perturb its link dynamics.
+_TOPOLOGY_STREAM = 0x7090
+
+
+def _torus_shape(num_workers: int) -> tuple[int, int]:
+    """Most-square ``rows x cols = num_workers`` with both sides >= 2."""
+    if num_workers >= 4:
+        for rows in range(int(np.sqrt(num_workers)), 1, -1):
+            if num_workers % rows == 0:
+                return rows, num_workers // rows
+    raise ValueError(
+        f"a torus needs num_workers = rows x cols with both sides >= 2; "
+        f"{num_workers} does not factor that way"
+    )
+
+
+def validate_topology_request(
+    kind: str, num_workers: int, edge_probability: float
+) -> None:
+    """Reject unbuildable ``(kind, num_workers)`` combinations up front.
+
+    This is the spec-time half of :func:`make_topology`: sweep grids and CLI
+    dry runs call it so a ring on 2 workers or a torus on a prime worker
+    count dies before any cell executes.
+    """
+    if kind not in TOPOLOGY_KINDS:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; valid: {list(TOPOLOGY_KINDS)}"
+        )
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    if num_workers < 2:
+        raise ValueError("num_workers must be >= 2")
+    if kind == "ring" and num_workers < 3:
+        raise ValueError("a ring topology needs at least 3 workers")
+    if kind == "torus":
+        _torus_shape(num_workers)  # raises for primes and num_workers < 4
+    if kind == "small-world" and num_workers < 4:
+        raise ValueError("a small-world topology needs at least 4 workers")
+
+
+def make_topology(
+    kind: str,
+    num_workers: int,
+    edge_probability: float = 0.25,
+    seed: int = 0,
+) -> Topology:
+    """Build a topology family by name (the scenario registry's graph axis).
+
+    ``edge_probability`` doubles as the Erdos-Renyi edge probability for
+    ``"random"`` and the rewire probability for ``"small-world"``; the other
+    families ignore it. Randomized families draw from a dedicated
+    ``[seed, _TOPOLOGY_STREAM]`` stream, so the same scenario seed always
+    yields the same graph without touching link or churn randomness.
+    """
+    validate_topology_request(kind, num_workers, edge_probability)
+    if kind == "full":
+        return Topology.fully_connected(num_workers)
+    if kind == "ring":
+        return Topology.ring(num_workers)
+    if kind == "star":
+        return Topology.star(num_workers)
+    if kind == "torus":
+        return Topology.torus(num_workers)
+    rng = np.random.default_rng([seed, _TOPOLOGY_STREAM])
+    if kind == "random":
+        return Topology.random_connected(num_workers, edge_probability, rng)
+    return Topology.small_world(num_workers, edge_probability, rng)

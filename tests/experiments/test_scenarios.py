@@ -177,6 +177,61 @@ class TestScenarioRegistry:
         with pytest.raises(ValueError, match="describes 3 workers"):
             build_scenario("trace-file", 5, 0, path=str(csv))
 
+    def test_every_family_accepts_the_topology_axis(self, tmp_path):
+        """Each registered family builds on a non-complete graph, keeps its
+        link model, and stamps the graph kind into the scenario name."""
+        import json
+        from repro.experiments.scenarios import (
+            build_scenario, get_scenario_family, scenario_names,
+        )
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({
+            "num_workers": 4, "latency": 0.001,
+            "segments": [{"start": 0.0, "bandwidth": 1e8}],
+        }))
+        for name in scenario_names():
+            family = get_scenario_family(name)
+            assert "topology" in family.param_names(), (
+                f"family {name!r} does not declare the shared topology axis"
+            )
+            workers = 6 if name == "multi-cloud" else 4
+            params = {"path": str(trace)} if name == "trace-file" else {}
+            scenario = build_scenario(
+                name, num_workers=workers, seed=1, topology="ring", **params
+            )
+            assert scenario.name.endswith("-ring"), scenario.name
+            assert all(
+                scenario.topology.degree(i) == 2 for i in range(workers)
+            ), name
+            assert scenario.links.num_workers == workers
+            assert (scenario.churn is not None) == (name == "churn")
+
+    def test_topology_axis_deterministic_and_seed_sensitive(self):
+        from repro.experiments.scenarios import build_scenario
+        a = build_scenario("heterogeneous", 8, seed=3, topology="random",
+                          edge_probability=0.3)
+        b = build_scenario("heterogeneous", 8, seed=3, topology="random",
+                          edge_probability=0.3)
+        c = build_scenario("heterogeneous", 8, seed=4, topology="random",
+                          edge_probability=0.3)
+        assert a.topology == b.topology
+        assert a.topology != c.topology
+        # The random graph draws from a dedicated stream: link dynamics are
+        # untouched by the topology axis.
+        full = build_scenario("heterogeneous", 8, seed=3)
+        for t in (0.0, 100.0, 400.0):
+            np.testing.assert_array_equal(
+                a.links.bandwidth_matrix(t), full.links.bandwidth_matrix(t)
+            )
+
+    def test_unbuildable_topology_rejected_at_build(self):
+        from repro.experiments.scenarios import build_scenario
+        with pytest.raises(ValueError, match="torus"):
+            build_scenario("heterogeneous", 5, seed=0, topology="torus")
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_scenario("heterogeneous", 4, seed=0, topology="mesh")
+
     def test_churn_scenario_runs_end_to_end(self):
         from repro.algorithms.base import TrainerConfig
         from repro.experiments.harness import run_trainer

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
+import hashlib
+import json
+
 from repro.experiments.sweeps import (
+    CACHE_VERSION,
     CellOutcome,
     ResultCache,
     RunSpec,
@@ -259,15 +263,100 @@ class TestScenarioParams:
         with pytest.raises(ValueError, match="not found"):
             ScenarioSpec("trace-file", 4, params=(("path", "/no/such/trace.json"),))
 
-    def test_churn_scenario_with_incapable_algorithm_fails_at_spec_time(self):
-        with pytest.raises(ValueError, match="do not support churn"):
-            tiny_spec(
-                algorithms=("allreduce", "adpsgd"),
-                scenarios=(ScenarioSpec("churn", 4),),
-            )
-        # Churn-capable grids still construct.
-        tiny_spec(algorithms=("adpsgd", "netmax", "saps"),
-                  scenarios=(ScenarioSpec("churn", 4),))
+    def test_churn_scenario_accepts_every_registry_algorithm(self):
+        """The synchronous trainers run round-based churn now, so a churn
+        grid constructs for the whole registry (the spec-time rejection only
+        fires for a hypothetical future supports_churn=False trainer)."""
+        from repro.algorithms.registry import trainer_names
+
+        spec = tiny_spec(
+            algorithms=tuple(trainer_names()),
+            scenarios=(ScenarioSpec("churn", 4),),
+        )
+        assert len(spec.cells()) == len(trainer_names()) * 2
+
+    def test_topology_axis_cache_key_sensitivity(self):
+        """Cells differing only in topology (or only in edge_probability)
+        must never share a cache entry."""
+        full = tiny_spec(scenarios=(ScenarioSpec("heterogeneous", 4),)).cells()[0]
+        ring = tiny_spec(scenarios=(
+            ScenarioSpec("heterogeneous", 4, params=(("topology", "ring"),)),
+        )).cells()[0]
+        star = tiny_spec(scenarios=(
+            ScenarioSpec("heterogeneous", 4, params=(("topology", "star"),)),
+        )).cells()[0]
+        sparse = tiny_spec(scenarios=(
+            ScenarioSpec("heterogeneous", 4,
+                         params=(("topology", "random"), ("edge_probability", 0.1))),
+        )).cells()[0]
+        dense = tiny_spec(scenarios=(
+            ScenarioSpec("heterogeneous", 4,
+                         params=(("topology", "random"), ("edge_probability", 0.9))),
+        )).cells()[0]
+        keys = {c.cache_key() for c in (full, ring, star, sparse, dense)}
+        assert len(keys) == 5
+
+    def test_topology_default_canonicalized(self):
+        """``topology=full`` (the schema default) builds the identical
+        scenario and must hash, label, and compare like omitting it."""
+        bare = ScenarioSpec("heterogeneous", 4)
+        spelled = ScenarioSpec(
+            "heterogeneous", 4,
+            params=(("topology", "full"), ("edge_probability", 0.25)),
+        )
+        assert bare == spelled
+        assert spelled.params == ()
+        assert bare.label() == spelled.label()
+        cell_a = tiny_spec(scenarios=(bare,)).cells()[0]
+        cell_b = tiny_spec(scenarios=(spelled,)).cells()[0]
+        assert cell_a.cache_key() == cell_b.cache_key()
+
+    def test_edge_probability_inert_for_nonrandom_topologies(self):
+        """edge_probability only parameterizes the randomized graph kinds;
+        a ring cell spelled with any edge_probability builds the identical
+        scenario and must hash, label, and compare like one without it."""
+        bare = ScenarioSpec("heterogeneous", 4, params=(("topology", "ring"),))
+        spelled = ScenarioSpec(
+            "heterogeneous", 4,
+            params=(("topology", "ring"), ("edge_probability", 0.9)),
+        )
+        assert bare == spelled
+        assert spelled.params == (("topology", "ring"),)
+        assert bare.label() == spelled.label()
+        cell_a = tiny_spec(scenarios=(bare,)).cells()[0]
+        cell_b = tiny_spec(scenarios=(spelled,)).cells()[0]
+        assert cell_a.cache_key() == cell_b.cache_key()
+        # ...while for a randomized kind the parameter is load-bearing.
+        sparse = ScenarioSpec(
+            "heterogeneous", 4,
+            params=(("topology", "random"), ("edge_probability", 0.9)),
+        )
+        assert sparse.params == (
+            ("edge_probability", 0.9), ("topology", "random"),
+        )
+
+    def test_unbuildable_topology_fails_at_spec_time(self):
+        with pytest.raises(ValueError, match="torus"):
+            ScenarioSpec("heterogeneous", 5, params=(("topology", "torus"),))
+        with pytest.raises(ValueError, match="ring"):
+            ScenarioSpec("homogeneous", 2, params=(("topology", "ring"),))
+        with pytest.raises(ValueError, match="unknown topology"):
+            ScenarioSpec("heterogeneous", 4, params=(("topology", "mesh"),))
+
+    def test_cache_version_bump_invalidates_stale_entries(self):
+        """The topology axis shipped with CACHE_VERSION 3: a key computed
+        under any older version must never collide with a current key, so
+        stale v2 cache entries can never be served as fresh results."""
+        assert CACHE_VERSION == 3
+        cell = tiny_spec().cells()[0]
+        payload = cell.describe()
+        assert payload["cache_version"] == CACHE_VERSION
+        for stale_version in (1, 2):
+            stale_payload = dict(payload, cache_version=stale_version)
+            stale_key = hashlib.sha256(
+                json.dumps(stale_payload, sort_keys=True, default=str).encode()
+            ).hexdigest()
+            assert stale_key != cell.cache_key()
 
     def test_default_valued_override_hashes_like_omitted(self):
         """Spelling out a schema default builds the identical scenario and
@@ -280,3 +369,76 @@ class TestScenarioParams:
         cell_a = tiny_spec(scenarios=(bare,)).cells()[0]
         cell_b = tiny_spec(scenarios=(spelled,)).cells()[0]
         assert cell_a.cache_key() == cell_b.cache_key()
+
+
+class TestTopologySweeps:
+    """The tentpole acceptance criteria, end to end through the engine."""
+
+    def test_every_algorithm_completes_on_every_topology_family(self):
+        """All registry algorithms x {full, ring, star, random} -- each cell
+        must finish with finite numbers."""
+        from repro.algorithms.registry import trainer_names
+
+        spec = tiny_spec(
+            algorithms=tuple(trainer_names()),
+            seeds=(0,),
+            scenarios=tuple(
+                ScenarioSpec("heterogeneous", 4, params=(
+                    () if kind == "full" else (("topology", kind),)
+                ))
+                for kind in ("full", "ring", "star", "random")
+            ),
+            run=RunSpec(max_sim_time=5.0, eval_interval_s=5.0),
+        )
+        sweep = run_sweep(spec)
+        assert sweep.cells_executed == len(trainer_names()) * 4
+        for outcome in sweep.outcomes:
+            assert outcome.result.global_steps > 0, outcome.cell.label()
+            assert np.isfinite(outcome.result.history.final_loss()), (
+                outcome.cell.label()
+            )
+
+    def test_sync_churn_parallel_equals_sequential(self):
+        spec = tiny_spec(
+            algorithms=("allreduce", "prague", "ps-syn", "ps-asyn"),
+            seeds=(0,),
+            scenarios=(ScenarioSpec("churn", 4, params=(
+                ("horizon_s", 10.0), ("downtime_s", 3.0), ("num_departures", 1),
+            )),),
+        )
+        seq = run_sweep(spec, parallel=0)
+        par = run_sweep(spec, parallel=2)
+        for a, b in zip(seq.outcomes, par.outcomes):
+            assert a.cell == b.cell
+            assert_results_identical(a.result, b.result)
+
+    def test_sync_churn_cached_equals_fresh(self, tmp_path):
+        spec = tiny_spec(
+            algorithms=("allreduce", "prague"),
+            seeds=(0,),
+            scenarios=(ScenarioSpec("churn", 4, params=(
+                ("horizon_s", 10.0), ("downtime_s", 3.0), ("num_departures", 1),
+            )),),
+        )
+        fresh = run_sweep(spec, cache_dir=str(tmp_path))
+        cached = run_sweep(spec, cache_dir=str(tmp_path))
+        assert cached.cells_from_cache == 2
+        for a, b in zip(fresh.outcomes, cached.outcomes):
+            assert_results_identical(a.result, b.result)
+
+    def test_topology_sweep_parallel_equals_sequential(self):
+        spec = tiny_spec(
+            algorithms=("netmax",),
+            seeds=(0,),
+            scenarios=(
+                ScenarioSpec("heterogeneous", 4, params=(("topology", "ring"),)),
+                ScenarioSpec("heterogeneous", 4, params=(
+                    ("topology", "random"), ("edge_probability", 0.4),
+                )),
+            ),
+            run=RunSpec(max_sim_time=5.0, eval_interval_s=5.0),
+        )
+        seq = run_sweep(spec, parallel=0)
+        par = run_sweep(spec, parallel=2)
+        for a, b in zip(seq.outcomes, par.outcomes):
+            assert_results_identical(a.result, b.result)

@@ -28,6 +28,45 @@ class TestConstruction:
         assert topo.degree(2) == 4
         assert topo.degree(0) == 1
 
+    def test_torus_grid_degrees(self):
+        # 3x3 torus: every node has exactly 4 distinct neighbors.
+        topo = Topology.torus(9)
+        assert all(topo.degree(i) == 4 for i in range(9))
+        assert topo.is_connected()
+
+    def test_torus_two_length_dimension_collapses_wrap_edges(self):
+        # 2x2 torus: the wrap-around edge coincides with the grid edge, so
+        # the graph is a 4-cycle, not a multigraph.
+        topo = Topology.torus(4)
+        assert all(topo.degree(i) == 2 for i in range(4))
+
+    def test_torus_uses_most_square_factorization(self):
+        # 12 = 3x4 (not 2x6): interior nodes still have 4 distinct neighbors.
+        topo = Topology.torus(12)
+        assert all(topo.degree(i) == 4 for i in range(12))
+
+    def test_torus_rejects_primes_and_tiny_counts(self):
+        for bad in (2, 3, 5, 7):
+            with pytest.raises(ValueError, match="torus"):
+                Topology.torus(bad)
+
+    def test_small_world_zero_rewire_is_the_ring_lattice(self):
+        rng = np.random.default_rng(0)
+        topo = Topology.small_world(8, 0.0, rng)
+        assert all(topo.degree(i) == 4 for i in range(8))
+        assert topo.has_edge(0, 1) and topo.has_edge(0, 2)
+
+    def test_small_world_preserves_edge_count_under_rewiring(self):
+        rng = np.random.default_rng(3)
+        lattice = Topology.small_world(10, 0.0, np.random.default_rng(0))
+        rewired = Topology.small_world(10, 0.7, rng)
+        assert len(rewired.edges()) == len(lattice.edges())
+        assert rewired.is_connected()
+
+    def test_small_world_minimum_size(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            Topology.small_world(3, 0.1, np.random.default_rng(0))
+
     def test_from_edges(self):
         topo = Topology.from_edges(4, [(0, 1), (1, 2), (2, 3)])
         assert topo.has_edge(1, 2)

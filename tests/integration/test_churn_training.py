@@ -18,6 +18,7 @@ from repro.algorithms.adpsgd import ADPSGDTrainer
 from repro.algorithms.base import TrainerConfig
 from repro.experiments.harness import run_trainer
 from repro.experiments.scenarios import (
+    build_scenario,
     heterogeneous_scenario,
     make_quadratic_workload,
     make_workload,
@@ -27,6 +28,7 @@ from repro.network.links import StaticLinks
 from repro.simulation.churn import ChurnSchedule
 
 CHURN_ALGORITHMS = ("adpsgd", "saps", "netmax", "adpsgd-monitor")
+SYNC_ALGORITHMS = ("allreduce", "prague", "ps-syn", "ps-asyn")
 
 
 @pytest.fixture(scope="module")
@@ -184,15 +186,87 @@ class TestComputeOnlySurvival:
         assert [kind for _, _, kind in trainer.churn_log] == ["leave", "join"]
 
 
-class TestUnsupportedTrainers:
-    @pytest.mark.parametrize("algorithm", ["allreduce", "prague", "ps-syn", "ps-asyn"])
-    def test_synchronous_trainers_reject_churn(self, problem, algorithm):
+class TestSynchronousChurn:
+    """Round-based churn for allreduce/PS/Prague (the old carve-out is gone):
+    membership is the active set at round start, dropped stragglers
+    contribute nothing to any aggregate, and rejoiners are re-admitted at
+    their next round."""
+
+    @pytest.mark.parametrize("algorithm", SYNC_ALGORITHMS)
+    def test_bit_identical_reruns(self, problem, algorithm):
         scenario, workload, config = problem
-        with pytest.raises(ValueError, match="does not support churn"):
-            run_trainer(
-                algorithm, scenario, workload, config,
-                churn=ChurnSchedule.single(4, 1, leave_at=5.0),
-            )
+        first = run_trainer(algorithm, scenario, workload, config, churn=churn_schedule())
+        second = run_trainer(algorithm, scenario, workload, config, churn=churn_schedule())
+        assert_results_identical(first, second)
+        assert first.extras["churn_events"] == second.extras["churn_events"]
+        assert [kind for _, _, kind in first.extras["churn_events"]] == [
+            "leave", "join", "leave"
+        ]
+
+    @pytest.mark.parametrize("algorithm", SYNC_ALGORITHMS)
+    def test_no_departed_worker_in_any_aggregate(self, problem, algorithm):
+        """Every applied aggregation's membership (round_log) is a subset of
+        the schedule's active set at that time -- the sync-trainer analogue
+        of the no-transfer-touches-a-departed-worker conservation law."""
+        scenario, workload, config = problem
+        schedule = churn_schedule()
+        from repro.algorithms.registry import create_trainer
+
+        trainer = create_trainer(
+            algorithm,
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            config,
+            test_data=workload.test_data,
+            churn=schedule,
+        )
+        trainer.run()
+        assert trainer.round_log, "run performed no aggregations at all"
+        saw_reduced_round = False
+        for time, members in trainer.round_log:
+            active = schedule.active_at(time)
+            for member in members:
+                assert active[member], (
+                    f"aggregate at t={time} included departed worker {member}"
+                )
+            if len(members) < trainer.num_workers:
+                saw_reduced_round = True
+        # The schedule's outage windows overlap training, so renormalized
+        # (smaller) aggregates must actually have happened.
+        assert saw_reduced_round
+
+    @pytest.mark.parametrize("algorithm", SYNC_ALGORITHMS)
+    def test_departed_replica_frozen_and_readmitted(self, problem, algorithm):
+        """Worker 1 computes nothing while away (iterations stall) and is
+        re-admitted after its rejoin (iterations advance again)."""
+        scenario, workload, config = problem
+        schedule = churn_schedule()  # worker 1 away on [4, 11)
+        from repro.algorithms.registry import create_trainer
+
+        trainer = create_trainer(
+            algorithm,
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            config,
+            test_data=workload.test_data,
+            churn=schedule,
+        )
+        trainer.run()
+        in_window = [
+            members for time, members in trainer.round_log if 4.0 <= time < 11.0
+        ]
+        assert in_window, "no aggregations during the outage window"
+        assert all(1 not in members for members in in_window)
+        after = [
+            members for time, members in trainer.round_log if time >= 11.0
+        ]
+        assert any(1 in members for members in after), (
+            "worker 1 was never re-admitted after its rejoin"
+        )
 
     def test_worker_count_mismatch_rejected(self, problem):
         scenario, workload, config = problem
@@ -201,6 +275,49 @@ class TestUnsupportedTrainers:
                 "adpsgd", scenario, workload, config,
                 churn=ChurnSchedule.single(6, 1, leave_at=5.0),
             )
+
+
+class TestChurnOnSparseTopology:
+    """Churn x topology: the star-center departure is the worst case -- the
+    hub leaves and the active subgraph disconnects entirely. Gossip trainers
+    must fall back to compute-only iterations, synchronous trainers must
+    keep aggregating over the leaves, and everyone must pick the hub back up
+    after its rejoin."""
+
+    @pytest.mark.parametrize("algorithm", ["adpsgd", "netmax", "allreduce", "prague"])
+    def test_center_departure_and_rejoin(self, algorithm):
+        scenario = build_scenario("heterogeneous", 4, seed=0, topology="star")
+        assert scenario.topology.degree(0) == 3  # worker 0 is the hub
+        workload = make_workload(
+            "mobilenet", "mnist", num_workers=4, batch_size=32, num_samples=256,
+            seed=0,
+        )
+        config = TrainerConfig(max_sim_time=20.0, eval_interval_s=5.0, seed=0)
+        from repro.algorithms.registry import create_trainer
+
+        trainer = create_trainer(
+            algorithm,
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            config,
+            test_data=workload.test_data,
+            churn=ChurnSchedule.single(4, worker=0, leave_at=3.0, rejoin_at=15.0),
+        )
+        result = trainer.run()
+        assert [kind for _, _, kind in trainer.churn_log] == ["leave", "join"]
+        # The leaves kept training through the hub outage...
+        for leaf in (1, 2, 3):
+            assert trainer.tasks[leaf].iterations > 10, (
+                f"leaf {leaf} stalled during the hub outage"
+            )
+        # ...and the hub itself trained both before its leave and after its
+        # rejoin (it cannot have iterated much in only [0, 3) + [15, 20)).
+        assert 0 < trainer.tasks[0].iterations < max(
+            trainer.tasks[leaf].iterations for leaf in (1, 2, 3)
+        )
+        assert np.isfinite(result.history.final_loss())
 
 
 class TestRejoinDuringInFlightIteration:

@@ -1,0 +1,135 @@
+"""Golden regression layer: tiny fixed-seed runs pinned to exact outcomes.
+
+The determinism tests (``test_determinism.py``) assert a run equals a rerun
+*within one code version*; they cannot notice when a refactor silently
+shifts an RNG stream or reorders simulator events -- both reruns drift
+together. These tests pin the *absolute* numbers of a tiny run per
+algorithm, so any change to trainer numerics, stream layout, or event
+ordering fails loudly and has to be acknowledged by regenerating the
+constants below (and bumping the sweep engine's CACHE_VERSION, which such a
+change almost always requires).
+
+Iteration counts and history lengths are exact (they are event-ordering
+facts); losses use a tight relative tolerance that forgives last-ulp BLAS
+differences across machines but not stream drift (any RNG change moves the
+loss by orders of magnitude more than 1e-5).
+
+Regenerate with::
+
+    PYTHONPATH=src python -c "import tests.integration.test_golden_regression as g; g.regenerate()"
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import TrainerConfig
+from repro.algorithms.registry import trainer_names
+from repro.experiments.harness import run_trainer
+from repro.experiments.scenarios import build_scenario, make_workload
+
+LOSS_RTOL = 1e-5
+
+# algorithm -> (final_loss, global_steps, history_length)
+GOLDEN_HETEROGENEOUS = {
+    "adpsgd": (0.00039109815491897477, 249, 3),
+    "adpsgd-monitor": (0.001934834828867497, 238, 3),
+    "allreduce": (0.000434358836121454, 180, 3),
+    "netmax": (0.0012622664464620487, 238, 3),
+    "prague": (0.0006132396606873226, 151, 3),
+    "ps-asyn": (0.940861860936269, 181, 3),
+    "ps-syn": (0.0005922793284163639, 140, 3),
+    "saps": (0.0006641012654479116, 632, 3),
+}
+
+GOLDEN_RING = {
+    "adpsgd": (0.00032551877107227104, 328, 3),
+    "netmax": (0.001168084004951473, 314, 3),
+    "saps": (0.0003775325839898658, 629, 3),
+}
+
+GOLDEN_CHURN = {
+    "adpsgd": (0.0004966665046321841, 236, 3),
+    "netmax": (0.0014125268128678016, 210, 3),
+    "allreduce": (0.0003990886799178184, 170, 3),
+    "prague": (0.0009395638669737708, 152, 3),
+    "ps-syn": (0.000574404865466841, 129, 3),
+    "ps-asyn": (1.5296634619427647, 167, 3),
+}
+
+
+def _workload():
+    return make_workload(
+        "mobilenet", "mnist", num_workers=4, batch_size=32, num_samples=256,
+        seed=0,
+    )
+
+
+def _config():
+    return TrainerConfig(max_sim_time=10.0, eval_interval_s=5.0, seed=0)
+
+
+def _scenarios():
+    return {
+        "heterogeneous": (
+            build_scenario("heterogeneous", 4, seed=0), GOLDEN_HETEROGENEOUS
+        ),
+        "ring": (
+            build_scenario("heterogeneous", 4, seed=0, topology="ring"),
+            GOLDEN_RING,
+        ),
+        "churn": (
+            build_scenario("churn", 4, seed=0, horizon_s=10.0, downtime_s=3.0,
+                           num_departures=1),
+            GOLDEN_CHURN,
+        ),
+    }
+
+
+def _check(result, golden, label):
+    loss, steps, history_len = golden
+    assert result.global_steps == steps, (
+        f"{label}: iteration count drifted {steps} -> {result.global_steps} "
+        "(RNG-stream or event-ordering change; regenerate the goldens AND "
+        "bump CACHE_VERSION if intentional)"
+    )
+    assert len(result.history.times) == history_len, label
+    assert result.history.final_loss() == pytest.approx(loss, rel=LOSS_RTOL), (
+        f"{label}: final loss drifted {loss} -> {result.history.final_loss()}"
+    )
+    assert np.all(np.isfinite(result.final_params)), label
+
+
+def test_golden_covers_every_algorithm():
+    """A new registry algorithm must get a golden pin before it ships."""
+    assert set(GOLDEN_HETEROGENEOUS) == set(trainer_names())
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_HETEROGENEOUS))
+def test_golden_heterogeneous(algorithm):
+    scenario, golden = _scenarios()["heterogeneous"]
+    result = run_trainer(algorithm, scenario, _workload(), _config())
+    _check(result, golden[algorithm], f"{algorithm}/heterogeneous")
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_RING))
+def test_golden_ring_topology(algorithm):
+    scenario, golden = _scenarios()["ring"]
+    result = run_trainer(algorithm, scenario, _workload(), _config())
+    _check(result, golden[algorithm], f"{algorithm}/ring")
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_CHURN))
+def test_golden_churn(algorithm):
+    scenario, golden = _scenarios()["churn"]
+    result = run_trainer(algorithm, scenario, _workload(), _config())
+    _check(result, golden[algorithm], f"{algorithm}/churn")
+
+
+def regenerate():  # pragma: no cover - maintenance helper
+    """Print fresh golden dicts (run after an intentional numerics change)."""
+    for name, (scenario, golden) in _scenarios().items():
+        print(f"# {name}")
+        for algorithm in sorted(golden):
+            r = run_trainer(algorithm, scenario, _workload(), _config())
+            print(f'    "{algorithm}": ({r.history.final_loss()!r}, '
+                  f'{r.global_steps}, {len(r.history.times)}),')

@@ -24,8 +24,8 @@ class TestParser:
         expected = {f"fig{n}" for n in (3, 5, 6, 7, 8, 9, 10, 11, 12, 13,
                                         14, 15, 16, 17, 18, 19)}
         expected |= {"table2", "table3", "table5", "table6"}
-        # Beyond-paper dynamics experiments (trace/churn scenario families).
-        expected |= {"dyn-traces", "dyn-churn"}
+        # Beyond-paper dynamics experiments (trace/churn/topology families).
+        expected |= {"dyn-traces", "dyn-churn", "dyn-topology"}
         assert set(FIGURE_FUNCTIONS) == expected
 
     def test_sweep_defaults(self):
@@ -179,6 +179,14 @@ class TestScenarioParamCLI:
         out = capsys.readouterr().out
         assert "churn-8w" in out and "downtime_s" in out
 
+    def test_figure_dynamics_topology_smoke(self, capsys):
+        code = main(["figure", "dyn-topology", "--sim-time", "8",
+                     "--samples", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology=ring" in out and "topology=star" in out
+        assert "allreduce" in out  # sync trainers compete on sparse graphs too
+
     def test_sweep_trace_file_without_path_fails_dry_run(self, capsys):
         code = main([
             "sweep", "--algorithms", "adpsgd", "--seeds", "0",
@@ -187,22 +195,64 @@ class TestScenarioParamCLI:
         assert code == 2
         assert "path" in capsys.readouterr().err
 
-    def test_compare_churn_with_incapable_algorithm_exits_cleanly(self, capsys):
+    def test_compare_churn_with_synchronous_algorithm_runs(self, capsys):
+        """Synchronous trainers run churn round-based now (no carve-out)."""
         code = main([
             "compare", "--algorithms", "allreduce", "--workers", "4",
             "--samples", "256", "--batch-size", "32", "--sim-time", "5",
             "--scenario", "churn",
+            "--scenario-param", "horizon_s=5",
+            "--scenario-param", "downtime_s=1",
+            "--scenario-param", "num_departures=1",
         ])
-        assert code == 2
-        assert "does not support churn" in capsys.readouterr().err
+        assert code == 0
+        assert "churn-4w" in capsys.readouterr().out
 
-    def test_sweep_churn_with_incapable_algorithm_fails_dry_run(self, capsys):
+    def test_sweep_churn_with_synchronous_algorithm_passes_dry_run(self, capsys):
         code = main([
             "sweep", "--algorithms", "allreduce", "--seeds", "0",
             "--workers", "4", "--scenarios", "churn", "--dry-run",
         ])
+        assert code == 0
+        assert "churn-4w" in capsys.readouterr().out
+
+    def test_sweep_topology_axis_dry_run(self, capsys):
+        """The topology axis cross-products per cell like any other param."""
+        code = main([
+            "sweep", "--algorithms", "netmax", "--seeds", "0",
+            "--workers", "4", "--scenarios", "heterogeneous",
+            "--scenario-param", "topology=full,ring,star", "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 cell(s)" in out
+        assert "topology=ring" in out and "topology=star" in out
+
+    def test_sweep_grid_dedupes_inert_param_combos(self, capsys):
+        """edge_probability is inert for non-randomized topologies, so the
+        cross-product must enumerate each canonical cell exactly once."""
+        code = main([
+            "sweep", "--algorithms", "netmax", "--seeds", "0",
+            "--workers", "4", "--scenarios", "heterogeneous",
+            "--scenario-param", "topology=full,ring,random",
+            "--scenario-param", "edge_probability=0.1,0.9",
+            "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # full and ring collapse their two edge_probability spellings;
+        # random keeps both: 1 + 1 + 2 = 4 distinct cells.
+        assert "4 cell(s)" in out
+
+    def test_sweep_unbuildable_topology_fails_dry_run(self, capsys):
+        """A torus on a prime worker count must die at spec time."""
+        code = main([
+            "sweep", "--algorithms", "netmax", "--seeds", "0",
+            "--workers", "5", "--scenarios", "heterogeneous",
+            "--scenario-param", "topology=torus", "--dry-run",
+        ])
         assert code == 2
-        assert "do not support churn" in capsys.readouterr().err
+        assert "torus" in capsys.readouterr().err
 
     def test_compare_rejects_foreign_family_prefix(self, capsys):
         code = main([
