@@ -36,6 +36,7 @@ class ADPSGDTrainer(DecentralizedTrainer):
 
     name = "adpsgd"
     supports_churn = True
+    supports_dynamic_edges = True
 
     def __init__(self, *args, mixing_weight: float = 0.5, overlap: bool = True, **kwargs):
         super().__init__(*args, **kwargs)
@@ -55,20 +56,23 @@ class ADPSGDTrainer(DecentralizedTrainer):
         ]
 
     def _choose_peer(self, worker: int) -> int:
-        """Sample a gossip partner; ``worker`` itself means "no active peer".
+        """Sample a gossip partner; ``worker`` itself means "no live peer".
 
-        With every worker up (always true without churn, and most of the
-        time with it) this is the O(1) hot path: indexing with rng.integers
-        draws the same stream as rng.choice on the cached neighbor array,
-        without choice()'s per-call setup. The filtered path draws the same
-        stream too whenever the active list coincides with the cache.
+        With every worker up and every edge live (always true on static
+        graphs without churn, and most of the time otherwise) this is the
+        O(1) hot path: indexing with rng.integers draws the same stream as
+        rng.choice on the cached neighbor array, without choice()'s per-call
+        setup. The filtered path -- some worker departed (churn) or some
+        edge currently failed (time-varying topology) -- draws the same
+        stream too whenever the live list coincides with the cache.
         """
         neighbors = self._neighbor_cache[worker]
-        if not self._all_active:
-            active = [int(n) for n in neighbors if self._active[n]]
-            if not active:
+        if not (self._all_active and self._edges_all_up):
+            edges = self._edge_adjacency[worker]
+            live = [int(n) for n in neighbors if self._active[n] and edges[n]]
+            if not live:
                 return worker  # compute-only iteration until a peer returns
-            return active[self._selection_rngs[worker].integers(len(active))]
+            return live[self._selection_rngs[worker].integers(len(live))]
         return int(neighbors[self._selection_rngs[worker].integers(neighbors.size)])
 
     def _setup(self) -> None:
@@ -109,9 +113,10 @@ class ADPSGDTrainer(DecentralizedTrainer):
     def _serial_pull(self, worker: int, peer: int, compute: float, epoch: int) -> None:
         if epoch != self._churn_epoch[worker]:
             return  # the worker departed during the computation: stale loop
-        if not self._active[peer]:
-            # The chosen peer departed during the gradient computation; fall
-            # back to a compute-only completion rather than pull from it.
+        if not self._active[peer] or not self._edge_adjacency[worker, peer]:
+            # The chosen peer departed -- or the edge to it failed -- during
+            # the gradient computation; fall back to a compute-only
+            # completion rather than pull over a dead link.
             self._complete_iteration(worker, worker, compute, compute, epoch)
             return
         network = self.start_transfer(worker, peer)
@@ -133,11 +138,12 @@ class ADPSGDTrainer(DecentralizedTrainer):
         model = self.tasks[worker].model
         lr = self.current_lr()
         _, grad = self.tasks[worker].sample_loss_and_grad()
-        if peer != worker and self._active[peer]:
+        if peer != worker and self._active[peer] and self._edge_adjacency[worker, peer]:
             # Average with the pulled model, then apply the local gradient --
             # AD-PSGD computes the gradient at the pre-averaging parameters.
-            # (A peer that departed mid-flight is skipped: updates never
-            # incorporate state from a departed worker.)
+            # (A peer that departed mid-flight -- or whose edge failed while
+            # the transfer was in the air -- is skipped: updates never
+            # incorporate state delivered over a dead endpoint or link.)
             base = (
                 (1.0 - self.mixing_weight) * model.get_params()
                 + self.mixing_weight * self.tasks[peer].model.get_params()

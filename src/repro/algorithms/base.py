@@ -171,6 +171,14 @@ class DecentralizedTrainer(abc.ABC):
     # trainer must opt in explicitly -- accepting a schedule it silently
     # ignores would fake churn-robustness.
     supports_churn = False
+    # Whether this algorithm knows how to gossip over a time-varying edge
+    # set (a DynamicTopology). Gossip trainers compose the live-edge mask
+    # with the churn activity mask in peer selection and never start a
+    # transfer on a failed edge; the synchronous baselines treat the link
+    # model as a routed underlay and have no per-edge semantics, so they
+    # reject dynamic topologies explicitly rather than silently ignoring
+    # the schedule.
+    supports_dynamic_edges = False
 
     def __init__(
         self,
@@ -191,6 +199,10 @@ class DecentralizedTrainer(abc.ABC):
         if links.num_workers != topology.num_workers:
             raise ValueError("link model and topology disagree on worker count")
         topology.require_connected()
+        if topology.is_dynamic and not self.supports_dynamic_edges:
+            raise ValueError(
+                f"trainer {self.name!r} does not support time-varying topologies"
+            )
         if churn is not None:
             if not self.supports_churn:
                 raise ValueError(
@@ -238,6 +250,15 @@ class DecentralizedTrainer(abc.ABC):
         self.churn = churn
         self._active = [True] * len(tasks)
         self._all_active = True
+        # Time-varying topology state: the currently live adjacency (every
+        # edge schedule starts with all base edges up) plus a fast-path flag.
+        # For a static topology both are constant for the whole run.
+        self._edges_dynamic = bool(topology.is_dynamic)
+        self._edge_adjacency = topology.adjacency_at(0.0)
+        self._edges_all_up = True
+        # (time, a, b, kind) edge transitions actually executed, for
+        # diagnostics and the dynamic-edge correctness tests.
+        self.edge_log: list[tuple[float, int, int, str]] = []
         # Per-worker loop generation: bumped on every departure so iteration
         # continuations scheduled before the leave are recognizably stale.
         # Without it, a rejoin that lands while a pre-departure event is
@@ -337,17 +358,25 @@ class DecentralizedTrainer(abc.ABC):
         self._lr_dirty = True
 
     def start_transfer(self, receiver: int, sender: int) -> float:
-        """One model-sized transfer via the comm model, with a churn guard.
+        """One model-sized transfer via the comm model, with churn and
+        live-edge guards.
 
         All gossip-style trainers route their pulls through here: starting a
-        transfer against a departed endpoint is a protocol violation (the
-        conservation property the churn tests pin down), not a recoverable
-        condition -- peer selection must already have skipped it.
+        transfer against a departed endpoint -- or over a currently-failed
+        edge of a time-varying topology -- is a protocol violation (the
+        conservation properties the churn and dynamic-edge tests pin down),
+        not a recoverable condition: peer selection must already have
+        skipped it.
         """
         if not (self._active[receiver] and self._active[sender]):
             raise RuntimeError(
                 f"transfer {sender} -> {receiver} at t={self.sim.now:.3f} "
                 "targets a departed worker"
+            )
+        if self._edges_dynamic and not self._edge_adjacency[receiver, sender]:
+            raise RuntimeError(
+                f"transfer {sender} -> {receiver} at t={self.sim.now:.3f} "
+                "crosses a currently-failed edge"
             )
         return self.comm.begin_transfer(receiver, sender, self.message_bytes, self.sim.now)
 
@@ -385,6 +414,37 @@ class DecentralizedTrainer(abc.ABC):
 
     def _on_worker_join(self, worker: int) -> None:
         """Hook: ``worker`` just rejoined (subclasses restart its loop)."""
+
+    # -- time-varying edges ----------------------------------------------------
+
+    def _schedule_edge_flips(self) -> None:
+        """Schedule every edge-set change of a time-varying topology.
+
+        Called between ``_schedule_churn`` and ``_setup``: at equal times,
+        churn transitions apply first, then edge flips, then iteration
+        events -- a fixed, documented order the deterministic-replay
+        guarantee relies on.
+        """
+        if not self._edges_dynamic:
+            return
+        for time in self.topology.flip_times():
+            if time < self.config.max_sim_time:
+                self.sim.schedule_at(time, self._edge_flip_event)
+
+    def _edge_flip_event(self) -> None:
+        old = self._edge_adjacency
+        new = self.topology.adjacency_at(self.sim.now)
+        rows, cols = np.nonzero(np.triu(old != new, k=1))
+        for a, b in zip(rows.tolist(), cols.tolist()):
+            kind = "repair" if new[a, b] else "fail"
+            self.edge_log.append((self.sim.now, a, b, kind))
+        self._edge_adjacency = new
+        self._edges_all_up = bool(np.array_equal(new, self.topology.adjacency))
+        self._on_edges_changed()
+
+    def _on_edges_changed(self) -> None:
+        """Hook: the live edge set just changed (subclasses re-derive their
+        selection state from ``self._edge_adjacency``)."""
 
     def round_participants(self) -> list[int]:
         """Membership of a synchronous round starting now: the active set.
@@ -479,6 +539,7 @@ class DecentralizedTrainer(abc.ABC):
     def run(self) -> TrainingResult:
         """Execute the training run to its stopping criterion."""
         self._schedule_churn()
+        self._schedule_edge_flips()
         self._setup()
         self.sim.schedule_at(0.0, self._evaluation_event)
         self.sim.run(
@@ -495,6 +556,8 @@ class DecentralizedTrainer(abc.ABC):
         extras = self._extras()
         if self.churn is not None:
             extras["churn_events"] = list(self.churn_log)
+        if self._edges_dynamic:
+            extras["edge_events"] = list(self.edge_log)
         return TrainingResult(
             algorithm=self.name,
             history=self.history,

@@ -23,6 +23,7 @@ import numpy as np
 from repro.algorithms.base import DecentralizedTrainer
 from repro.core.consensus import ConsensusWorker
 from repro.core.monitor import NetworkMonitor
+from repro.core.policy import PolicyCache
 
 __all__ = ["NetMaxTrainer"]
 
@@ -48,10 +49,19 @@ class NetMaxTrainer(DecentralizedTrainer):
             defaults to ``1 / (4 * alpha_0 * max_degree)``, which keeps the
             pull coefficient ``alpha rho / p_im`` at most 1/4 under the
             uniform starting policy.
+        policy_cache: cache Algorithm 3 results keyed on the (live-subgraph
+            signature, quantized time matrix) pair, warm-starting cold
+            solves from the previous vertex (default True). On a
+            time-varying topology the monitor re-solves on every edge-set
+            change, and recurring subgraphs make the cache the difference
+            between O(flips) and O(distinct regimes) LP grids.
+        policy_time_digits: significant digits the cache quantizes time
+            matrices to (see :func:`repro.core.policy.quantize_times`).
     """
 
     name = "netmax"
     supports_churn = True
+    supports_dynamic_edges = True
 
     def __init__(
         self,
@@ -65,6 +75,8 @@ class NetMaxTrainer(DecentralizedTrainer):
         policy_epsilon: float = 1e-2,
         monitor_min_coverage: float = 0.9,
         initial_rho: float | None = None,
+        policy_cache: bool = True,
+        policy_time_digits: int = 3,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -96,6 +108,11 @@ class NetMaxTrainer(DecentralizedTrainer):
             inner_rounds=policy_inner_rounds,
             epsilon=policy_epsilon,
             min_coverage=monitor_min_coverage,
+            policy_cache=(
+                PolicyCache(time_digits=policy_time_digits)
+                if policy_cache
+                else None
+            ),
         )
         self.policies_adopted = 0
 
@@ -125,6 +142,26 @@ class NetMaxTrainer(DecentralizedTrainer):
         # still in flight was invalidated by the epoch bump at the leave, so
         # this restart owns the worker's one live loop.
         self._start_iteration(worker)
+
+    # -- time-varying edges -----------------------------------------------------
+
+    def _on_edges_changed(self) -> None:
+        """Push per-worker live-edge rows into selection, then re-plan.
+
+        The monitor re-solves immediately when the edge-set signature
+        changes (rather than waiting out the period): the policy in force
+        was optimized for a subgraph that no longer exists. With the policy
+        cache attached, a flap back to a previously seen subgraph re-stages
+        the cached policy without paying the LP grid again.
+        """
+        if self._edges_all_up:
+            for state in self.workers:
+                state.set_edge_mask(None)
+        else:
+            for i, state in enumerate(self.workers):
+                state.set_edge_mask(self._edge_adjacency[i])
+        if self.adaptive:
+            self._run_monitor()
 
     def _start_iteration(self, worker: int) -> None:
         if not self._active[worker]:
@@ -168,9 +205,10 @@ class NetMaxTrainer(DecentralizedTrainer):
     ) -> None:
         if epoch != self._churn_epoch[worker]:
             return  # the worker departed during the computation: stale loop
-        if not self._active[peer]:
-            # The chosen peer departed during the gradient computation; fall
-            # back to a compute-only completion rather than pull from it.
+        if not self._active[peer] or not self._edge_adjacency[worker, peer]:
+            # The chosen peer departed -- or the edge to it failed -- during
+            # the gradient computation; fall back to a compute-only
+            # completion rather than pull over a dead link.
             self._complete_iteration(worker, worker, compute, compute, p_selected, epoch)
             return
         network = self.start_transfer(worker, peer)
@@ -199,10 +237,13 @@ class NetMaxTrainer(DecentralizedTrainer):
         lr = self.current_lr()
         _, grad = self.tasks[worker].sample_loss_and_grad()
         state.local_gradient_step(grad, lr)  # first update (line 11)
-        if peer != worker and not self._active[peer]:
-            # Peer departed mid-flight: drop the stale pull and book the
-            # iteration as compute-only (updates never incorporate state
-            # from a departed worker).
+        if peer != worker and (
+            not self._active[peer] or not self._edge_adjacency[worker, peer]
+        ):
+            # Peer departed -- or its edge failed -- mid-flight: drop the
+            # stale pull and book the iteration as compute-only (updates
+            # never incorporate state delivered over a dead endpoint or
+            # link).
             peer = worker
         if peer != worker:
             # Second update (lines 13-15), debiased by the selection-time
@@ -220,9 +261,21 @@ class NetMaxTrainer(DecentralizedTrainer):
     # -- the Network Monitor loop (Algorithm 1) ------------------------------------
 
     def _monitor_tick(self) -> None:
+        self._run_monitor()
+        next_time = self.sim.now + self.monitor_period_s
+        if next_time < self.config.max_sim_time:
+            self.sim.schedule_at(next_time, self._monitor_tick)
+
+    def _run_monitor(self) -> None:
+        """One monitor pass: solve on the live (active x edge) subgraph and
+        stage the policy at the workers. Called by the periodic tick and,
+        on a time-varying topology, by every edge-set change."""
         raw_times = np.stack([state.time_vector() for state in self.workers])
         active = None if all(self._active) else np.asarray(self._active, dtype=bool)
-        result = self.monitor.tick(raw_times, self.current_lr(), active=active)
+        adjacency = None if self._edges_all_up else self._edge_adjacency
+        result = self.monitor.tick(
+            raw_times, self.current_lr(), active=active, adjacency=adjacency
+        )
         if result is not None:
             # Under churn the policy covers the active subgraph only; the
             # departed keep their previous rows (the mask already steers
@@ -231,9 +284,6 @@ class NetMaxTrainer(DecentralizedTrainer):
             for i, state in enumerate(self.workers):
                 if self._active[i]:
                     state.stage_policy(result.policy[i], result.rho)
-        next_time = self.sim.now + self.monitor_period_s
-        if next_time < self.config.max_sim_time:
-            self.sim.schedule_at(next_time, self._monitor_tick)
 
     def _extras(self) -> dict:
         extras = {
@@ -241,6 +291,8 @@ class NetMaxTrainer(DecentralizedTrainer):
             "policies_adopted": self.policies_adopted,
             "clip_events": int(sum(w.clip_events for w in self.workers)),
         }
+        if self.monitor.policy_cache is not None:
+            extras["policy_cache_stats"] = self.monitor.policy_cache.stats
         if self.monitor.last_result is not None:
             extras["final_policy"] = self.monitor.last_result.policy
             extras["final_rho"] = self.monitor.last_result.rho

@@ -67,17 +67,22 @@ class SAPSTrainer(ADPSGDTrainer):
     def __init__(self, *args, extra_edges: int = 0, **kwargs):
         super().__init__(*args, **kwargs)
         bandwidth_now = self.comm.links.bandwidth_matrix(0.0)
+        # SAPS measures exactly once, so its subgraph is drawn from the edge
+        # set live at t=0 (on a time-varying topology, edges that fail later
+        # stay in the subgraph -- the paper's cautionary tale -- and only
+        # the per-iteration liveness filter keeps transfers off them).
         self.fixed_subgraph = initially_fast_subgraph(
-            self.topology, bandwidth_now, extra_edges=extra_edges
+            self.topology.topology_at(0.0), bandwidth_now, extra_edges=extra_edges
         )
         self._neighbor_cache = [
             self.fixed_subgraph.neighbors(i) for i in range(self.num_workers)
         ]
 
     # _choose_peer is inherited: it gossips over self._neighbor_cache, which
-    # this constructor repointed at the fixed subgraph, and under churn it
-    # renormalizes over that subgraph's active neighbors (a tree worker whose
-    # only fast-subgraph peers departed runs compute-only until one returns).
+    # this constructor repointed at the fixed subgraph, and under churn or
+    # edge failures it renormalizes over that subgraph's currently reachable
+    # active neighbors (a tree worker whose only fast-subgraph peers departed
+    # or lost their edges runs compute-only until one returns).
 
     def _extras(self) -> dict:
         return {"fixed_subgraph_edges": self.fixed_subgraph.edges()}

@@ -27,9 +27,17 @@ Examples::
         --scenario-param churn:downtime_s=10,30 --dry-run
 
     # Every family accepts the topology axis (full|ring|star|random|torus|
-    # small-world); comma-separated values sweep graph families per cell
+    # small-world|hypercube|expander); comma-separated values sweep graph
+    # families per cell
     python -m repro sweep --algorithms netmax adpsgd allreduce --seeds 0 1 \
         --scenarios heterogeneous --scenario-param topology=full,ring,random
+
+    # ... including a *time-varying* edge set: edge_failures > 0 overlays a
+    # seeded fail/repair schedule on the chosen graph (gossip algorithms
+    # only; the monitor re-solves its policy on every edge-set change)
+    python -m repro sweep --algorithms netmax adpsgd saps --seeds 0 1 \
+        --scenarios heterogeneous \
+        --scenario-param topology=ring --scenario-param edge_failures=2,5
 
     # Compare on a named scenario family with parameter overrides
     python -m repro compare --algorithms netmax adpsgd \
@@ -95,6 +103,7 @@ FIGURE_FUNCTIONS = {
     "dyn-traces": experiments.figure_dynamics_traces,
     "dyn-churn": experiments.figure_dynamics_churn,
     "dyn-topology": experiments.figure_dynamics_topology,
+    "dyn-edges": experiments.figure_dynamics_edges,
     "table2": experiments.table2_accuracy_heterogeneous,
     "table3": experiments.table3_accuracy_homogeneous,
     "table5": experiments.table5_accuracy_nonuniform,

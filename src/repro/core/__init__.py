@@ -25,6 +25,9 @@ from repro.core.mixing import (
 from repro.core.policy import (
     PolicyGenerationError,
     PolicyResult,
+    PolicyCache,
+    PolicyCacheStats,
+    quantize_times,
     rho_interval,
     t_interval,
     solve_policy_lp,
@@ -51,6 +54,9 @@ __all__ = [
     "is_doubly_stochastic",
     "PolicyGenerationError",
     "PolicyResult",
+    "PolicyCache",
+    "PolicyCacheStats",
+    "quantize_times",
     "rho_interval",
     "t_interval",
     "solve_policy_lp",

@@ -86,6 +86,12 @@ class ConsensusWorker:
         # neighbors; the staged policy itself is left untouched so a rejoin
         # restores the original probabilities.
         self._active_mask: np.ndarray | None = None
+        # Time-varying topology support: boolean row of peers this worker
+        # currently has a live edge to (None = every base edge up). Composed
+        # with the activity mask the same way -- the policy row keeps its
+        # mass, selection renormalizes over peers that are both active and
+        # reachable, and an edge repair restores the original probabilities.
+        self._edge_mask: np.ndarray | None = None
         self.probabilities = self._validate_row(probabilities)
         self._refresh_cdf()
         self._pending: tuple[np.ndarray, float] | None = None
@@ -114,17 +120,21 @@ class ConsensusWorker:
     def _refresh_cdf(self) -> None:
         """Cache the selection CDF over the *effective* probability row.
 
-        Rebuilt only when the policy row or activity mask changes, so
-        choose_peer is one uniform draw + searchsorted per iteration (the
-        same stream rng.choice(p=row) would consume). With no mask the
-        effective row IS the policy row; with departed peers their mass is
-        renormalized over the remaining active neighbors (plus self), and a
-        worker with no live peers left degenerates to all-self (compute-only
-        iterations).
+        Rebuilt only when the policy row, activity mask, or edge mask
+        changes, so choose_peer is one uniform draw + searchsorted per
+        iteration (the same stream rng.choice(p=row) would consume). With no
+        masks the effective row IS the policy row; with departed peers or
+        failed edges their mass is renormalized over the remaining reachable
+        active neighbors (plus self), and a worker with no live peers left
+        degenerates to all-self (compute-only iterations).
         """
         row = self.probabilities
-        if self._active_mask is not None:
-            allowed = self._active_mask.copy()
+        if self._active_mask is not None or self._edge_mask is not None:
+            allowed = np.ones(self.num_workers, dtype=bool)
+            if self._active_mask is not None:
+                allowed &= self._active_mask
+            if self._edge_mask is not None:
+                allowed &= self._edge_mask
             allowed[self.worker_id] = True
             row = np.where(allowed, row, 0.0)
             total = row.sum()
@@ -140,14 +150,22 @@ class ConsensusWorker:
 
     def set_active_mask(self, mask: np.ndarray | None) -> None:
         """Install the cluster's activity mask (churn) and re-derive the CDF."""
+        self._active_mask = self._checked_mask(mask)
+        self._refresh_cdf()
+
+    def set_edge_mask(self, mask: np.ndarray | None) -> None:
+        """Install the live-edge row (time-varying topology); re-derive CDF."""
+        self._edge_mask = self._checked_mask(mask)
+        self._refresh_cdf()
+
+    def _checked_mask(self, mask: np.ndarray | None) -> np.ndarray | None:
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
             if mask.shape != (self.num_workers,):
                 raise ValueError(
                     f"mask must have shape ({self.num_workers},), got {mask.shape}"
                 )
-        self._active_mask = mask
-        self._refresh_cdf()
+        return mask
 
     # -- policy management (Algorithm 2, lines 5-8) ---------------------------
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.policy import (
+    PolicyCache,
     PolicyGenerationError,
     PolicyResult,
     generate_policy,
@@ -39,10 +40,12 @@ class MonitorStats:
 
 
 class NetworkMonitor:
-    """Policy generator service over a fixed topology.
+    """Policy generator service over a (possibly time-varying) topology.
 
     Args:
         topology: the communication graph (gives the ``d_im`` indicators).
+            The base/union graph for a time-varying topology -- callers pass
+            the currently live adjacency to :meth:`tick`.
         outer_rounds: Algorithm 3's ``K``.
         inner_rounds: Algorithm 3's ``R``.
         epsilon: accuracy target in the convergence-time prediction.
@@ -51,6 +54,12 @@ class NetworkMonitor:
             Until then, workers keep their uniform defaults -- publishing
             from near-empty statistics would steer the whole cluster off
             guesses.
+        policy_cache: optional :class:`~repro.core.policy.PolicyCache`.
+            When set, Algorithm 3 runs through the cache: time matrices are
+            quantized, results are keyed on the (live-subgraph signature,
+            quantized times, alpha, grid) tuple, and repeated re-solves on
+            recurring subgraphs -- the common case under flapping edges --
+            are near-free.
     """
 
     def __init__(
@@ -60,6 +69,7 @@ class NetworkMonitor:
         inner_rounds: int = 10,
         epsilon: float = 1e-2,
         min_coverage: float = 1.0,
+        policy_cache: PolicyCache | None = None,
     ):
         if not 0.0 < min_coverage <= 1.0:
             raise ValueError(f"min_coverage must be in (0, 1], got {min_coverage}")
@@ -68,6 +78,7 @@ class NetworkMonitor:
         self.inner_rounds = inner_rounds
         self.epsilon = epsilon
         self.min_coverage = min_coverage
+        self.policy_cache = policy_cache
         self.stats = MonitorStats()
         self.last_result: PolicyResult | None = None
 
@@ -124,6 +135,7 @@ class NetworkMonitor:
         raw_times: np.ndarray,
         alpha: float,
         active: np.ndarray | None = None,
+        adjacency: np.ndarray | None = None,
     ) -> PolicyResult | None:
         """One monitor period: assemble times and run Algorithm 3.
 
@@ -137,11 +149,16 @@ class NetworkMonitor:
                 renormalize over the live cluster -- and the returned policy
                 is re-embedded at full size with zero rows/columns for the
                 departed (only active workers should adopt it).
+            adjacency: optional ``(M, M)`` boolean live-edge matrix (a
+                time-varying topology's ``adjacency_at(now)``). The policy
+                is solved on the live subgraph -- intersected with the base
+                graph, then induced on the active workers -- so a published
+                policy never puts mass on a currently-failed edge.
 
         Returns:
             A fresh :class:`PolicyResult`, or ``None`` when no policy could
             be produced this period (insufficient data, infeasible grid, or
-            a disconnected active subgraph); workers then simply keep their
+            a disconnected live subgraph); workers then simply keep their
             current policy.
         """
         self.stats.ticks += 1
@@ -149,38 +166,42 @@ class NetworkMonitor:
         m = self.topology.num_workers
         if raw_times.shape != (m, m):
             raise ValueError(f"expected ({m}, {m}) time matrix, got {raw_times.shape}")
+        base = self.topology.adjacency
+        restricted = False
+        if adjacency is not None:
+            adjacency = np.asarray(adjacency, dtype=bool)
+            if adjacency.shape != (m, m):
+                raise ValueError(
+                    f"expected ({m}, {m}) adjacency, got {adjacency.shape}"
+                )
+            live = adjacency & base
+            restricted = not np.array_equal(live, base)
+            base = live
         if active is not None:
             active = np.asarray(active, dtype=bool)
             if active.all():
                 active = None
         if active is None:
             idx = np.arange(m)
-            adjacency = self.topology.adjacency
+            sub_adjacency = base
         else:
             idx = np.flatnonzero(active)
             if idx.size < 2:
                 self.stats.skipped_insufficient_data += 1
                 return None
-            adjacency = self.topology.adjacency[np.ix_(idx, idx)]
-            sub_graph = Topology(adjacency)
-            if not sub_graph.is_connected():
+            sub_adjacency = base[np.ix_(idx, idx)]
+        if active is not None or restricted:
+            if not Topology(sub_adjacency).is_connected():
                 # Assumption 1 fails on the live cluster; publishing a policy
                 # for a split graph would strand the components.
                 self.stats.skipped_disconnected += 1
                 return None
-        matrix = self._assemble(raw_times[np.ix_(idx, idx)], adjacency)
+        matrix = self._assemble(raw_times[np.ix_(idx, idx)], sub_adjacency)
         if matrix is None:
             self.stats.skipped_insufficient_data += 1
             return None
         try:
-            result = generate_policy(
-                matrix,
-                adjacency.astype(np.float64),
-                alpha,
-                outer_rounds=self.outer_rounds,
-                inner_rounds=self.inner_rounds,
-                epsilon=self.epsilon,
-            )
+            result = self._generate(matrix, sub_adjacency, alpha, idx)
         except PolicyGenerationError:
             self.stats.skipped_infeasible += 1
             return None
@@ -191,3 +212,36 @@ class NetworkMonitor:
         self.stats.policies_published += 1
         self.last_result = result
         return result
+
+    def _generate(
+        self,
+        matrix: np.ndarray,
+        sub_adjacency: np.ndarray,
+        alpha: float,
+        idx: np.ndarray,
+    ) -> PolicyResult:
+        """Run Algorithm 3, through the policy cache when one is attached.
+
+        The cache signature folds in ``idx`` (which workers the subgraph is
+        induced on) alongside the live sub-adjacency: two active subsets
+        with isomorphic graphs are still different policies at full size.
+        """
+        if self.policy_cache is None:
+            return generate_policy(
+                matrix,
+                sub_adjacency.astype(np.float64),
+                alpha,
+                outer_rounds=self.outer_rounds,
+                inner_rounds=self.inner_rounds,
+                epsilon=self.epsilon,
+            )
+        signature = idx.astype(np.int64).tobytes() + np.packbits(sub_adjacency).tobytes()
+        return self.policy_cache.generate(
+            matrix,
+            sub_adjacency.astype(np.float64),
+            alpha,
+            outer_rounds=self.outer_rounds,
+            inner_rounds=self.inner_rounds,
+            epsilon=self.epsilon,
+            signature=signature,
+        )

@@ -24,6 +24,8 @@ which ``Y_P`` is doubly stochastic and ``lambda = lambda_2 < 1`` (Theorem 3).
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +37,9 @@ from repro.core.mixing import expected_mixing_matrix, second_largest_eigenvalue
 __all__ = [
     "PolicyGenerationError",
     "PolicyResult",
+    "PolicyCache",
+    "PolicyCacheStats",
+    "quantize_times",
     "rho_interval",
     "t_interval",
     "solve_policy_lp",
@@ -45,6 +50,12 @@ __all__ = [
 # Strict inequality Eq. (11) is implemented as >= with this relative margin,
 # keeping Y_P's neighbor entries strictly positive (Lemma 2 needs it).
 _STRICT_MARGIN = 1e-6
+
+# Tolerance of the warm-start vertex certificate (see solve_policy_lp): a
+# previous vertex is reused only when it is primal-feasible and provably
+# optimal for the new LP within this tolerance. Tight enough that a reused
+# vertex can only come from a bit-for-bit repeated worker LP in practice.
+_WARM_TOL = 1e-10
 
 
 class PolicyGenerationError(RuntimeError):
@@ -113,12 +124,54 @@ def t_interval(
     return lower, upper
 
 
+def _certified_optimal_vertex(
+    x: np.ndarray,
+    cost: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> bool:
+    """LP-duality certificate: is ``x`` an optimal vertex of this LP?
+
+    For ``min c.x  s.t.  A_eq x = b_eq, l <= x <= u`` a feasible ``x`` is
+    optimal iff dual multipliers ``y`` exist with reduced costs
+    ``r = c - A_eq^T y`` satisfying ``r_j >= 0`` at lower bounds,
+    ``r_j <= 0`` at upper bounds, and ``r_j = 0`` on free variables. With
+    two equality rows, a non-degenerate vertex has exactly two free
+    variables, so ``y`` is the solution of a 2x2 system and the sign check
+    is O(n). Degenerate bases (any other free count, or a singular basis)
+    are conservatively not certified -- the caller falls back to the solver.
+    """
+    if np.any(x < lower - _WARM_TOL) or np.any(x > upper + _WARM_TOL):
+        return False
+    scale = max(1.0, float(np.max(np.abs(b_eq))))
+    if np.max(np.abs(a_eq @ x - b_eq)) > _WARM_TOL * scale:
+        return False
+    at_lower = x <= lower + _WARM_TOL
+    at_upper = x >= upper - _WARM_TOL
+    free = ~(at_lower | at_upper)
+    if int(free.sum()) != 2:
+        return False
+    basis = a_eq[:, free]
+    if abs(np.linalg.det(basis)) < 1e-12:
+        return False
+    y = np.linalg.solve(basis.T, cost[free])
+    reduced = cost - a_eq.T @ y
+    if np.any(reduced[at_lower & ~at_upper] < -_WARM_TOL):
+        return False
+    if np.any(reduced[at_upper & ~at_lower] > _WARM_TOL):
+        return False
+    return True
+
+
 def solve_policy_lp(
     times: np.ndarray,
     indicator: np.ndarray,
     alpha: float,
     rho: float,
     t_bar: float,
+    warm_start: np.ndarray | None = None,
 ) -> np.ndarray | None:
     """The LP of Eq. (14) for a fixed ``(rho, t_bar)``.
 
@@ -140,6 +193,15 @@ def solve_policy_lp(
     the paper's stated intent ("neighbors with high-speed links are selected
     with high probability"). The weight is small enough never to trade
     against the primary ``p_ii`` objective.
+
+    **Warm start.** ``warm_start`` is a previous ``(M, M)`` policy (usually
+    the last solution for the same adjacency signature). Per worker, the
+    previous vertex is reused *without* calling the solver when an LP-duality
+    certificate proves it is still optimal for the new constraints
+    (:func:`_certified_optimal_vertex`); otherwise the solver runs as usual.
+    The certificate tolerance is tight enough that reuse effectively only
+    fires on bit-for-bit repeated worker LPs, so warm-started and cold
+    solves produce identical policies.
 
     Returns the assembled ``(M, M)`` policy, or ``None`` if any worker's LP
     is infeasible (non-neighbor entries are zero, honoring Eq. 12).
@@ -170,15 +232,29 @@ def solve_policy_lp(
         a_eq[0, 1:] = times[i, neighbors]  # Eq. (10)
         a_eq[1, :] = 1.0  # Eq. (13)
         b_eq = np.array([m * t_bar, 1.0])
-        bounds = [(0.0, 1.0)] + [(float(f), 1.0) for f in floors]
+        lower = np.concatenate(([0.0], floors))
+        upper = np.ones(num_vars)
+        if warm_start is not None:
+            previous = np.concatenate(
+                ([warm_start[i, i]], warm_start[i, neighbors])
+            )
+            if _certified_optimal_vertex(previous, cost, a_eq, b_eq, lower, upper):
+                # The reused row is a previous solve's *renormalized* output;
+                # it passes through untouched (no second renormalization), so
+                # a warm-started solve of a bit-identical worker LP returns
+                # bit-identical rows.
+                policy[i, i] = previous[0]
+                policy[i, neighbors] = previous[1:]
+                continue
+        bounds = list(zip(lower.tolist(), upper.tolist()))
         solution = linprog(cost, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
         if not solution.success:
             return None
-        policy[i, i] = solution.x[0]
-        policy[i, neighbors] = solution.x[1:]
-    # Clean tiny negative round-off and renormalize exactly.
-    policy = np.clip(policy, 0.0, None)
-    policy /= policy.sum(axis=1, keepdims=True)
+        # Clean tiny negative round-off and renormalize the row exactly.
+        row = np.clip(solution.x, 0.0, None)
+        row /= row.sum()
+        policy[i, i] = row[0]
+        policy[i, neighbors] = row[1:]
     return policy
 
 
@@ -189,6 +265,7 @@ def generate_policy(
     outer_rounds: int = 10,
     inner_rounds: int = 10,
     epsilon: float = 1e-2,
+    warm_start: np.ndarray | None = None,
 ) -> PolicyResult:
     """Algorithm 3: nested grid search for the best feasible policy.
 
@@ -201,6 +278,9 @@ def generate_policy(
         inner_rounds: ``R``, number of ``t`` values per ``rho``.
         epsilon: accuracy target in the convergence-time prediction
             (Eq. 9's ``lambda^k <= eps``).
+        warm_start: optional previous policy (same graph signature) handed
+            to every grid point's :func:`solve_policy_lp`; certified-optimal
+            vertices are reused without invoking the solver.
 
     Returns:
         The best :class:`PolicyResult` over the grid.
@@ -246,7 +326,9 @@ def generate_policy(
         delta_t = (upper_t - lower_t) / inner_rounds
         for r in range(1, inner_rounds + 1):
             t_bar = lower_t + r * delta_t
-            policy = solve_policy_lp(times, indicator, alpha, rho, t_bar)
+            policy = solve_policy_lp(
+                times, indicator, alpha, rho, t_bar, warm_start=warm_start
+            )
             if policy is None:
                 infeasible += 1
                 continue
@@ -281,6 +363,165 @@ def generate_policy(
         candidates_evaluated=evaluated,
         candidates_infeasible=infeasible,
     )
+
+
+# -- the signature-keyed policy cache ------------------------------------------
+
+
+def quantize_times(times: np.ndarray, digits: int = 3) -> np.ndarray:
+    """Round every positive entry to ``digits`` significant digits.
+
+    The cache's canonical form for a time matrix: EMA-smoothed measurements
+    essentially never repeat bit-for-bit, but under a dynamic graph the
+    *regimes* they settle into do. Quantizing to a relative precision of
+    ``10^-(digits-1)`` maps all measurements within ~0.1% (at the default 3)
+    of each other onto one key -- far below the 2x-100x swings the policy
+    actually reacts to -- so recurring subgraphs with recurring time regimes
+    become cache hits. Deterministic and elementwise; zeros (non-neighbor
+    slots) and NaNs pass through unchanged.
+    """
+    if digits < 1:
+        raise ValueError(f"digits must be >= 1, got {digits}")
+    times = np.asarray(times, dtype=np.float64)
+    out = times.copy()
+    positive = np.isfinite(times) & (times > 0)
+    if np.any(positive):
+        values = times[positive]
+        scale = 10.0 ** (np.floor(np.log10(values)) - (digits - 1))
+        out[positive] = np.round(values / scale) * scale
+    return out
+
+
+@dataclass
+class PolicyCacheStats:
+    """Counters describing a :class:`PolicyCache`'s activity."""
+
+    hits: int = 0
+    cold_solves: int = 0
+    infeasible_hits: int = 0
+    evictions: int = 0
+
+
+class PolicyCache:
+    """Signature-keyed result cache around :func:`generate_policy`.
+
+    The NetMax monitor re-solves Algorithm 3 every period -- and, on a
+    time-varying graph, additionally on every edge-set change. Flapping
+    edges make the same few live subgraphs recur; with EMA times quantized
+    (:func:`quantize_times`), those re-solves hit this cache instead of
+    running the full ``K x R`` LP grid. Keys combine the graph signature
+    (adjacency bytes -- callers solving induced subgraphs must fold the
+    worker subset into ``signature``), the quantized time matrix, the
+    learning rate, and the grid shape; entries are LRU-evicted beyond
+    ``max_entries``. Infeasible grids are cached too (a recurring hopeless
+    subgraph should not re-pay the full grid search to fail again).
+
+    Misses run :func:`generate_policy` on the *quantized* matrix, warm
+    started from the previous result for the same signature, so cached and
+    freshly solved policies are identical by construction for equal keys.
+    """
+
+    def __init__(self, max_entries: int = 256, time_digits: int = 3):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.time_digits = int(time_digits)
+        self.stats = PolicyCacheStats()
+        self._entries: OrderedDict[bytes, PolicyResult | None] = OrderedDict()
+        # Warm-start sources: the most recent result per graph signature.
+        # LRU-bounded like the result entries -- under combined churn and
+        # edge flips a long run can see many distinct (active-subset, live
+        # edge-set) signatures, and an unbounded map would outlive the
+        # max_entries budget it is supposed to respect.
+        self._last_by_signature: OrderedDict[bytes, PolicyResult] = OrderedDict()
+
+    def _key(
+        self,
+        signature: bytes,
+        quantized: np.ndarray,
+        alpha: float,
+        outer_rounds: int,
+        inner_rounds: int,
+        epsilon: float,
+    ) -> bytes:
+        payload = b"|".join(
+            (
+                signature,
+                quantized.tobytes(),
+                repr((float(alpha), int(outer_rounds), int(inner_rounds),
+                      float(epsilon))).encode(),
+            )
+        )
+        return hashlib.sha256(payload).digest()
+
+    def generate(
+        self,
+        times: np.ndarray,
+        indicator: np.ndarray,
+        alpha: float,
+        outer_rounds: int = 10,
+        inner_rounds: int = 10,
+        epsilon: float = 1e-2,
+        signature: bytes | None = None,
+    ) -> PolicyResult:
+        """Cached :func:`generate_policy` over the quantized time matrix.
+
+        ``signature`` identifies the graph the LP runs on; when omitted it
+        is derived from ``indicator`` alone, which is only safe if the
+        caller never solves differently-embedded subgraphs of equal shape.
+
+        Raises :class:`PolicyGenerationError` exactly as
+        :func:`generate_policy` does (including on cached infeasibility).
+        """
+        indicator = np.asarray(indicator, dtype=np.float64)
+        if signature is None:
+            signature = np.packbits(indicator > 0).tobytes()
+        quantized = quantize_times(times, self.time_digits)
+        key = self._key(
+            signature, quantized, alpha, outer_rounds, inner_rounds, epsilon
+        )
+        if key in self._entries:
+            entry = self._entries[key]
+            self._entries.move_to_end(key)
+            if entry is None:
+                self.stats.infeasible_hits += 1
+                raise PolicyGenerationError(
+                    "no feasible policy (cached infeasible grid)"
+                )
+            self.stats.hits += 1
+            return entry
+        warm = self._last_by_signature.get(signature)
+        self.stats.cold_solves += 1
+        try:
+            result = generate_policy(
+                quantized,
+                indicator,
+                alpha,
+                outer_rounds=outer_rounds,
+                inner_rounds=inner_rounds,
+                epsilon=epsilon,
+                warm_start=warm.policy if warm is not None else None,
+            )
+        except PolicyGenerationError:
+            self._store(key, None)
+            raise
+        result.policy.setflags(write=False)  # shared across cache hits
+        self._store(key, result)
+        self._last_by_signature[signature] = result
+        self._last_by_signature.move_to_end(signature)
+        while len(self._last_by_signature) > self.max_entries:
+            self._last_by_signature.popitem(last=False)
+        return result
+
+    def _store(self, key: bytes, entry: PolicyResult | None) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def uniform_policy(indicator: np.ndarray) -> np.ndarray:

@@ -64,6 +64,7 @@ from repro.experiments.figures_dynamics import (
     figure_dynamics_traces,
     figure_dynamics_churn,
     figure_dynamics_topology,
+    figure_dynamics_edges,
 )
 from repro.experiments.tables import (
     table2_accuracy_heterogeneous,
@@ -123,6 +124,7 @@ __all__ = [
     "figure_dynamics_traces",
     "figure_dynamics_churn",
     "figure_dynamics_topology",
+    "figure_dynamics_edges",
     "table2_accuracy_heterogeneous",
     "table3_accuracy_homogeneous",
     "table5_accuracy_nonuniform",

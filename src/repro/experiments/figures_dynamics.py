@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentOutput
+from repro.experiments.reporting import format_mean_std
 from repro.experiments.sweeps import (
     RunSpec,
     ScenarioSpec,
@@ -39,6 +40,7 @@ __all__ = [
     "figure_dynamics_traces",
     "figure_dynamics_churn",
     "figure_dynamics_topology",
+    "figure_dynamics_edges",
 ]
 
 # The trace-driven families compared against the paper's rotating slowdown.
@@ -51,17 +53,21 @@ TOPOLOGY_FAMILIES = ("full", "ring", "star", "random")
 def _finalize(
     sweep_output: ExperimentOutput, experiment_id: str, title: str
 ) -> ExperimentOutput:
-    """Re-badge the aggregate table and append per-scenario winners."""
-    by_scenario: dict[str, list[tuple[str, float]]] = {}
+    """Re-badge the aggregate table and append per-scenario winners.
+
+    Winners quote their mean +- std loss band so a seed-spread-sized gap is
+    visible as such rather than reading like a decisive ranking.
+    """
+    by_scenario: dict[str, list[tuple[str, float, float]]] = {}
     for row in sweep_output.rows:
-        algorithm, scenario, loss_mean = row[0], row[1], row[3]
-        by_scenario.setdefault(scenario, []).append((algorithm, loss_mean))
+        algorithm, scenario, loss_mean, loss_std = row[0], row[1], row[3], row[4]
+        by_scenario.setdefault(scenario, []).append((algorithm, loss_mean, loss_std))
     winners = []
     for scenario in sorted(by_scenario):
-        entries = [(a, l) for a, l in by_scenario[scenario] if np.isfinite(l)]
+        entries = [(a, l, s) for a, l, s in by_scenario[scenario] if np.isfinite(l)]
         if entries:
-            best = min(entries, key=lambda pair: pair[1])[0]
-            winners.append(f"{scenario}: {best}")
+            best, loss, std = min(entries, key=lambda entry: entry[1])
+            winners.append(f"{scenario}: {best} ({format_mean_std(loss, std)})")
     notes = sweep_output.notes
     if winners:
         notes += " Lowest mean final loss per scenario -- " + "; ".join(winners) + "."
@@ -223,4 +229,59 @@ def figure_dynamics_topology(
         aggregate_sweep(sweep),
         "dyn-topology",
         "Algorithm comparison across communication-graph families",
+    )
+
+
+def figure_dynamics_edges(
+    algorithms: tuple[str, ...] = ("netmax", "adpsgd", "saps"),
+    num_workers: int = 8,
+    num_seeds: int = 2,
+    max_sim_time: float = 60.0,
+    num_samples: int = 512,
+    failures: tuple[int, ...] = (0, 2, 5),
+    topology: str = "ring",
+    seed: int = 0,
+    parallel: int = 0,
+    cache_dir: str | None = None,
+) -> ExperimentOutput:
+    """Gossip algorithms under a time-varying edge set (link fail/repair).
+
+    The scenario grid runs the rotating-slowdown heterogeneous network on a
+    sparse graph (default: ring -- on the complete graph an edge failure
+    barely matters, every pair has many alternative routes) with an
+    increasing number of scheduled edge-failure episodes spread over the
+    horizon; ``failures`` containing 0 keeps the frozen-graph baseline in
+    the table. Downtime scales to half a failure window so every schedule
+    stays buildable at any horizon. SAPS is again the designed victim: its
+    one-shot subgraph cannot route around an edge that later fails, while
+    NetMax re-solves its policy on every edge-set change (the policy cache
+    making the recurring subgraphs near-free).
+    """
+    scenarios = []
+    for count in failures:
+        params: tuple[tuple[str, object], ...] = (
+            ("period_s", float(max_sim_time) / 4.0),
+            ("topology", topology),
+        )
+        if count > 0:
+            params += (
+                ("edge_failures", int(count)),
+                ("edge_horizon_s", float(max_sim_time)),
+                ("edge_downtime_s", 0.5 * float(max_sim_time) / count),
+            )
+        scenarios.append(
+            ScenarioSpec(kind="heterogeneous", num_workers=num_workers, params=params)
+        )
+    spec = SweepSpec(
+        algorithms=tuple(algorithms),
+        seeds=tuple(range(seed, seed + num_seeds)),
+        scenarios=tuple(scenarios),
+        workload=WorkloadSpec(num_samples=num_samples),
+        run=RunSpec(max_sim_time=max_sim_time),
+    )
+    sweep = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    return _finalize(
+        aggregate_sweep(sweep),
+        "dyn-edges",
+        "Algorithm comparison under time-varying edge failures",
     )

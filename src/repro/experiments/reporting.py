@@ -10,7 +10,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "format_seconds", "downsample_series"]
+__all__ = ["render_table", "format_seconds", "format_mean_std", "downsample_series"]
 
 
 def render_table(
@@ -47,6 +47,22 @@ def render_table(
     for row in str_rows:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_mean_std(mean: float, std: float, float_format: str = "{:.3g}") -> str:
+    """Render a per-seed variance band, e.g. ``0.0123+-0.0008``.
+
+    The textual form of the sweep tables' ``*_mean``/``*_std`` column
+    pairs; a NaN mean renders ``-``, and a NaN or zero std is omitted
+    (``mean`` alone) -- a single-seed sweep measures no spread, so it must
+    not render a misleading ``+-0`` confidence band.
+    """
+    if np.isnan(mean):
+        return "-"
+    rendered = float_format.format(mean)
+    if not np.isnan(std) and std != 0.0:
+        rendered += "+-" + float_format.format(std)
+    return rendered
 
 
 def format_seconds(seconds: float) -> str:

@@ -27,6 +27,12 @@ Scenario families (see each family's description for parameters):
 - ``trace-file`` -- replay a JSON/CSV bandwidth trace from disk;
 - ``churn`` -- the heterogeneous network plus scheduled worker
   departures/rejoins (:class:`repro.simulation.churn.ChurnSchedule`).
+
+Every family additionally accepts the shared graph axis: ``topology`` /
+``edge_probability`` select the communication-graph family, and
+``edge_failures`` / ``edge_downtime_s`` / ``edge_horizon_s`` promote the
+graph to a time-varying :class:`~repro.graph.topology.DynamicTopology`
+with a seeded random edge fail/repair schedule (gossip algorithms only).
 """
 
 from __future__ import annotations
@@ -46,8 +52,11 @@ from repro.datasets.partition import (
 from repro.datasets.synthetic import load_dataset
 from repro.graph.topology import (
     TOPOLOGY_KINDS,
+    DynamicTopology,
+    EdgeSchedule,
     Topology,
     make_topology,
+    validate_edge_failure_request,
     validate_topology_request,
 )
 from repro.ml.data import BatchSampler, Dataset, train_test_split
@@ -248,6 +257,13 @@ class ScenarioFamily:
             validate_topology_request(
                 merged["topology"], num_workers, merged["edge_probability"]
             )
+            validate_edge_failure_request(
+                merged["topology"],
+                num_workers,
+                merged["edge_failures"],
+                merged["edge_downtime_s"],
+                merged["edge_horizon_s"],
+            )
         return merged
 
     def validate_workers(self, num_workers: int) -> None:
@@ -305,8 +321,10 @@ def _named(base: Scenario, family: str, num_workers: int) -> Scenario:
     )
 
 
-# Shared graph axis: every scenario family accepts these two parameters and
-# runs on any TOPOLOGY_KINDS graph instead of the paper's complete graph.
+# Shared graph axis: every scenario family accepts these parameters and runs
+# on any TOPOLOGY_KINDS graph instead of the paper's complete graph --
+# optionally a *time-varying* one: edge_failures > 0 overlays a seeded
+# random fail/repair schedule (DynamicTopology) on the chosen graph.
 _TOPOLOGY_PARAMS = (
     ScenarioParam(
         "topology", "full",
@@ -316,31 +334,64 @@ _TOPOLOGY_PARAMS = (
         "edge_probability", 0.25,
         "edge probability (random) / rewire probability (small-world)",
     ),
+    ScenarioParam(
+        "edge_failures", 0,
+        "scheduled edge-failure episodes over edge_horizon_s (0 = frozen graph)",
+    ),
+    ScenarioParam(
+        "edge_downtime_s", 30.0,
+        "seconds a failed edge stays down before its repair",
+    ),
+    ScenarioParam(
+        "edge_horizon_s", 600.0,
+        "window the edge failures are spread over",
+    ),
 )
 
 
 def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]:
     """Wrap a family builder so the shared topology axis applies to it.
 
-    The wrapper pops ``topology``/``edge_probability`` out of the merged
-    parameters (the base builders never see them), builds the scenario on
-    its default complete graph, and then swaps in the requested graph
-    family. Links and churn are untouched: the link model describes the
-    physical network, the topology describes who is *allowed* to gossip
-    over it.
+    The wrapper pops the graph-axis parameters out of the merged set (the
+    base builders never see them), builds the scenario on its default
+    complete graph, swaps in the requested graph family, and -- when
+    ``edge_failures > 0`` -- promotes the graph to a
+    :class:`~repro.graph.topology.DynamicTopology` with a seeded random
+    fail/repair schedule (always-connected per segment, at most one edge
+    down at a time; see :meth:`EdgeSchedule.random`). Links and churn are
+    untouched: the link model describes the physical network, the topology
+    describes who is *allowed* to gossip over it and when.
     """
 
     def wrapped(num_workers: int, seed: int, **params) -> Scenario:
         kind = params.pop("topology")
         edge_probability = params.pop("edge_probability")
+        edge_failures = params.pop("edge_failures")
+        edge_downtime_s = params.pop("edge_downtime_s")
+        edge_horizon_s = params.pop("edge_horizon_s")
         scenario = builder(num_workers, seed, **params)
-        if kind == "full":
+        name = scenario.name
+        topology = scenario.topology
+        if kind != "full":
+            name = f"{name}-{kind}"
+            topology = make_topology(
+                kind, scenario.num_workers, edge_probability=edge_probability,
+                seed=seed,
+            )
+        if edge_failures > 0:
+            name = f"{name}-ef{edge_failures}"
+            schedule = EdgeSchedule.random(
+                topology,
+                horizon_s=edge_horizon_s,
+                num_failures=edge_failures,
+                downtime_s=edge_downtime_s,
+                seed=seed,
+            )
+            topology = DynamicTopology(topology, schedule)
+        if topology is scenario.topology:
             return scenario
-        topology = make_topology(
-            kind, scenario.num_workers, edge_probability=edge_probability, seed=seed
-        )
         return Scenario(
-            name=f"{scenario.name}-{kind}",
+            name=name,
             topology=topology,
             links=scenario.links,
             churn=scenario.churn,

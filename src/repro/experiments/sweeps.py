@@ -71,7 +71,11 @@ __all__ = [
 # Version 3: the topology scenario axis landed and the synchronous trainers
 # gained round-based churn (allreduce/PS numerics changed under churn), so
 # v2 entries must never be reused.
-CACHE_VERSION = 3
+# Version 4: the time-varying topology axis (edge_failures) landed and the
+# NetMax monitor now solves Algorithm 3 through the signature-keyed policy
+# cache on *quantized* time matrices (netmax/adpsgd-monitor numerics can
+# shift at the quantization level), so v3 entries must never be reused.
+CACHE_VERSION = 4
 
 
 def _scenario_kinds() -> tuple[str, ...]:
@@ -133,9 +137,15 @@ class ScenarioSpec:
         # identical scenario, so it must hash (and label) identically too.
         # Likewise edge_probability is inert unless the topology is one of
         # the randomized kinds -- a ring cell spelled with any
-        # edge_probability is the same ring cell.
+        # edge_probability is the same ring cell -- and the edge-failure
+        # shape parameters are inert while edge_failures is 0 (the graph
+        # stays frozen, so any spelled-out downtime/horizon builds the
+        # identical scenario).
         if merged.get("topology") not in RANDOMIZED_TOPOLOGY_KINDS:
             coerced.pop("edge_probability", None)
+        if not merged.get("edge_failures"):
+            coerced.pop("edge_downtime_s", None)
+            coerced.pop("edge_horizon_s", None)
         coerced = {
             key: value for key, value in coerced.items()
             if value != family.param(key).default
@@ -143,6 +153,13 @@ class ScenarioSpec:
         object.__setattr__(
             self, "params", tuple(sorted(coerced.items()))
         )
+
+    def has_dynamic_edges(self) -> bool:
+        """Whether built scenarios carry a time-varying topology.
+
+        After canonicalization ``edge_failures`` survives in ``params`` iff
+        it is non-zero, so this is a pure spec-level query (no build)."""
+        return any(key == "edge_failures" and value for key, value in self.params)
 
     def build(self, seed: int) -> Scenario:
         return build_scenario(
@@ -336,6 +353,25 @@ class SweepSpec:
                     f"algorithm(s) {incapable} do not support churn and "
                     f"cannot run scenario(s) {churn_kinds}"
                 )
+        # Same preflight for the time-varying topology axis: an edge_failures
+        # cell paired with a trainer that has no per-edge gossip semantics
+        # (the synchronous baselines) can never run.
+        dynamic_labels = sorted({
+            spec.label() for spec in self.scenarios if spec.has_dynamic_edges()
+        })
+        if dynamic_labels:
+            from repro.algorithms.registry import TRAINER_REGISTRY
+
+            incapable = sorted({
+                name for name in self.algorithms
+                if name.lower() in TRAINER_REGISTRY
+                and not TRAINER_REGISTRY[name.lower()].supports_dynamic_edges
+            })
+            if incapable:
+                raise ValueError(
+                    f"algorithm(s) {incapable} do not support time-varying "
+                    f"topologies and cannot run scenario(s) {dynamic_labels}"
+                )
 
     def cells(self) -> list[SweepCell]:
         """The full grid in deterministic (scenario, algorithm, seed) order."""
@@ -496,10 +532,13 @@ def run_sweep(
 
 
 def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
-    """Mean/std summary per (algorithm, scenario) across seeds.
+    """Mean +- std summary per (algorithm, scenario) across seeds.
 
-    The aggregation is order-independent within each group (results arrive
-    in grid order regardless of execution backend), so parallel, sequential,
+    Every summarized metric carries a variance band (its across-seed
+    standard deviation in the ``*_std`` column right after its mean), so
+    figure sweeps expose seed spread rather than just point estimates. The
+    aggregation is order-independent within each group (results arrive in
+    grid order regardless of execution backend), so parallel, sequential,
     and cache-served sweeps aggregate to identical numbers.
     """
     groups: dict[tuple[str, str], list[TrainingResult]] = {}
@@ -514,6 +553,7 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
         epoch_times = np.array(
             [r.costs.summary()["epoch_time"] for r in results]
         )
+        has_accuracy = bool(np.isfinite(accuracies).any())
         rows.append(
             [
                 algorithm,
@@ -521,8 +561,10 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
                 len(results),
                 float(losses.mean()),
                 float(losses.std()),
-                float(np.nanmean(accuracies)) if accuracies.size else float("nan"),
+                float(np.nanmean(accuracies)) if has_accuracy else float("nan"),
+                float(np.nanstd(accuracies)) if has_accuracy else float("nan"),
                 float(epoch_times.mean()),
+                float(epoch_times.std()),
             ]
         )
     spec = sweep.spec
@@ -539,7 +581,9 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
             "final_loss_mean",
             "final_loss_std",
             "best_acc_mean",
+            "best_acc_std",
             "epoch_time_mean",
+            "epoch_time_std",
         ],
         rows=rows,
         notes=(

@@ -11,15 +11,23 @@ all-reduce, fixed subgraph for SAPS).
 from repro.graph.topology import (
     RANDOMIZED_TOPOLOGY_KINDS,
     TOPOLOGY_KINDS,
+    DynamicTopology,
+    EdgeFlipEvent,
+    EdgeSchedule,
     Topology,
     make_topology,
+    validate_edge_failure_request,
     validate_topology_request,
 )
 
 __all__ = [
     "Topology",
+    "DynamicTopology",
+    "EdgeFlipEvent",
+    "EdgeSchedule",
     "TOPOLOGY_KINDS",
     "RANDOMIZED_TOPOLOGY_KINDS",
     "make_topology",
+    "validate_edge_failure_request",
     "validate_topology_request",
 ]

@@ -5,16 +5,37 @@ The adjacency matrix plays the role of the paper's neighborhood indicator
 Graphs are undirected (``d_im = d_mi``) and have no self-loops (``d_ii = 0``),
 matching Section II-A; Assumption 1 additionally requires connectivity,
 which :meth:`Topology.require_connected` enforces at trainer construction.
+
+Beyond the frozen graphs, this module hosts the *time-varying* topology
+substrate: an :class:`EdgeSchedule` scripts edge fail/repair transitions on
+the virtual clock and :class:`DynamicTopology` replays it as a pure function
+of time -- ``adjacency_at(t)`` never advances hidden randomness, mirroring
+the :class:`~repro.network.links.LinkSpeedModel` contract, so any query
+order reproduces the same graph history. Every :class:`Topology` answers
+the at-time-``t`` queries too (trivially, returning its frozen edge set),
+which is what lets trainers and the monitor treat static and dynamic graphs
+uniformly.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np
 
-__all__ = ["Topology", "TOPOLOGY_KINDS", "validate_topology_request", "make_topology"]
+__all__ = [
+    "Topology",
+    "EdgeFlipEvent",
+    "EdgeSchedule",
+    "DynamicTopology",
+    "TOPOLOGY_KINDS",
+    "validate_topology_request",
+    "validate_edge_failure_request",
+    "make_topology",
+]
 
 
 class Topology:
@@ -168,6 +189,52 @@ class Topology:
         )
 
     @classmethod
+    def hypercube(cls, num_workers: int) -> "Topology":
+        """Boolean hypercube: workers are bit strings, edges flip one bit.
+
+        ``num_workers`` must be a power of two (``2^d`` nodes of degree
+        ``d``). Hypercubes are the classic low-diameter, high-bisection
+        gossip substrate (diameter ``d = log2 M``), sitting between the ring
+        and the complete graph in both degree and mixing time.
+        """
+        if num_workers < 2 or num_workers & (num_workers - 1):
+            raise ValueError(
+                f"a hypercube needs a power-of-two worker count, got {num_workers}"
+            )
+        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        dim = num_workers.bit_length() - 1
+        for node in range(num_workers):
+            for bit in range(dim):
+                peer = node ^ (1 << bit)
+                adjacency[node, peer] = adjacency[peer, node] = True
+        return cls(adjacency)
+
+    @classmethod
+    def expander(
+        cls, num_workers: int, rng: np.random.Generator, num_cycles: int = 2
+    ) -> "Topology":
+        """Random expander: the union of seeded random Hamiltonian cycles.
+
+        Overlaying ``num_cycles`` independent random cycles (Bollobas-style
+        union of permutations) yields a sparse graph -- degree at most
+        ``2 * num_cycles`` -- that is connected by construction (each cycle
+        alone spans every node) and an expander with high probability. A
+        pure function of the ``rng`` stream, so the same seed always yields
+        the identical graph.
+        """
+        if num_workers < 4:
+            raise ValueError("an expander topology needs at least 4 workers")
+        if num_cycles < 1:
+            raise ValueError("num_cycles must be >= 1")
+        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        for _ in range(num_cycles):
+            order = rng.permutation(num_workers)
+            for a, b in zip(order, np.roll(order, -1)):
+                adjacency[a, b] = adjacency[b, a] = True
+        np.fill_diagonal(adjacency, False)
+        return cls(adjacency)
+
+    @classmethod
     def from_edges(cls, num_workers: int, edges: Iterable[tuple[int, int]]) -> "Topology":
         """Build from an explicit undirected edge list."""
         adjacency = np.zeros((num_workers, num_workers), dtype=bool)
@@ -227,9 +294,63 @@ class Topology:
             raise ValueError("topology violates Assumption 1: graph is not connected")
         return self
 
+    # -- the at-time-t graph API ----------------------------------------------
+    #
+    # Static graphs answer time-varying queries trivially, so every consumer
+    # (trainers, the monitor, SAPS's subgraph selection) can be written
+    # against adjacency-at-time-t without special-casing DynamicTopology.
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the edge set can change over time."""
+        return False
+
+    def adjacency_at(self, time: float) -> np.ndarray:
+        """Read-only boolean adjacency of the edges live at ``time``."""
+        return self._adjacency
+
+    def topology_at(self, time: float) -> "Topology":
+        """The frozen :class:`Topology` of the edge set live at ``time``."""
+        return self
+
+    def neighbors_at(self, worker: int, time: float) -> np.ndarray:
+        """Workers adjacent to ``worker`` over edges live at ``time``."""
+        return self.topology_at(time).neighbors(worker)
+
+    def has_edge_at(self, a: int, b: int, time: float) -> bool:
+        """Whether the undirected edge ``(a, b)`` is live at ``time``."""
+        return self.topology_at(time).has_edge(a, b)
+
+    def edge_signature_at(self, time: float) -> bytes:
+        """Compact token identifying the live edge set at ``time``.
+
+        Equal signatures mean equal live edge sets (over the same worker
+        count); the policy-LP cache keys on it so recurring subgraphs reuse
+        their solved policies.
+        """
+        return self.topology_at(time).edge_signature()
+
+    def edge_signature(self) -> bytes:
+        """Signature of this frozen edge set (see :meth:`edge_signature_at`)."""
+        signature = getattr(self, "_edge_signature", None)
+        if signature is None:
+            signature = hashlib.sha256(
+                np.packbits(self._adjacency).tobytes()
+            ).digest()[:16]
+            self._edge_signature = signature
+        return signature
+
+    def flip_times(self) -> tuple[float, ...]:
+        """Times at which the live edge set changes (static graphs: none)."""
+        return ()
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Topology):
             return NotImplemented
+        if other.is_dynamic != self.is_dynamic:
+            # A frozen graph never equals a time-varying one, even when the
+            # union edge sets coincide (DynamicTopology compares schedules).
+            return False
         return np.array_equal(self._adjacency, other._adjacency)
 
     def __hash__(self) -> int:
@@ -239,14 +360,361 @@ class Topology:
         return f"Topology(M={self.num_workers}, edges={len(self.edges())})"
 
 
+# -- time-varying topologies ---------------------------------------------------
+
+FAIL = "fail"
+REPAIR = "repair"
+
+# Seed-sequence tag separating edge fail/repair sampling from every other
+# stream derived from a scenario seed (links, churn, data, topology) --
+# adding edge failures to a scenario must not perturb anything else.
+_EDGE_FLIP_STREAM = 0xED6E
+
+
+@dataclass(frozen=True, order=True)
+class EdgeFlipEvent:
+    """One scheduled transition: the undirected edge ``(a, b)`` fails or is
+    repaired at ``time``. Endpoints are normalized to ``a < b``."""
+
+    time: float
+    a: int
+    b: int
+    kind: str  # "fail" | "repair"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FAIL, REPAIR):
+            raise ValueError(f"kind must be 'fail' or 'repair', got {self.kind!r}")
+        if self.time <= 0:
+            raise ValueError(
+                f"edge events need time > 0 (all edges start up), got {self.time}"
+            )
+        if self.a == self.b:
+            raise ValueError(f"edge ({self.a}, {self.b}) is a self-loop")
+        if self.a > self.b:
+            a, b = self.b, self.a
+            object.__setattr__(self, "a", a)
+            object.__setattr__(self, "b", b)
+
+    @property
+    def edge(self) -> tuple[int, int]:
+        return (self.a, self.b)
+
+
+class EdgeSchedule:
+    """A validated, time-ordered script of edge failures and repairs.
+
+    All edges start up. Per edge, events must alternate starting with a
+    fail. The schedule is plain data (picklable, hashable content) and a
+    pure function of its construction arguments, which keeps dynamic-graph
+    runs bit-identically reproducible and cacheable by the sweep engine.
+
+    Args:
+        num_workers: worker count ``M`` the schedule is written for.
+        events: iterable of :class:`EdgeFlipEvent` or ``(time, a, b, kind)``
+            tuples, in any order.
+        require_connected: promise that the live graph stays connected in
+            every segment; :class:`DynamicTopology` (which knows the base
+            edge set) enforces it at construction.
+    """
+
+    def __init__(self, num_workers: int, events, require_connected: bool = True):
+        if num_workers < 2:
+            raise ValueError("need at least 2 workers")
+        normalized = []
+        for event in events:
+            if not isinstance(event, EdgeFlipEvent):
+                event = EdgeFlipEvent(
+                    float(event[0]), int(event[1]), int(event[2]), str(event[3])
+                )
+            if not (0 <= event.a < num_workers and 0 <= event.b < num_workers):
+                raise ValueError(
+                    f"edge ({event.a}, {event.b}) out of range for M={num_workers}"
+                )
+            normalized.append(event)
+        # Stable order: time, then edge -- ties resolve identically on every
+        # run, which the deterministic-replay guarantee relies on.
+        normalized.sort(key=lambda e: (e.time, e.a, e.b))
+        self.num_workers = int(num_workers)
+        self.require_connected = bool(require_connected)
+        self.events: tuple[EdgeFlipEvent, ...] = tuple(normalized)
+        self._validate_alternation()
+
+    def _validate_alternation(self) -> None:
+        down: set[tuple[int, int]] = set()
+        for event in self.events:
+            if event.kind == FAIL:
+                if event.edge in down:
+                    raise ValueError(
+                        f"edge {event.edge} fails twice (t={event.time}) "
+                        "without a repair"
+                    )
+                down.add(event.edge)
+            else:
+                if event.edge not in down:
+                    raise ValueError(
+                        f"edge {event.edge} is repaired at t={event.time} "
+                        "while still up"
+                    )
+                down.remove(event.edge)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def single(
+        cls,
+        num_workers: int,
+        edge: tuple[int, int],
+        fail_at: float,
+        repair_at: float | None = None,
+        require_connected: bool = True,
+    ) -> "EdgeSchedule":
+        """One edge failing (and optionally recovering) -- the unit scenario."""
+        a, b = edge
+        events = [EdgeFlipEvent(fail_at, a, b, FAIL)]
+        if repair_at is not None:
+            if repair_at <= fail_at:
+                raise ValueError("repair_at must be after fail_at")
+            events.append(EdgeFlipEvent(repair_at, a, b, REPAIR))
+        return cls(num_workers, events, require_connected=require_connected)
+
+    @classmethod
+    def flapping(
+        cls,
+        num_workers: int,
+        edge: tuple[int, int],
+        period_s: float,
+        horizon_s: float,
+        duty: float = 0.5,
+        require_connected: bool = True,
+    ) -> "EdgeSchedule":
+        """A deterministically flapping edge: up for ``duty * period_s``,
+        down for the rest, repeating until ``horizon_s``.
+
+        The recurring two-signature alternation this produces is the
+        worst-case re-solve load for the NetMax monitor (every flip changes
+        the live subgraph) and exactly the access pattern the policy-LP
+        signature cache turns into hits.
+        """
+        if period_s <= 0 or horizon_s <= 0:
+            raise ValueError("period_s and horizon_s must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError(f"duty must be in (0, 1), got {duty}")
+        a, b = edge
+        events = []
+        cycle = 0
+        while True:
+            fail_at = cycle * period_s + duty * period_s
+            repair_at = (cycle + 1) * period_s
+            if repair_at > horizon_s:
+                break
+            events.append(EdgeFlipEvent(fail_at, a, b, FAIL))
+            events.append(EdgeFlipEvent(repair_at, a, b, REPAIR))
+            cycle += 1
+        return cls(num_workers, events, require_connected=require_connected)
+
+    @classmethod
+    def random(
+        cls,
+        topology: "Topology",
+        horizon_s: float,
+        num_failures: int = 2,
+        downtime_s: float = 30.0,
+        seed: int = 0,
+    ) -> "EdgeSchedule":
+        """Synthetic edge churn: seeded random failures with bounded downtime.
+
+        Mirrors :meth:`repro.simulation.churn.ChurnSchedule.random`: each of
+        ``num_failures`` disjoint windows sees one edge of ``topology`` fail
+        and recover ``downtime_s`` later, so at most one edge is down at a
+        time. Failures draw only from the base graph's non-bridge edges,
+        keeping the always-connected promise by construction; a base graph
+        with no non-bridge edge (a tree -- e.g. a star) is rejected. Draws
+        come from a dedicated ``[seed, _EDGE_FLIP_STREAM]`` stream, so
+        adding edge failures to a scenario never perturbs link, churn, data,
+        or topology randomness.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if num_failures < 0:
+            raise ValueError("num_failures must be >= 0")
+        if downtime_s <= 0:
+            raise ValueError("downtime_s must be positive")
+        if num_failures == 0:
+            return cls(topology.num_workers, [])
+        window = horizon_s / num_failures
+        if downtime_s >= window:
+            raise ValueError(
+                f"downtime_s={downtime_s} does not fit {num_failures} "
+                f"failure window(s) of {window:.3g}s in horizon_s={horizon_s}"
+            )
+        bridges = {tuple(sorted(edge)) for edge in nx.bridges(topology.to_networkx())}
+        failable = [edge for edge in topology.edges() if edge not in bridges]
+        if not failable:
+            raise ValueError(
+                "every edge of the base graph is a bridge (tree-shaped "
+                "topology); no edge can fail while keeping the live graph "
+                "connected"
+            )
+        rng = np.random.default_rng([seed, _EDGE_FLIP_STREAM])
+        events = []
+        for index in range(num_failures):
+            a, b = failable[int(rng.integers(len(failable)))]
+            lo = index * window
+            # Fail inside the window's first part so the repair lands in the
+            # same window (keeps at most one edge down at any moment).
+            fail = lo + float(rng.uniform(0.0, window - downtime_s))
+            fail = max(fail, np.nextafter(0.0, 1.0))
+            events.append(EdgeFlipEvent(fail, a, b, FAIL))
+            events.append(EdgeFlipEvent(fail + downtime_s, a, b, REPAIR))
+        return cls(topology.num_workers, events)
+
+    # -- queries ---------------------------------------------------------------
+
+    def down_edges_at(self, time: float) -> set[tuple[int, int]]:
+        """Edges down at ``time`` (transitions apply at their exact
+        timestamp: an edge failing at ``t`` is down at ``t``)."""
+        down: set[tuple[int, int]] = set()
+        for event in self.events:
+            if event.time > time:
+                break
+            if event.kind == FAIL:
+                down.add(event.edge)
+            else:
+                down.discard(event.edge)
+        return down
+
+    def edge_active_at(self, a: int, b: int, time: float) -> bool:
+        """Whether the undirected edge ``(a, b)`` is up at ``time``."""
+        key = (a, b) if a < b else (b, a)
+        return key not in self.down_edges_at(time)
+
+    def describe(self) -> list[list[object]]:
+        """JSON-able event list (sweep cache keys hash this)."""
+        return [[e.time, e.a, e.b, e.kind] for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeSchedule):
+            return NotImplemented
+        return (
+            self.num_workers == other.num_workers
+            and self.require_connected == other.require_connected
+            and self.events == other.events
+        )
+
+    def __hash__(self) -> int:
+        # Keeps Scenario (a frozen dataclass embedding the topology, which
+        # may embed a schedule) hashable.
+        return hash((self.num_workers, self.require_connected, self.events))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EdgeSchedule(M={self.num_workers}, events={len(self.events)}, "
+            f"require_connected={self.require_connected})"
+        )
+
+
+class DynamicTopology(Topology):
+    """A time-varying communication graph: base edges plus a flip schedule.
+
+    The *base* graph is the union of every edge that can ever exist; the
+    live edge set at time ``t`` is the base minus the edges the schedule has
+    down at ``t``. As a :class:`Topology`, a DynamicTopology *is* its base
+    graph (``adjacency``, ``neighbors``, ... describe the union), while the
+    ``*_at(t)`` queries describe the live graph -- all segments are
+    precomputed at construction, so every query is a pure function of time
+    (no hidden RNG advance), mirroring the link-model contract.
+
+    When the schedule promises ``require_connected``, every segment's live
+    graph is validated to satisfy Assumption 1 at construction time.
+    """
+
+    def __init__(self, base: Topology, schedule: EdgeSchedule):
+        if schedule.num_workers != base.num_workers:
+            raise ValueError(
+                f"schedule is for {schedule.num_workers} workers but the base "
+                f"topology has {base.num_workers}"
+            )
+        super().__init__(base.adjacency)
+        base_edges = set(base.edges())
+        for event in schedule.events:
+            if event.edge not in base_edges:
+                raise ValueError(
+                    f"schedule flips edge {event.edge}, which the base "
+                    "topology does not contain"
+                )
+        self.schedule = schedule
+        # Precompute one frozen Topology per segment of constant edge set.
+        starts = [0.0]
+        for event in schedule.events:
+            if event.time != starts[-1]:
+                starts.append(event.time)
+        segments = []
+        for start in starts:
+            adjacency = np.array(base.adjacency)
+            for a, b in schedule.down_edges_at(start):
+                adjacency[a, b] = adjacency[b, a] = False
+            segment = Topology(adjacency)
+            if schedule.require_connected and not segment.is_connected():
+                raise ValueError(
+                    f"edge schedule disconnects the live graph at t={start} "
+                    "(require_connected)"
+                )
+            segments.append(segment)
+        self._segment_starts = np.asarray(starts)
+        self._segments = segments
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    def _segment_at(self, time: float) -> Topology:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        idx = int(np.searchsorted(self._segment_starts, time, side="right") - 1)
+        return self._segments[idx]
+
+    def adjacency_at(self, time: float) -> np.ndarray:
+        return self._segment_at(time).adjacency
+
+    def topology_at(self, time: float) -> Topology:
+        return self._segment_at(time)
+
+    def flip_times(self) -> tuple[float, ...]:
+        return tuple(self._segment_starts[1:].tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicTopology):
+            return NotImplemented
+        return (
+            np.array_equal(self.adjacency, other.adjacency)
+            and self.schedule == other.schedule
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.adjacency.tobytes(), self.schedule))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"DynamicTopology(M={self.num_workers}, "
+            f"base_edges={len(self.edges())}, flips={len(self.schedule)})"
+        )
+
+
 # -- the topology-family factory -----------------------------------------------
 
 # Graph families the scenario registry exposes as its ``topology`` axis.
-TOPOLOGY_KINDS = ("full", "ring", "star", "random", "torus", "small-world")
+TOPOLOGY_KINDS = (
+    "full", "ring", "star", "random", "torus", "small-world",
+    "hypercube", "expander",
+)
 
-# The kinds whose construction actually consumes ``edge_probability`` (and
-# the seed-derived stream); for every other kind the parameter is inert, so
-# spec canonicalization drops it to keep cache keys/labels identical.
+# The kinds whose construction actually consumes ``edge_probability``; for
+# every other kind the parameter is inert, so spec canonicalization drops it
+# to keep cache keys/labels identical. (``expander`` consumes the
+# seed-derived topology stream but not ``edge_probability``.)
 RANDOMIZED_TOPOLOGY_KINDS = ("random", "small-world")
 
 # Seed-sequence tag separating topology sampling from every other stream
@@ -292,6 +760,53 @@ def validate_topology_request(
         _torus_shape(num_workers)  # raises for primes and num_workers < 4
     if kind == "small-world" and num_workers < 4:
         raise ValueError("a small-world topology needs at least 4 workers")
+    if kind == "hypercube" and (num_workers < 2 or num_workers & (num_workers - 1)):
+        raise ValueError(
+            f"a hypercube needs a power-of-two worker count, got {num_workers}"
+        )
+    if kind == "expander" and num_workers < 4:
+        raise ValueError("an expander topology needs at least 4 workers")
+
+
+def validate_edge_failure_request(
+    kind: str,
+    num_workers: int,
+    edge_failures: int,
+    downtime_s: float,
+    horizon_s: float,
+) -> None:
+    """Reject unbuildable edge-failure requests up front (spec time).
+
+    The spec-time half of the scenario registry's ``edge_failures`` axis:
+    sweep grids and CLI dry runs call it so a schedule that cannot fit its
+    windows -- or a graph family whose every edge is a bridge, where no edge
+    can fail without disconnecting the live graph -- dies before any cell
+    executes. Randomized families (``random``/``small-world``) may still
+    fail at build time when the drawn graph happens to be a tree.
+    """
+    if edge_failures < 0:
+        raise ValueError(f"edge_failures must be >= 0, got {edge_failures}")
+    if edge_failures == 0:
+        return
+    if downtime_s <= 0 or horizon_s <= 0:
+        raise ValueError("edge_downtime_s and edge_horizon_s must be positive")
+    window = horizon_s / edge_failures
+    if downtime_s >= window:
+        raise ValueError(
+            f"edge_downtime_s={downtime_s} does not fit {edge_failures} "
+            f"failure window(s) of {window:.3g}s in edge_horizon_s={horizon_s}"
+        )
+    if kind == "star":
+        raise ValueError(
+            "edge_failures cannot run on a star topology: every star edge "
+            "is a bridge, so no edge can fail while keeping the live graph "
+            "connected"
+        )
+    if kind in ("full", "hypercube") and num_workers < 3:
+        raise ValueError(
+            f"edge_failures on a {kind} graph needs at least 3 workers "
+            "(a single edge is a bridge)"
+        )
 
 
 def make_topology(
@@ -317,7 +832,11 @@ def make_topology(
         return Topology.star(num_workers)
     if kind == "torus":
         return Topology.torus(num_workers)
+    if kind == "hypercube":
+        return Topology.hypercube(num_workers)
     rng = np.random.default_rng([seed, _TOPOLOGY_STREAM])
     if kind == "random":
         return Topology.random_connected(num_workers, edge_probability, rng)
+    if kind == "expander":
+        return Topology.expander(num_workers, rng)
     return Topology.small_world(num_workers, edge_probability, rng)

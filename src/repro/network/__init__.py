@@ -22,6 +22,7 @@ from repro.network.links import (
     diurnal_trace,
     random_walk_trace,
     burst_congestion_trace,
+    record_link_trace,
 )
 from repro.network.costmodel import (
     ModelCostProfile,
@@ -41,6 +42,7 @@ __all__ = [
     "diurnal_trace",
     "random_walk_trace",
     "burst_congestion_trace",
+    "record_link_trace",
     "ModelCostProfile",
     "MODEL_ZOO",
     "get_cost_profile",

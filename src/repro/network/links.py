@@ -50,6 +50,7 @@ __all__ = [
     "diurnal_trace",
     "random_walk_trace",
     "burst_congestion_trace",
+    "record_link_trace",
 ]
 
 
@@ -387,6 +388,85 @@ class TraceLinks(LinkSpeedModel):
         if a == b:
             return 0.0
         return float(self._latency[a, b])
+
+
+def record_link_trace(
+    trainer,
+    step_s: float | None = None,
+    end_time: float | None = None,
+    path: str | None = None,
+) -> dict:
+    """Capture a run's per-pair link speeds as a replayable JSON trace.
+
+    Samples the trainer's link model (``trainer.comm.links``) on a uniform
+    grid over ``[0, end_time]`` -- by default the run's final virtual time
+    ``trainer.sim.now`` in 100 steps -- and emits the
+    :meth:`TraceLinks.from_json` payload::
+
+        {
+          "num_workers": M,
+          "latency": [[...]],              # MxM one-way latency, seconds
+          "segments": [                    # piecewise-constant carry-forward
+            {"start": t, "bandwidth": [[...]]},   # MxM, bytes/second
+            ...
+          ]
+        }
+
+    Consecutive identical snapshots are collapsed into one segment, so a
+    static network records a single segment regardless of ``step_s``. The
+    grid resolution bounds the capture's fidelity: dynamics faster than
+    ``step_s`` (and any latency variation -- latency is snapshotted at
+    ``t = 0``) are flattened to the sampled values. Diagonal entries are
+    written as 0 for JSON portability; :class:`TraceLinks` never reads
+    them.
+
+    Args:
+        trainer: a (finished or fresh) trainer exposing ``comm.links`` and
+            ``sim.now`` -- only those two attributes are touched, so any
+            duck-typed carrier works.
+        step_s: sampling step (default ``end_time / 100``).
+        end_time: capture horizon (default ``trainer.sim.now``; the last
+            segment holds beyond it on replay).
+        path: optional file to write the JSON payload to.
+
+    Returns:
+        The payload dict, directly loadable via ``TraceLinks.from_json``.
+    """
+    links = trainer.comm.links
+    if end_time is None:
+        end_time = float(trainer.sim.now)
+    if end_time <= 0:
+        raise ValueError(
+            f"end_time must be positive (run the trainer first?), got {end_time}"
+        )
+    if step_s is None:
+        step_s = end_time / 100.0
+    if step_s <= 0:
+        raise ValueError(f"step_s must be positive, got {step_s}")
+    m = links.num_workers
+    latency = np.zeros((m, m))
+    for a in range(m):
+        for b in range(m):
+            if a != b:
+                latency[a, b] = links.latency(a, b, 0.0)
+    segments = []
+    previous = None
+    for start in np.arange(0.0, end_time, step_s):
+        matrix = links.bandwidth_matrix(float(start))
+        np.fill_diagonal(matrix, 0.0)  # json has no Infinity; never read back
+        if previous is not None and np.array_equal(matrix, previous):
+            continue
+        segments.append({"start": float(start), "bandwidth": matrix.tolist()})
+        previous = matrix
+    payload = {
+        "num_workers": m,
+        "latency": latency.tolist(),
+        "segments": segments,
+    }
+    if path is not None:
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+    return payload
 
 
 def _broadcast_matrix(value, m: int, name: str, diagonal: float) -> np.ndarray:

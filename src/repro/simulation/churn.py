@@ -20,6 +20,13 @@ replays on its simulator:
 Schedules are plain data (picklable, hashable content) and pure functions
 of their construction arguments, which keeps churn runs bit-identically
 reproducible and cacheable by the sweep engine.
+
+Whole-worker churn has a per-edge sibling: *link* failures and repairs are
+scripted by :class:`repro.graph.topology.EdgeSchedule` and replayed through
+:class:`repro.graph.topology.DynamicTopology` with the same conventions
+(transitions apply at their exact timestamp, deterministic tie order,
+dedicated seed stream). The two compose: a trainer intersects the churn
+active-mask with the live-edge set when selecting gossip peers.
 """
 
 from __future__ import annotations

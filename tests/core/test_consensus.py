@@ -224,6 +224,40 @@ class TestActiveMask:
         with pytest.raises(ValueError, match="shape"):
             worker.set_active_mask(np.ones(3, dtype=bool))
 
+    def test_edge_mask_renormalizes_like_active_mask(self):
+        worker = make_worker()
+        worker.stage_policy(np.array([0.1, 0.6, 0.2, 0.1]), rho=0.5)
+        worker.adopt_pending_policy()
+        worker.set_edge_mask(np.array([True, False, True, True]))  # edge 0-1 down
+        effective = worker.effective_probabilities
+        assert effective[1] == 0.0
+        np.testing.assert_allclose(effective[[0, 2, 3]], [0.25, 0.5, 0.25])
+        # The policy row is untouched: an edge repair restores it.
+        worker.set_edge_mask(None)
+        np.testing.assert_allclose(
+            worker.effective_probabilities, worker.probabilities
+        )
+
+    def test_edge_and_active_masks_compose(self):
+        worker = make_worker()
+        worker.set_active_mask(np.array([True, False, True, True]))  # 1 departed
+        worker.set_edge_mask(np.array([True, True, True, False]))  # edge 0-3 down
+        effective = worker.effective_probabilities
+        assert effective[1] == 0.0 and effective[3] == 0.0
+        np.testing.assert_allclose(effective[2], 1.0)
+        picks = {worker.choose_peer() for _ in range(50)}
+        assert picks <= {2}
+
+    def test_all_edges_down_degenerates_to_self(self):
+        worker = make_worker()
+        worker.set_edge_mask(np.array([True, False, False, False]))
+        assert all(worker.choose_peer() == 0 for _ in range(20))
+
+    def test_bad_edge_mask_shape_rejected(self):
+        worker = make_worker()
+        with pytest.raises(ValueError, match="shape"):
+            worker.set_edge_mask(np.ones(3, dtype=bool))
+
     def test_pull_update_honors_selection_time_probability(self):
         """A churn transition between selection and pull completion must not
         change the 1/p debias weight: the caller passes the probability the

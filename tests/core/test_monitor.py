@@ -143,3 +143,75 @@ class TestTickActiveSubset:
         result = monitor.tick(times, alpha=0.1, active=active)
         assert result is None
         assert monitor.stats.skipped_disconnected == 1
+
+
+class TestTickLiveAdjacency:
+    """The time-varying topology path: tick() on a live-edge subgraph."""
+
+    def test_full_adjacency_equals_no_adjacency(self, full5, hetero_times5):
+        times = raw_times(full5, hetero_times5)
+        result_a = NetworkMonitor(full5).tick(times, alpha=0.1)
+        result_b = NetworkMonitor(full5).tick(
+            times, alpha=0.1, adjacency=full5.adjacency
+        )
+        np.testing.assert_array_equal(result_a.policy, result_b.policy)
+        assert result_a.rho == result_b.rho
+
+    def test_policy_puts_zero_mass_on_failed_edges(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=0.5)
+        live = full5.adjacency.copy()
+        live[0, 1] = live[1, 0] = False  # the fast link fails
+        result = monitor.tick(
+            raw_times(full5, hetero_times5), alpha=0.1, adjacency=live
+        )
+        assert result is not None
+        assert result.policy[0, 1] == 0.0 and result.policy[1, 0] == 0.0
+        for i in range(5):
+            np.testing.assert_allclose(result.policy[i].sum(), 1.0)
+
+    def test_live_adjacency_solves_the_subgraph_directly(self, full5, hetero_times5):
+        """Solving with an adjacency override equals solving a monitor built
+        on that frozen subgraph outright."""
+        live = full5.adjacency.copy()
+        live[0, 1] = live[1, 0] = False
+        times = raw_times(full5, hetero_times5)
+        masked_times = np.where(live, times, np.nan)
+        overridden = NetworkMonitor(full5).tick(
+            masked_times, alpha=0.1, adjacency=live
+        )
+        direct = NetworkMonitor(Topology(live)).tick(masked_times, alpha=0.1)
+        np.testing.assert_array_equal(overridden.policy, direct.policy)
+        assert overridden.rho == direct.rho
+
+    def test_disconnected_live_graph_skips(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=0.1)
+        live = np.zeros((5, 5), dtype=bool)  # star 0-centered, minus nothing
+        for i in range(1, 5):
+            live[0, i] = live[i, 0] = True
+        live[0, 4] = live[4, 0] = False  # worker 4 fully cut off
+        result = monitor.tick(
+            raw_times(full5, hetero_times5), alpha=0.1, adjacency=live
+        )
+        assert result is None
+        assert monitor.stats.skipped_disconnected == 1
+
+    def test_composes_with_active_mask(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=0.5)
+        live = full5.adjacency.copy()
+        live[0, 1] = live[1, 0] = False
+        active = np.array([True, True, True, True, False])
+        result = monitor.tick(
+            raw_times(full5, hetero_times5), alpha=0.1, active=active,
+            adjacency=live,
+        )
+        assert result is not None
+        assert result.policy[0, 1] == 0.0
+        np.testing.assert_array_equal(result.policy[4], 0.0)
+
+    def test_wrong_adjacency_shape_rejected(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5)
+        with pytest.raises(ValueError, match="adjacency"):
+            monitor.tick(
+                raw_times(full5, hetero_times5), alpha=0.1,
+                adjacency=np.ones((4, 4), dtype=bool),
+            )

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.experiments.reporting import downsample_series, format_seconds, render_table
+from repro.experiments.reporting import (
+    downsample_series,
+    format_mean_std,
+    format_seconds,
+    render_table,
+)
 
 
 class TestRenderTable:
@@ -65,3 +70,21 @@ class TestDownsample:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
             downsample_series(np.arange(3.0), np.arange(4.0), 2)
+
+
+class TestFormatMeanStd:
+    def test_band(self):
+        assert format_mean_std(0.0123, 0.0008) == "0.0123+-0.0008"
+
+    def test_nan_mean_renders_dash(self):
+        assert format_mean_std(float("nan"), 0.1) == "-"
+
+    def test_nan_std_omits_band(self):
+        assert format_mean_std(1.5, float("nan")) == "1.5"
+
+    def test_zero_std_omits_band(self):
+        """A single seed measures no spread: no misleading +-0 band."""
+        assert format_mean_std(1.5, 0.0) == "1.5"
+
+    def test_custom_format(self):
+        assert format_mean_std(1.23456, 0.5, float_format="{:.1f}") == "1.2+-0.5"

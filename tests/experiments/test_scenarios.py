@@ -231,6 +231,69 @@ class TestScenarioRegistry:
             build_scenario("heterogeneous", 5, seed=0, topology="torus")
         with pytest.raises(ValueError, match="unknown topology"):
             build_scenario("heterogeneous", 4, seed=0, topology="mesh")
+        with pytest.raises(ValueError, match="power-of-two"):
+            build_scenario("heterogeneous", 6, seed=0, topology="hypercube")
+
+    def test_every_family_accepts_the_edge_failure_axis(self, tmp_path):
+        """Each registered family promotes its graph to a DynamicTopology
+        when edge_failures > 0, suffixes the scenario name, and keeps its
+        link model untouched."""
+        import json
+        from repro.experiments.scenarios import (
+            build_scenario, get_scenario_family, scenario_names,
+        )
+        from repro.graph.topology import DynamicTopology
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({
+            "num_workers": 4, "latency": 0.001,
+            "segments": [{"start": 0.0, "bandwidth": 1e8}],
+        }))
+        for name in scenario_names():
+            family = get_scenario_family(name)
+            assert "edge_failures" in family.param_names(), (
+                f"family {name!r} does not declare the shared edge axis"
+            )
+            workers = 6 if name == "multi-cloud" else 4
+            params = {"path": str(trace)} if name == "trace-file" else {}
+            scenario = build_scenario(
+                name, num_workers=workers, seed=1, topology="ring",
+                edge_failures=2, edge_horizon_s=100.0, edge_downtime_s=10.0,
+                **params,
+            )
+            assert scenario.name.endswith("-ring-ef2"), scenario.name
+            assert isinstance(scenario.topology, DynamicTopology)
+            assert len(scenario.topology.flip_times()) == 4  # 2 fail + 2 repair
+            assert scenario.links.num_workers == workers
+
+    def test_edge_failure_stream_is_isolated(self):
+        """Adding edge failures perturbs neither the link dynamics nor the
+        randomized graph draw, and is itself deterministic in the seed."""
+        from repro.experiments.scenarios import build_scenario
+
+        plain = build_scenario("heterogeneous", 8, seed=3, topology="random")
+        dynamic = build_scenario(
+            "heterogeneous", 8, seed=3, topology="random",
+            edge_failures=2, edge_horizon_s=100.0, edge_downtime_s=10.0,
+        )
+        again = build_scenario(
+            "heterogeneous", 8, seed=3, topology="random",
+            edge_failures=2, edge_horizon_s=100.0, edge_downtime_s=10.0,
+        )
+        assert dynamic.topology == again.topology
+        np.testing.assert_array_equal(
+            dynamic.topology.adjacency, plain.topology.adjacency
+        )
+        for t in (0.0, 100.0, 400.0):
+            np.testing.assert_array_equal(
+                dynamic.links.bandwidth_matrix(t), plain.links.bandwidth_matrix(t)
+            )
+
+    def test_edge_failures_on_a_bridge_only_graph_rejected(self):
+        from repro.experiments.scenarios import build_scenario
+        with pytest.raises(ValueError, match="bridge"):
+            build_scenario("heterogeneous", 4, seed=0, topology="star",
+                           edge_failures=1)
 
     def test_churn_scenario_runs_end_to_end(self):
         from repro.algorithms.base import TrainerConfig

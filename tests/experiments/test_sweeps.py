@@ -187,6 +187,34 @@ class TestAggregate:
         assert seq.rows == cached.rows
 
 
+class TestVarianceBands:
+    """Per-seed variance bands in the aggregation tables (seed spread)."""
+
+    def test_every_metric_carries_a_std_column(self):
+        output = aggregate_sweep(run_sweep(tiny_spec()))
+        assert output.headers == [
+            "algorithm", "scenario", "seeds",
+            "final_loss_mean", "final_loss_std",
+            "best_acc_mean", "best_acc_std",
+            "epoch_time_mean", "epoch_time_std",
+        ]
+        for row in output.rows:
+            loss_std, acc_std, epoch_std = row[4], row[6], row[8]
+            assert loss_std >= 0.0 and epoch_std >= 0.0
+            assert np.isnan(acc_std) or acc_std >= 0.0
+
+    def test_std_measures_across_seed_spread(self):
+        """Two seeds with different outcomes yield a positive loss std; a
+        single seed yields exactly zero."""
+        multi = aggregate_sweep(run_sweep(tiny_spec()))
+        single = aggregate_sweep(run_sweep(tiny_spec(seeds=(0,))))
+        multi_row = multi.row_dict()["adpsgd"]
+        single_row = single.row_dict()["adpsgd"]
+        assert multi_row[2] == 2 and single_row[2] == 1
+        assert multi_row[4] > 0.0
+        assert single_row[4] == 0.0
+
+
 class TestScenarioParams:
     """Per-cell scenario parameter grids (the dynamic-scenario subsystem)."""
 
@@ -344,14 +372,15 @@ class TestScenarioParams:
             ScenarioSpec("heterogeneous", 4, params=(("topology", "mesh"),))
 
     def test_cache_version_bump_invalidates_stale_entries(self):
-        """The topology axis shipped with CACHE_VERSION 3: a key computed
-        under any older version must never collide with a current key, so
-        stale v2 cache entries can never be served as fresh results."""
-        assert CACHE_VERSION == 3
+        """The time-varying topology axis (and the monitor's quantized
+        policy solves) shipped with CACHE_VERSION 4: a key computed under
+        any older version must never collide with a current key, so stale
+        v2/v3 cache entries can never be served as fresh results."""
+        assert CACHE_VERSION == 4
         cell = tiny_spec().cells()[0]
         payload = cell.describe()
         assert payload["cache_version"] == CACHE_VERSION
-        for stale_version in (1, 2):
+        for stale_version in (1, 2, 3):
             stale_payload = dict(payload, cache_version=stale_version)
             stale_key = hashlib.sha256(
                 json.dumps(stale_payload, sort_keys=True, default=str).encode()

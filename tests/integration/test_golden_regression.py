@@ -56,6 +56,17 @@ GOLDEN_CHURN = {
     "ps-asyn": (1.5296634619427647, 167, 3),
 }
 
+# The time-varying topology subsystem (edge fail/repair on a ring): pins the
+# edge-flip event ordering, the [seed, _EDGE_FLIP_STREAM] schedule stream,
+# and -- for the monitor-driven trainers -- the flip-triggered re-solve path
+# through the quantized policy cache.
+GOLDEN_EDGE_FAILURES = {
+    "adpsgd": (0.00040314888840252986, 440, 3),
+    "adpsgd-monitor": (0.0007663608046800392, 625, 3),
+    "netmax": (0.0007313202287488602, 625, 3),
+    "saps": (0.00022386610009738928, 849, 3),
+}
+
 
 def _workload():
     return make_workload(
@@ -81,6 +92,12 @@ def _scenarios():
             build_scenario("churn", 4, seed=0, horizon_s=10.0, downtime_s=3.0,
                            num_departures=1),
             GOLDEN_CHURN,
+        ),
+        "edge-failures": (
+            build_scenario("heterogeneous", 4, seed=0, topology="ring",
+                           edge_failures=2, edge_horizon_s=10.0,
+                           edge_downtime_s=2.0),
+            GOLDEN_EDGE_FAILURES,
         ),
     }
 
@@ -123,6 +140,13 @@ def test_golden_churn(algorithm):
     scenario, golden = _scenarios()["churn"]
     result = run_trainer(algorithm, scenario, _workload(), _config())
     _check(result, golden[algorithm], f"{algorithm}/churn")
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_EDGE_FAILURES))
+def test_golden_edge_failures(algorithm):
+    scenario, golden = _scenarios()["edge-failures"]
+    result = run_trainer(algorithm, scenario, _workload(), _config())
+    _check(result, golden[algorithm], f"{algorithm}/edge-failures")
 
 
 def regenerate():  # pragma: no cover - maintenance helper

@@ -9,6 +9,7 @@ from repro.network.links import (
     StaticLinks,
     TraceLinks,
     multi_cloud_links,
+    record_link_trace,
 )
 
 
@@ -266,3 +267,66 @@ class TestTraceGenerators:
                 "num_workers": 2, "latency": 0.0,
                 "segments": [{"start": 0.0, "bandwidth": [[0, 1e2], [1.0, 0]]}],
             })
+
+
+class _TrainerShim:
+    """The two attributes record_link_trace reads off a trainer."""
+
+    class _Comm:
+        def __init__(self, links):
+            self.links = links
+
+    class _Sim:
+        def __init__(self, now):
+            self.now = now
+
+    def __init__(self, links, now):
+        self.comm = self._Comm(links)
+        self.sim = self._Sim(now)
+
+
+class TestRecordLinkTrace:
+    def test_round_trip_through_trace_links(self, tmp_path):
+        """Capture -> JSON -> TraceLinks replays the captured history."""
+        links = DynamicSlowdownLinks(make_static(), period_s=10.0, seed=3)
+        trainer = _TrainerShim(links, now=60.0)
+        path = tmp_path / "trace.json"
+        payload = record_link_trace(trainer, step_s=2.0, path=str(path))
+        replayed = TraceLinks.from_json(str(path))
+        assert replayed.num_workers == links.num_workers
+        for t in np.arange(0.0, 60.0, 2.0):
+            np.testing.assert_array_equal(
+                replayed.bandwidth_matrix(float(t)), links.bandwidth_matrix(float(t))
+            )
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert replayed.latency(a, b, 0.0) == links.latency(a, b, 0.0)
+
+    def test_static_network_collapses_to_one_segment(self):
+        trainer = _TrainerShim(make_static(), now=50.0)
+        payload = record_link_trace(trainer, step_s=1.0)
+        assert len(payload["segments"]) == 1
+        assert payload["segments"][0]["start"] == 0.0
+
+    def test_sub_step_dynamics_flatten_to_samples(self):
+        """Fidelity is bounded by step_s: a capture at the rotation period
+        still replays exactly the sampled snapshots."""
+        links = DynamicSlowdownLinks(make_static(), period_s=5.0, seed=1)
+        trainer = _TrainerShim(links, now=40.0)
+        payload = record_link_trace(trainer, step_s=5.0)
+        replayed = TraceLinks.from_json(payload)
+        for t in np.arange(0.0, 40.0, 5.0):
+            np.testing.assert_array_equal(
+                replayed.bandwidth_matrix(float(t)), links.bandwidth_matrix(float(t))
+            )
+
+    def test_unrun_trainer_rejected(self):
+        trainer = _TrainerShim(make_static(), now=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            record_link_trace(trainer)
+
+    def test_bad_step_rejected(self):
+        trainer = _TrainerShim(make_static(), now=10.0)
+        with pytest.raises(ValueError, match="step_s"):
+            record_link_trace(trainer, step_s=0.0)

@@ -60,6 +60,10 @@ CONSTRUCTOR_BUILDERS = {
     "ring": lambda m, seed, p: Topology.ring(m),
     "star": lambda m, seed, p: Topology.star(m, center=seed % m),
     "torus": lambda m, seed, p: Topology.torus(_composite_workers(m)),
+    "hypercube": lambda m, seed, p: Topology.hypercube(2 ** (2 + m % 3)),
+    "expander": lambda m, seed, p: Topology.expander(
+        m, np.random.default_rng(seed), num_cycles=1 + seed % 3
+    ),
     "random_connected": lambda m, seed, p: Topology.random_connected(
         m, p, np.random.default_rng(seed)
     ),
@@ -144,10 +148,17 @@ class TestSeedDeterminism:
         b = Topology.small_world(m, p, np.random.default_rng(seed))
         assert a == b
 
+    @given(m=workers, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_expander_is_a_pure_function_of_its_stream(self, m, seed):
+        a = Topology.expander(m, np.random.default_rng(seed))
+        b = Topology.expander(m, np.random.default_rng(seed))
+        assert a == b
+
     @given(seed=seeds, p=probabilities)
     @settings(max_examples=40, deadline=None)
     def test_make_topology_deterministic_per_seed(self, seed, p):
-        for kind in ("random", "small-world"):
+        for kind in ("random", "small-world", "expander"):
             a = make_topology(kind, 8, edge_probability=p, seed=seed)
             b = make_topology(kind, 8, edge_probability=p, seed=seed)
             assert a == b

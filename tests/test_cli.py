@@ -25,7 +25,7 @@ class TestParser:
                                         14, 15, 16, 17, 18, 19)}
         expected |= {"table2", "table3", "table5", "table6"}
         # Beyond-paper dynamics experiments (trace/churn/topology families).
-        expected |= {"dyn-traces", "dyn-churn", "dyn-topology"}
+        expected |= {"dyn-traces", "dyn-churn", "dyn-topology", "dyn-edges"}
         assert set(FIGURE_FUNCTIONS) == expected
 
     def test_sweep_defaults(self):
@@ -186,6 +186,15 @@ class TestScenarioParamCLI:
         out = capsys.readouterr().out
         assert "topology=ring" in out and "topology=star" in out
         assert "allreduce" in out  # sync trainers compete on sparse graphs too
+
+    def test_figure_dynamics_edges_smoke(self, capsys):
+        code = main(["figure", "dyn-edges", "--sim-time", "8",
+                     "--samples", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edge_failures=2" in out and "edge_failures=5" in out
+        assert "topology=ring" in out  # sparse default so failures matter
+        assert "+-" in out  # winner notes quote the mean +- std band
 
     def test_sweep_trace_file_without_path_fails_dry_run(self, capsys):
         code = main([
