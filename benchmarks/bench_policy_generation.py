@@ -9,7 +9,13 @@ a *flapping edge*: the live subgraph alternates between two recurring edge
 sets (the worst case for naive per-change re-solves), and the cache must
 cut cold LP-grid solves by at least 3x while producing policies identical
 to solving every tick fresh.
+
+Each test records its latency / cold-solve counts through ``bench_record``
+so the run emits ``BENCH_policy.json`` (see ``conftest.py``) for the CI
+perf trajectory, gated against ``baselines.json``.
 """
+
+import time
 
 import numpy as np
 
@@ -25,32 +31,50 @@ def hetero_times(num_workers: int, seed: int = 0) -> np.ndarray:
     return times
 
 
-def test_policy_generation_8_workers(benchmark):
+def _timed_generate(bench_record, metric: str, *args, **kwargs):
+    """generate_policy wrapped to record its own wall clock (minimum over
+    however many rounds pytest-benchmark runs)."""
+
+    def solve():
+        start = time.perf_counter()
+        result = generate_policy(*args, **kwargs)
+        bench_record(
+            "policy", metric, time.perf_counter() - start, keep="min"
+        )
+        return result
+
+    return solve
+
+
+def test_policy_generation_8_workers(benchmark, bench_record):
     topology = Topology.fully_connected(8)
     times = hetero_times(8)
-    result = benchmark(
-        generate_policy, times, topology.indicator(), 0.1,
-    )
+    result = benchmark(_timed_generate(
+        bench_record, "policy_generation_8w_s",
+        times, topology.indicator(), 0.1,
+    ))
     assert 0.0 < result.lambda2 < 1.0
 
 
-def test_policy_generation_16_workers(benchmark):
+def test_policy_generation_16_workers(benchmark, bench_record):
     topology = Topology.fully_connected(16)
     times = hetero_times(16)
-    result = benchmark(
-        generate_policy, times, topology.indicator(), 0.1,
-    )
+    result = benchmark(_timed_generate(
+        bench_record, "policy_generation_16w_s",
+        times, topology.indicator(), 0.1,
+    ))
     assert 0.0 < result.lambda2 < 1.0
 
 
-def test_policy_generation_fine_grid(benchmark):
+def test_policy_generation_fine_grid(benchmark, bench_record):
     """K = R = 20 (4x the default grid) on 8 workers."""
     topology = Topology.fully_connected(8)
     times = hetero_times(8)
-    result = benchmark(
-        generate_policy, times, topology.indicator(), 0.1,
+    result = benchmark(_timed_generate(
+        bench_record, "policy_generation_fine_grid_s",
+        times, topology.indicator(), 0.1,
         outer_rounds=20, inner_rounds=20,
-    )
+    ))
     assert result.candidates_evaluated > 0
 
 
@@ -76,7 +100,7 @@ def _flapping_edge_ticks(num_workers: int = 8, num_ticks: int = 24):
     return ticks
 
 
-def test_policy_cache_flapping_edges(benchmark):
+def test_policy_cache_flapping_edges(benchmark, bench_record):
     """Dynamic-graph scenario: >= 3x fewer cold LP-grid solves with the
     signature cache than without, with identical resulting policies."""
     ticks = _flapping_edge_ticks()
@@ -93,6 +117,9 @@ def test_policy_cache_flapping_edges(benchmark):
     # Without the cache every tick pays the full K x R LP grid.
     cold_without = len(ticks)
     cold_with = cache.stats.cold_solves
+    bench_record("policy", "cache_flapping_ticks", cold_without)
+    bench_record("policy", "cache_flapping_cold_solves", cold_with)
+    bench_record("policy", "cache_flapping_hits", cache.stats.hits)
     assert cold_with * 3 <= cold_without, (
         f"cache saved too little: {cold_with} cold solves vs {cold_without} ticks"
     )

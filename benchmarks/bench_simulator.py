@@ -6,6 +6,10 @@ iteration loops, plus end-to-end trainer throughput on the paper's
 16-worker heterogeneous scenario with a data-free quadratic workload (so
 framework overhead, not model math, dominates -- the quantity the O(1)
 hot-path work targets).
+
+Each test also records its throughput through ``bench_record``, so the run
+emits ``BENCH_simulator.json`` (see ``conftest.py``) for the CI perf
+trajectory, gated against ``baselines.json``.
 """
 
 import time
@@ -19,7 +23,8 @@ from repro.experiments.scenarios import (
 from repro.simulation.engine import Simulator
 
 
-def chain_events(num_chains: int, events_per_chain: int) -> int:
+def chain_events(num_chains: int, events_per_chain: int) -> tuple[int, float]:
+    """Run the self-rescheduling chains; return (executed, events/second)."""
     sim = Simulator()
     executed = [0]
 
@@ -30,17 +35,35 @@ def chain_events(num_chains: int, events_per_chain: int) -> int:
 
     for chain in range(num_chains):
         sim.schedule_at(float(chain) / num_chains, tick)
+    start = time.perf_counter()
     sim.run(max_events=num_chains * events_per_chain + 1)
-    return executed[0]
+    elapsed = time.perf_counter() - start
+    return executed[0], executed[0] / elapsed
 
 
-def test_simulator_throughput_small(benchmark):
-    executed = benchmark(chain_events, 8, 1000)
+def _recorded_chains(bench_record, metric, num_chains, events_per_chain):
+    """chain_events wrapped to record every benchmark round, so keep="max"
+    reports the best observed round rather than an arbitrary one."""
+
+    def run():
+        executed, events_per_s = chain_events(num_chains, events_per_chain)
+        bench_record("simulator", metric, events_per_s, keep="max")
+        return executed
+
+    return run
+
+
+def test_simulator_throughput_small(benchmark, bench_record):
+    executed = benchmark(_recorded_chains(
+        bench_record, "sim_chains8_events_per_s", 8, 1000
+    ))
     assert executed >= 8000
 
 
-def test_simulator_throughput_many_chains(benchmark):
-    executed = benchmark(chain_events, 64, 250)
+def test_simulator_throughput_many_chains(benchmark, bench_record):
+    executed = benchmark(_recorded_chains(
+        bench_record, "sim_chains64_events_per_s", 64, 250
+    ))
     assert executed >= 16000
 
 
@@ -76,16 +99,19 @@ def trainer_events(
     return trainer.sim.events_processed / elapsed
 
 
-def test_trainer_throughput_16_workers_adpsgd(benchmark, capsys):
+def test_trainer_throughput_16_workers_adpsgd(benchmark, capsys, bench_record):
     events_per_s = benchmark.pedantic(
         trainer_events, args=("adpsgd",), rounds=1, iterations=1
     )
     with capsys.disabled():
         print(f"\nadpsgd 16-worker trainer loop: {events_per_s:,.0f} events/s")
     assert events_per_s > 0
+    bench_record(
+        "simulator", "trainer_adpsgd_events_per_s", events_per_s, keep="max"
+    )
 
 
-def test_trainer_throughput_16_workers_netmax(benchmark, capsys):
+def test_trainer_throughput_16_workers_netmax(benchmark, capsys, bench_record):
     # adaptive=False: pure event loop, no Algorithm 3 LP solves in the way.
     events_per_s = benchmark.pedantic(
         trainer_events, args=("netmax",), kwargs={"adaptive": False},
@@ -94,3 +120,6 @@ def test_trainer_throughput_16_workers_netmax(benchmark, capsys):
     with capsys.disabled():
         print(f"\nnetmax 16-worker trainer loop: {events_per_s:,.0f} events/s")
     assert events_per_s > 0
+    bench_record(
+        "simulator", "trainer_netmax_events_per_s", events_per_s, keep="max"
+    )

@@ -1,0 +1,95 @@
+"""Gate BENCH_*.json metric files against committed baseline bounds.
+
+Usage::
+
+    python benchmarks/check_bench_json.py BENCH_simulator.json [BENCH_policy.json ...]
+
+Each file is the machine-readable output of a benchmark run (written by
+``benchmarks/conftest.py``; see its docstring for the schema). Bounds live
+in ``benchmarks/baselines.json`` next to this script::
+
+    {"simulator": {"trainer_adpsgd_events_per_s": {"floor": 20000, "tolerance": 0.5}}}
+
+A ``floor`` entry passes while ``value >= floor * (1 - tolerance)``; a
+``ceiling`` entry passes while ``value <= ceiling * (1 + tolerance)``. The
+tolerance absorbs runner-to-runner noise so the gate catches regressions in
+the *trajectory* (an order-of-magnitude slowdown, a cache that stopped
+caching) without flaking on hardware variance. Metrics without a baseline
+entry are reported as informational; baseline entries without a recorded
+metric fail (the benchmark silently stopped measuring something we gate).
+
+Exit code 0 when every bound holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+BASELINES_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "baselines.json")
+
+
+def check_file(path: str, baselines: dict) -> list[str]:
+    """Return a list of failure messages for one BENCH_*.json file."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    group = payload.get("bench")
+    metrics = payload.get("metrics", {})
+    bounds = baselines.get(group)
+    if bounds is None:
+        return [f"{path}: no baseline group {group!r} in baselines.json"]
+    failures = []
+    print(f"{path} (bench={group}, commit={payload.get('commit')}):")
+    for name in sorted(set(bounds) | set(metrics)):
+        bound = bounds.get(name)
+        if bound is None:
+            print(f"  {name} = {metrics[name]:.6g}  (informational)")
+            continue
+        if name not in metrics:
+            failures.append(f"{group}.{name}: gated metric was not recorded")
+            print(f"  {name} MISSING  (gated)")
+            continue
+        value = metrics[name]
+        tolerance = float(bound.get("tolerance", 0.0))
+        if "floor" in bound:
+            limit = float(bound["floor"]) * (1.0 - tolerance)
+            ok = value >= limit
+            kind = f">= {limit:.6g} (floor {bound['floor']} -{tolerance:.0%})"
+        elif "ceiling" in bound:
+            limit = float(bound["ceiling"]) * (1.0 + tolerance)
+            ok = value <= limit
+            kind = f"<= {limit:.6g} (ceiling {bound['ceiling']} +{tolerance:.0%})"
+        else:
+            failures.append(f"{group}.{name}: baseline has neither floor nor ceiling")
+            continue
+        status = "ok" if ok else "FAIL"
+        print(f"  {name} = {value:.6g}  {kind}  [{status}]")
+        if not ok:
+            failures.append(
+                f"{group}.{name} = {value:.6g} violates {kind}"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(BASELINES_PATH, encoding="utf-8") as handle:
+        baselines = json.load(handle)
+    failures = []
+    for path in argv:
+        failures.extend(check_file(path, baselines))
+    if failures:
+        print("\nbaseline violations:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall baseline bounds hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -18,6 +18,16 @@ Examples::
         --parallel 4 --cache-dir .sweep-cache
     python -m repro sweep --algorithms netmax adpsgd --seeds 0 1 --dry-run
 
+    # Fan the same grid out through the file-queue broker: any number of
+    # worker processes (this machine or others sharing the directory)
+    # claim cells via atomic leases; results are bit-identical to the
+    # inline run and a restarted sweep executes only missing cells
+    python -m repro sweep --algorithms netmax adpsgd --seeds 0 1 2 3 \
+        --backend queue --queue-dir /shared/sweep-q --num-queue-workers 4 \
+        --json-summary summary.json
+    # ... join that queue from another host/terminal:
+    python -m repro sweep-worker --queue-dir /shared/sweep-q
+
     # Sweep scenario families with per-cell parameter grids: unprefixed
     # params apply to every listed family that declares them; a family:
     # prefix pins one family; comma-separated values cross-product
@@ -52,6 +62,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import itertools
+import json
 import sys
 
 import numpy as np
@@ -68,6 +79,7 @@ from repro.experiments import (
     run_comparison,
     time_to_loss_speedups,
 )
+from repro.experiments.executors import make_executor, run_queue_worker
 from repro.experiments.sweeps import (
     SCENARIO_KINDS,
     RunSpec,
@@ -230,13 +242,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sim-time", type=float, default=60.0)
     sweep.add_argument("--max-epochs", type=float, default=None)
     sweep.add_argument("--parallel", type=int, default=0,
-                       help="worker processes (0/1 = sequential)")
+                       help="worker processes (0/1 = sequential); implies "
+                            "--backend process when > 1")
+    sweep.add_argument("--backend", choices=["inline", "process", "queue"],
+                       default=None,
+                       help="execution backend (default: inline, or process "
+                            "when --parallel > 1); all backends produce "
+                            "bit-identical results")
+    sweep.add_argument("--queue-dir", default=None,
+                       help="shared directory for the queue backend's "
+                            "file-based work broker")
+    sweep.add_argument("--num-queue-workers", type=int, default=1,
+                       help="local worker processes to spawn for the queue "
+                            "backend (0 = rely on external sweep-worker "
+                            "processes joining --queue-dir)")
+    sweep.add_argument("--lease-timeout-s", type=float, default=30.0,
+                       help="queue backend: reclaim a cell whose worker "
+                            "heartbeat is older than this (worker presumed "
+                            "dead)")
+    sweep.add_argument("--max-attempts", type=int, default=3,
+                       help="queue backend: per-cell retry budget before a "
+                            "cell fails the sweep")
     sweep.add_argument("--cache-dir", default=None,
-                       help="directory for the on-disk result cache")
+                       help="directory for the on-disk result cache "
+                            "(queue backend defaults to QUEUE_DIR/results)")
     sweep.add_argument("--force", action="store_true",
                        help="re-run cells even when cached")
     sweep.add_argument("--dry-run", action="store_true",
                        help="list the grid cells without running anything")
+    sweep.add_argument("--json-summary", default=None, metavar="PATH",
+                       help="write a machine-readable run summary "
+                            "{cells, executed, cached, backend, wall_s} "
+                            "to PATH")
+
+    worker = sub.add_parser(
+        "sweep-worker",
+        help="join an existing sweep queue directory and execute cells",
+    )
+    worker.add_argument("--queue-dir", required=True,
+                        help="queue directory of a running/enqueued "
+                             "--backend queue sweep (may be on a shared "
+                             "filesystem)")
+    worker.add_argument("--poll-interval-s", type=float, default=0.2,
+                        help="sleep between claim attempts when idle")
+    worker.add_argument("--drain-timeout-s", type=float, default=10.0,
+                        help="exit after this long with nothing claimable")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after executing this many cells")
+    worker.add_argument("--json-summary", default=None, metavar="PATH",
+                        help="write {worker, executed, skipped, failed, "
+                             "reclaimed} to PATH on exit")
 
     policy = sub.add_parser("policy", help="run Algorithm 3 on a time matrix")
     policy.add_argument("--times", required=True, help="CSV file, MxM iteration times")
@@ -338,6 +393,14 @@ def _run_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_json_summary(path: str | None, payload: dict) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.algorithms.registry import trainer_names
 
@@ -346,6 +409,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
         # Validate upfront so --dry-run is a trustworthy preflight.
         print(f"error: unknown algorithm(s) {unknown}; valid: {trainer_names()}",
               file=sys.stderr)
+        return 2
+    backend = args.backend
+    if backend is None:
+        backend = "process" if args.parallel > 1 else "inline"
+    if backend == "queue" and args.queue_dir is None:
+        print("error: --backend queue requires --queue-dir", file=sys.stderr)
         return 2
     try:
         spec = SweepSpec(
@@ -373,12 +442,53 @@ def _run_sweep(args: argparse.Namespace) -> int:
              for c in cells],
             title=f"sweep grid: {len(cells)} cell(s) (dry run)",
         ))
+        _write_json_summary(args.json_summary, {
+            "cells": len(cells), "executed": 0, "cached": 0,
+            "backend": "dry-run", "wall_s": 0.0,
+        })
         return 0
-    sweep = run_sweep(
-        spec, parallel=args.parallel, cache_dir=args.cache_dir, force=args.force
+    executor = make_executor(
+        backend,
+        parallel=args.parallel,
+        queue_dir=args.queue_dir,
+        num_queue_workers=args.num_queue_workers,
+        lease_timeout_s=args.lease_timeout_s,
+        max_attempts=args.max_attempts,
+        progress=lambda message: print(message, file=sys.stderr),
     )
+    try:
+        sweep = run_sweep(
+            spec, cache_dir=args.cache_dir, force=args.force, executor=executor
+        )
+    except RuntimeError as error:
+        # e.g. queue cells that exhausted their retry budget. Overwrite any
+        # stale summary from a previous run so file-watching orchestration
+        # never mistakes this failure for the earlier success.
+        print(f"error: {error}", file=sys.stderr)
+        _write_json_summary(args.json_summary, {
+            "cells": len(cells), "backend": backend, "error": str(error),
+        })
+        return 1
     print(aggregate_sweep(sweep).render())
+    _write_json_summary(args.json_summary, sweep.summary())
     return 0
+
+
+def _run_sweep_worker(args: argparse.Namespace) -> int:
+    summary = run_queue_worker(
+        args.queue_dir,
+        poll_interval_s=args.poll_interval_s,
+        drain_timeout_s=args.drain_timeout_s,
+        max_cells=args.max_cells,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    print(f"worker {summary.worker}: {summary.executed} cell(s) executed, "
+          f"{summary.skipped} already done, {summary.failed} failed "
+          f"attempt(s), {summary.reclaimed} stale lease(s) reclaimed")
+    _write_json_summary(args.json_summary, summary.as_dict())
+    # Nonzero on any failed attempt so orchestration (cron, job arrays)
+    # can spot an unhealthy worker host without watching the coordinator.
+    return 1 if summary.failed else 0
 
 
 def _run_policy(args: argparse.Namespace) -> int:
@@ -411,6 +521,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_figure(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "sweep-worker":
+        return _run_sweep_worker(args)
     if args.command == "policy":
         return _run_policy(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,960 @@
+"""Pluggable sweep-execution backends: inline, process pool, and file queue.
+
+PR 1 made every sweep cell a picklable pure function of its spec; this
+module turns "how cells get executed" into a :class:`SweepExecutor`
+strategy so the same declarative grid can run
+
+- in-process (:class:`InlineExecutor` -- no pool overhead, easiest to
+  debug),
+- across local processes (:class:`ProcessExecutor` -- the PR 1
+  :class:`~concurrent.futures.ProcessPoolExecutor` path), or
+- across *any number of worker processes on one or many hosts* sharing a
+  directory (:class:`QueueExecutor` -- a file-based work broker).
+
+All three are interchangeable: cells are deterministically seeded from
+their own spec and results land in the sha256-keyed :class:`ResultCache`,
+so ``queue == process == inline`` bit-for-bit.
+
+The file-queue broker (:class:`WorkQueue`) needs nothing but a shared
+POSIX directory -- no server, no sockets. Its one primitive is the atomic
+``os.rename``:
+
+- **enqueue**: the coordinator writes each missing cell to
+  ``tasks/<key>.a1.task`` (temp file + rename, so readers never observe a
+  partial spec) and broker settings to ``queue.json``;
+- **claim**: a worker renames ``tasks/<key>.a<n>.task`` to
+  ``leases/<key>.a<n>.lease``; rename succeeds for exactly one claimant,
+  which is the whole mutual-exclusion story;
+- **complete**: the worker stores the result through the cache's
+  temp+rename write, records timing telemetry in ``meta/<key>.json``, and
+  deletes its lease;
+- **reclaim**: a lease is heartbeat-touched while its cell executes; if a
+  worker dies, the heartbeat stops, the lease's mtime goes stale, and any
+  other process renames it back into ``tasks/`` with the attempt counter
+  bumped -- a killed worker costs one retry, never a lost cell;
+- **fail**: a cell whose retry budget is exhausted moves to
+  ``failed/<key>.err`` (error text + provenance) where the coordinator
+  surfaces it as a hard error;
+- **quarantine**: a corrupt/truncated result file is moved to
+  ``quarantine/`` (never deleted -- it is forensic evidence) and the cell
+  re-executes.
+
+Because results are idempotent (bit-identical regardless of which worker
+executes a cell, enforced by the determinism test suite), the races left
+open by this design -- e.g. a presumed-dead worker completing after its
+lease was reclaimed -- are benign: both writers store the same bytes.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import pickle
+import socket
+import tempfile
+import threading
+import time
+import uuid
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweeps -> executors)
+    from repro.experiments.sweeps import SweepCell
+    from repro.simulation.records import TrainingResult
+
+__all__ = [
+    "CellExecution",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "QueueExecutor",
+    "ResultCache",
+    "SweepExecutor",
+    "WorkQueue",
+    "WorkerSummary",
+    "make_executor",
+    "parallel_map",
+    "run_queue_worker",
+]
+
+
+def _atomic_write(directory: str, path: str, mode: str, write: Callable) -> None:
+    """Temp file + :func:`os.replace`: concurrent readers of ``path`` never
+    observe a partial write. The single home of the broker's one crash-safety
+    primitive (results, task specs, and JSON records all go through here)."""
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as handle:
+            write(handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def parallel_map(fn: Callable, items: Sequence, parallel: int = 0) -> list:
+    """``[fn(x) for x in items]``, optionally fanned out across processes.
+
+    ``parallel <= 1`` runs in-process (no pool overhead, easiest to debug);
+    larger values use a :class:`ProcessPoolExecutor`. ``fn`` and every item
+    must be picklable for the parallel path. Result order always matches
+    input order, so both paths are interchangeable.
+    """
+    items = list(items)
+    if parallel <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(parallel, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# -- result storage ------------------------------------------------------------
+
+
+class ResultCache:
+    """Pickle-per-cell on-disk cache keyed by the cell's config hash.
+
+    Writes go through a temp file + :func:`os.replace`, so concurrent sweep
+    processes sharing a directory can never observe a half-written entry.
+    A corrupt or truncated entry is *quarantined* on load -- moved aside to
+    ``<directory>/quarantine/`` for inspection -- and reported as a miss,
+    so the cell simply re-executes.
+    """
+
+    QUARANTINE_SUBDIR = "quarantine"
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.directory, self.QUARANTINE_SUBDIR)
+
+    def load(self, key: str) -> TrainingResult | None:
+        try:
+            with open(self.path(key), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self._quarantine(key)
+            return None
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside (keep it for forensics, retry never
+        sees it). Concurrent quarantiners race benignly: one rename wins,
+        the others find the file gone."""
+        os.makedirs(self.quarantine_dir(), exist_ok=True)
+        destination = os.path.join(
+            self.quarantine_dir(), f"{key}.{os.getpid()}.pkl"
+        )
+        try:
+            os.replace(self.path(key), destination)
+        except FileNotFoundError:
+            pass
+
+    def store(self, key: str, result: TrainingResult) -> None:
+        _atomic_write(
+            self.directory, self.path(key), "wb",
+            lambda handle: pickle.dump(result, handle),
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".pkl"))
+
+
+# -- executor interface --------------------------------------------------------
+
+
+@dataclass
+class CellExecution:
+    """Telemetry for one freshly executed cell."""
+
+    result: TrainingResult
+    runtime_s: float
+    attempts: int = 1
+    worker: str | None = None
+
+
+def _execute_one(cell: SweepCell, cache_dir: str | None) -> CellExecution:
+    """Execute a cell and persist it immediately.
+
+    The cache write happens here, per finished cell, so a sweep that dies
+    or is interrupted partway keeps every cell completed so far.
+    """
+    start = time.perf_counter()
+    result = cell.execute()
+    runtime = time.perf_counter() - start
+    if cache_dir is not None:
+        ResultCache(cache_dir).store(cell.cache_key(), result)
+    return CellExecution(result=result, runtime_s=runtime, worker=_worker_id())
+
+
+def _execute_payload(payload: tuple[SweepCell, str | None]) -> CellExecution:
+    """Top-level worker function (must be picklable for the process pool)."""
+    return _execute_one(*payload)
+
+
+class SweepExecutor(abc.ABC):
+    """Strategy for executing the cells a sweep could not serve from cache.
+
+    Implementations must return one :class:`CellExecution` per input cell,
+    in input order, and must write finished results into ``cache_dir``
+    (when given) as they complete, so interrupted sweeps resume.
+    """
+
+    name: str = "?"
+
+    def default_cache_dir(self) -> str | None:
+        """Backend-provided result store when the caller passes none."""
+        return None
+
+    @abc.abstractmethod
+    def run(
+        self, cells: Sequence[SweepCell], cache_dir: str | None
+    ) -> list[CellExecution]:
+        ...
+
+
+class InlineExecutor(SweepExecutor):
+    """Sequential in-process execution (the default)."""
+
+    name = "inline"
+
+    def run(
+        self, cells: Sequence[SweepCell], cache_dir: str | None
+    ) -> list[CellExecution]:
+        return [_execute_one(cell, cache_dir) for cell in cells]
+
+
+class ProcessExecutor(SweepExecutor):
+    """Local fan-out via :class:`ProcessPoolExecutor`."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError("process backend needs max_workers >= 1")
+        self.max_workers = max_workers
+
+    def run(
+        self, cells: Sequence[SweepCell], cache_dir: str | None
+    ) -> list[CellExecution]:
+        return parallel_map(
+            _execute_payload,
+            [(cell, cache_dir) for cell in cells],
+            self.max_workers,
+        )
+
+
+# -- the file-queue broker -----------------------------------------------------
+
+
+class QueueCellError(RuntimeError):
+    """A cell exhausted its retry budget (error text from ``failed/``)."""
+
+
+def _worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _file_age_s(path: str) -> float | None:
+    try:
+        return time.time() - os.path.getmtime(path)
+    except OSError:
+        return None
+
+
+@dataclass
+class _TaskName:
+    """Parsed ``<sha256-key>.a<attempt>`` broker filename stem."""
+
+    key: str
+    attempt: int
+
+    @classmethod
+    def parse(cls, filename: str) -> _TaskName | None:
+        stem, _, _ = filename.rpartition(".")
+        key, _, attempt = stem.rpartition(".a")
+        if not key or not attempt.isdigit():
+            return None
+        return cls(key=key, attempt=int(attempt))
+
+    def stem(self) -> str:
+        return f"{self.key}.a{self.attempt}"
+
+
+@dataclass
+class ClaimedTask:
+    """A lease this process currently owns."""
+
+    name: _TaskName
+    lease_path: str
+    cell: SweepCell
+
+
+class WorkQueue:
+    """Rename-based file work broker over a shared directory.
+
+    Layout under ``queue_dir`` (see docs/distributed_sweeps.md)::
+
+        queue.json   broker settings (retry budget, lease timeout, results)
+        tasks/       claimable cells:   <key>.a<attempt>.task   (pickle)
+        leases/      in-flight cells:   <key>.a<attempt>.lease  (same bytes)
+        failed/      exhausted cells:   <key>.err               (JSON)
+        meta/        per-cell telemetry <key>.json              (JSON)
+        results/     default ResultCache directory (sha256-keyed pickles)
+
+    Every transition is a single atomic rename, so any number of workers on
+    any number of hosts (sharing the directory, e.g. over NFS) coordinate
+    without locks: exactly one claimant wins each task file.
+    """
+
+    CONFIG_NAME = "queue.json"
+
+    def __init__(self, queue_dir: str):
+        self.queue_dir = str(queue_dir)
+        self.tasks_dir = os.path.join(self.queue_dir, "tasks")
+        self.leases_dir = os.path.join(self.queue_dir, "leases")
+        self.failed_dir = os.path.join(self.queue_dir, "failed")
+        self.meta_dir = os.path.join(self.queue_dir, "meta")
+        for directory in (self.tasks_dir, self.leases_dir, self.failed_dir,
+                          self.meta_dir):
+            os.makedirs(directory, exist_ok=True)
+
+    # -- configuration ---------------------------------------------------------
+
+    @property
+    def config_path(self) -> str:
+        return os.path.join(self.queue_dir, self.CONFIG_NAME)
+
+    def write_config(
+        self,
+        *,
+        cache_dir: str,
+        max_attempts: int,
+        lease_timeout_s: float,
+        run_id: str,
+    ) -> None:
+        """Publish broker settings so bare ``sweep-worker`` processes need
+        nothing beyond the queue directory itself. ``run_id`` scopes the
+        STOP marker to this sweep generation, so a reused queue directory's
+        leftover STOP can never turn away newly joining workers."""
+        self._atomic_write_json(self.config_path, {
+            "cache_dir": os.path.abspath(cache_dir),
+            "max_attempts": int(max_attempts),
+            "lease_timeout_s": float(lease_timeout_s),
+            "run_id": run_id,
+        })
+
+    def read_config(self) -> dict | None:
+        try:
+            with open(self.config_path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def default_results_dir(self) -> str:
+        return os.path.join(self.queue_dir, "results")
+
+    def _atomic_write_json(self, path: str, payload: dict) -> None:
+        _atomic_write(
+            self.queue_dir, path, "w",
+            lambda handle: json.dump(payload, handle, indent=2, sort_keys=True),
+        )
+
+    # -- state listings --------------------------------------------------------
+
+    def _stems(self, directory: str, suffix: str) -> list[_TaskName]:
+        names = []
+        try:
+            entries = sorted(os.listdir(directory))
+        except FileNotFoundError:
+            return []
+        for entry in entries:
+            if entry.endswith(suffix):
+                parsed = _TaskName.parse(entry)
+                if parsed is not None:
+                    names.append(parsed)
+        return names
+
+    def pending_tasks(self) -> list[_TaskName]:
+        return self._stems(self.tasks_dir, ".task")
+
+    def active_leases(self) -> list[_TaskName]:
+        return self._stems(self.leases_dir, ".lease")
+
+    def failed_keys(self) -> list[str]:
+        try:
+            entries = sorted(os.listdir(self.failed_dir))
+        except FileNotFoundError:
+            return []
+        return [entry[:-len(".err")] for entry in entries if entry.endswith(".err")]
+
+    def read_failure(self, key: str) -> dict:
+        with open(os.path.join(self.failed_dir, f"{key}.err"),
+                  encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def read_meta(self, key: str) -> dict | None:
+        try:
+            with open(os.path.join(self.meta_dir, f"{key}.json"),
+                      encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # -- transitions -----------------------------------------------------------
+
+    def enqueue(
+        self, cell: SweepCell, attempt: int = 1, present: set[str] | None = None
+    ) -> bool:
+        """Make a cell claimable unless it is already queued, leased, or
+        terminally failed. Returns whether a task file was created.
+
+        ``present`` is an optional snapshot of already-present keys (from
+        :meth:`present_keys`): bulk enqueues pass it so an N-cell grid costs
+        one directory scan instead of N (the snapshot is kept current as
+        cells are added)."""
+        key = cell.cache_key()
+        if present is not None:
+            if key in present:
+                return False
+        elif key in self.present_keys():
+            return False
+        name = _TaskName(key=key, attempt=attempt)
+        _atomic_write(
+            self.queue_dir,
+            os.path.join(self.tasks_dir, f"{name.stem()}.task"),
+            "wb",
+            lambda handle: pickle.dump(cell, handle),
+        )
+        if present is not None:
+            present.add(key)
+        return True
+
+    def present_keys(self) -> set[str]:
+        """Keys currently queued, leased, or terminally failed."""
+        keys = {name.key for name in self.pending_tasks()}
+        keys.update(name.key for name in self.active_leases())
+        keys.update(self.failed_keys())
+        return keys
+
+    def claim(self) -> ClaimedTask | None:
+        """Atomically claim one pending task (first key in sorted order that
+        this process wins the rename race for)."""
+        for name in self.pending_tasks():
+            task_path = os.path.join(self.tasks_dir, f"{name.stem()}.task")
+            lease_path = os.path.join(self.leases_dir, f"{name.stem()}.lease")
+            try:
+                os.rename(task_path, lease_path)
+            except FileNotFoundError:
+                continue  # somebody else won this one
+            os.utime(lease_path)  # lease age counts from the claim
+            try:
+                with open(lease_path, "rb") as handle:
+                    cell = pickle.load(handle)
+            except Exception as error:
+                # Unpickling foreign bytes can raise nearly anything
+                # (torn write, version-skewed worker). An unreadable task
+                # spec can never execute: fail it terminally rather than
+                # letting it crash worker after worker.
+                self._record_failure(
+                    name, f"unreadable task spec: {error!r}", cell_label=None
+                )
+                os.unlink(lease_path)
+                continue
+            return ClaimedTask(name=name, lease_path=lease_path, cell=cell)
+        return None
+
+    def complete(
+        self,
+        claim: ClaimedTask,
+        cache: ResultCache,
+        result: TrainingResult,
+        runtime_s: float,
+    ) -> None:
+        """Result first (atomic), telemetry second, lease last -- a crash
+        between any two steps leaves the queue recoverable."""
+        key = claim.name.key
+        cache.store(key, result)
+        self._atomic_write_json(os.path.join(self.meta_dir, f"{key}.json"), {
+            "cache_key": key,
+            "label": claim.cell.label(),
+            "runtime_s": runtime_s,
+            "attempt": claim.name.attempt,
+            "worker": _worker_id(),
+        })
+        self._drop_lease(claim.lease_path)
+
+    def release_without_execution(self, claim: ClaimedTask) -> None:
+        """Drop a lease whose result already exists (another worker finished
+        the cell between enqueue and this claim)."""
+        self._drop_lease(claim.lease_path)
+
+    def fail(self, claim: ClaimedTask, error_text: str, max_attempts: int) -> bool:
+        """Requeue a failed attempt, or fail terminally once the budget is
+        spent. Returns True when the cell will be retried."""
+        if claim.name.attempt < max_attempts:
+            retry = _TaskName(key=claim.name.key, attempt=claim.name.attempt + 1)
+            try:
+                os.rename(
+                    claim.lease_path,
+                    os.path.join(self.tasks_dir, f"{retry.stem()}.task"),
+                )
+            except FileNotFoundError:
+                pass  # lease was reclaimed from under us; its copy retries
+            return True
+        self._record_failure(claim.name, error_text, claim.cell.label())
+        self._drop_lease(claim.lease_path)
+        return False
+
+    def _record_failure(
+        self, name: _TaskName, error_text: str, cell_label: str | None
+    ) -> None:
+        self._atomic_write_json(
+            os.path.join(self.failed_dir, f"{name.key}.err"),
+            {
+                "cache_key": name.key,
+                "label": cell_label,
+                "attempts": name.attempt,
+                "error": error_text,
+                "worker": _worker_id(),
+            },
+        )
+
+    def reclaim_stale(self, lease_timeout_s: float, max_attempts: int) -> int:
+        """Return stale leases (heartbeat older than the timeout -- their
+        worker is presumed dead) to the task pool, spending one attempt.
+        Safe to call from any process; rename races resolve to one winner.
+        """
+        reclaimed = 0
+        for name in self.active_leases():
+            lease_path = os.path.join(self.leases_dir, f"{name.stem()}.lease")
+            age = _file_age_s(lease_path)
+            if age is None or age <= lease_timeout_s:
+                continue
+            if name.attempt >= max_attempts:
+                try:
+                    with open(lease_path, "rb") as handle:
+                        label = pickle.load(handle).label()
+                except Exception:
+                    label = None
+                self._record_failure(
+                    name,
+                    f"worker lease expired after {age:.1f}s on final attempt "
+                    f"{name.attempt}/{max_attempts} (worker presumed dead)",
+                    label,
+                )
+                self._drop_lease(lease_path)
+                reclaimed += 1
+                continue
+            retry = _TaskName(key=name.key, attempt=name.attempt + 1)
+            try:
+                os.rename(
+                    lease_path,
+                    os.path.join(self.tasks_dir, f"{retry.stem()}.task"),
+                )
+            except FileNotFoundError:
+                continue  # another reclaimer (or the worker itself) won
+            reclaimed += 1
+        return reclaimed
+
+    def _drop_lease(self, lease_path: str) -> None:
+        try:
+            os.unlink(lease_path)
+        except FileNotFoundError:
+            pass  # reclaimed from under us; results are idempotent
+
+    # -- shutdown --------------------------------------------------------------
+
+    @property
+    def stop_path(self) -> str:
+        return os.path.join(self.queue_dir, "STOP")
+
+    def signal_stop(self, run_id: str) -> None:
+        """Tell every worker (local or remote) of this sweep generation to
+        drain and exit: workers honor the marker once nothing is claimable,
+        so in-flight and still-queued cells finish first."""
+        self._atomic_write_json(
+            self.stop_path, {"run_id": run_id, "worker": _worker_id()}
+        )
+
+    def stop_marker_id(self) -> str | None:
+        """The run_id the STOP marker is tagged with (``None`` = no marker,
+        ``"<unreadable>"`` = a marker whose payload cannot be parsed)."""
+        try:
+            with open(self.stop_path, encoding="utf-8") as handle:
+                marker = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            return "<unreadable>"
+        return str(marker.get("run_id"))
+
+    def clear_stop(self) -> None:
+        try:
+            os.unlink(self.stop_path)
+        except FileNotFoundError:
+            pass
+
+
+class _LeaseHeartbeat:
+    """Touch the lease file periodically while its cell executes, so a
+    *live* worker's lease never looks stale no matter how long the cell
+    runs; only a dead worker's heartbeat stops."""
+
+    def __init__(self, lease_path: str, interval_s: float):
+        self._lease_path = lease_path
+        self._interval_s = max(0.05, interval_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def __enter__(self) -> _LeaseHeartbeat:
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                os.utime(self._lease_path)
+            except OSError:
+                return  # lease reclaimed; stop touching it
+
+
+@dataclass
+class WorkerSummary:
+    """What one ``run_queue_worker`` invocation did."""
+
+    worker: str
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    reclaimed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "reclaimed": self.reclaimed,
+        }
+
+
+def run_queue_worker(
+    queue_dir: str,
+    poll_interval_s: float = 0.2,
+    drain_timeout_s: float = 10.0,
+    max_cells: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> WorkerSummary:
+    """Join a queue directory and execute cells until it drains.
+
+    The worker loop: claim a task; if its result already exists, drop the
+    lease (``skipped``); otherwise execute under a lease heartbeat and
+    complete or fail it. With nothing claimable it reclaims stale leases,
+    then polls; it exits after ``drain_timeout_s`` with no claimable work,
+    when the coordinator writes the ``STOP`` marker, or after ``max_cells``
+    executions. Any number of these may run concurrently against the same
+    directory, on any number of hosts.
+
+    Broker settings (result-cache path, retry budget, lease timeout) come
+    from ``queue.json``, written by the coordinator at enqueue time; a
+    worker that starts *before* the coordinator simply polls until the
+    config appears or the drain timeout expires.
+    """
+    queue = WorkQueue(queue_dir)
+    summary = WorkerSummary(worker=_worker_id())
+    say = progress if progress is not None else (lambda message: None)
+    idle_since = time.monotonic()
+    # A STOP marker already present at startup is *stale* by definition: it
+    # belongs to a sweep that finished before this worker existed (reused
+    # queue directory). Only a marker that appears -- or changes run_id --
+    # during this worker's lifetime ends it; a worker joining ahead of the
+    # next coordinator just polls until tasks appear or it drains out.
+    startup_stop = queue.stop_marker_id()
+    while True:
+        if max_cells is not None and summary.executed >= max_cells:
+            break
+        config = queue.read_config()
+        if config is None:
+            # Queue not published yet (worker raced ahead of the
+            # coordinator): wait for it like any other idle period.
+            if time.monotonic() - idle_since > drain_timeout_s:
+                break
+            time.sleep(poll_interval_s)
+            continue
+        claim = queue.claim()
+        if claim is None:
+            reclaimed = queue.reclaim_stale(
+                config["lease_timeout_s"], config["max_attempts"]
+            )
+            if reclaimed:
+                # A dead peer's cell just became claimable again: that is
+                # new work, not idleness -- never drain out on top of it.
+                summary.reclaimed += reclaimed
+                idle_since = time.monotonic()
+                continue
+            # STOP is a drain-then-exit signal, checked only with nothing
+            # claimable, and only for markers newer than this worker (see
+            # startup_stop above): in-flight and still-queued cells always
+            # finish first, and a stale marker can never turn away a
+            # freshly joined worker.
+            marker = queue.stop_marker_id()
+            if marker is not None and marker != startup_stop:
+                break
+            if time.monotonic() - idle_since > drain_timeout_s:
+                break
+            time.sleep(poll_interval_s)
+            continue
+        idle_since = time.monotonic()
+        # Re-read the config after a successful claim: the claimed task may
+        # belong to a sweep generation newer than the config snapshot above
+        # (coordinator replaces queue.json *before* enqueueing), and the
+        # result must land in that generation's cache directory.
+        config = queue.read_config() or config
+        cache = ResultCache(config["cache_dir"])
+        if cache.load(claim.name.key) is not None:
+            queue.release_without_execution(claim)
+            summary.skipped += 1
+            continue
+        say(f"executing {claim.cell.label()} "
+            f"(attempt {claim.name.attempt}/{config['max_attempts']})")
+        heartbeat_interval = config["lease_timeout_s"] / 3.0
+        try:
+            with _LeaseHeartbeat(claim.lease_path, heartbeat_interval):
+                start = time.perf_counter()
+                result = claim.cell.execute()
+                runtime = time.perf_counter() - start
+        except Exception as error:
+            summary.failed += 1
+            retrying = queue.fail(
+                claim, f"{type(error).__name__}: {error}", config["max_attempts"]
+            )
+            say(f"cell {claim.cell.label()} failed "
+                f"({'will retry' if retrying else 'retry budget exhausted'}): "
+                f"{error}")
+            idle_since = time.monotonic()  # execution time is not idle time
+            continue
+        queue.complete(claim, cache, result, runtime)
+        summary.executed += 1
+        idle_since = time.monotonic()
+    return summary
+
+
+def _local_worker_entry(queue_dir: str, poll_interval_s: float) -> None:
+    """Top-level target for coordinator-spawned local worker processes."""
+    # Local workers live as long as the coordinator keeps the queue open:
+    # the coordinator's STOP marker, not a drain timeout, ends them.
+    run_queue_worker(
+        queue_dir,
+        poll_interval_s=poll_interval_s,
+        drain_timeout_s=float("inf"),
+    )
+
+
+class QueueExecutor(SweepExecutor):
+    """Resumable, fault-tolerant fan-out through a shared queue directory.
+
+    The coordinator enqueues every missing cell, optionally spawns
+    ``num_workers`` local worker processes, and then acts as the broker's
+    janitor: it reclaims stale leases, surfaces exhausted cells as errors,
+    and returns once every cell's result is in the cache -- whether a local
+    worker, or a ``repro sweep-worker`` on another host, produced it.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: str,
+        num_workers: int = 1,
+        lease_timeout_s: float = 30.0,
+        max_attempts: int = 3,
+        poll_interval_s: float = 0.1,
+        progress: Callable[[str], None] | None = None,
+    ):
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 = external workers only)")
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.queue_dir = str(queue_dir)
+        self.num_workers = num_workers
+        self.lease_timeout_s = lease_timeout_s
+        self.max_attempts = max_attempts
+        self.poll_interval_s = poll_interval_s
+        self._progress = progress if progress is not None else (lambda message: None)
+
+    def default_cache_dir(self) -> str | None:
+        return WorkQueue(self.queue_dir).default_results_dir()
+
+    def run(
+        self, cells: Sequence[SweepCell], cache_dir: str | None
+    ) -> list[CellExecution]:
+        if cache_dir is None:
+            cache_dir = self.default_cache_dir()
+        queue = WorkQueue(self.queue_dir)
+        queue.clear_stop()
+        cache = ResultCache(cache_dir)
+        run_id = uuid.uuid4().hex
+        queue.write_config(
+            cache_dir=cache_dir,
+            max_attempts=self.max_attempts,
+            lease_timeout_s=self.lease_timeout_s,
+            run_id=run_id,
+        )
+        keys = [cell.cache_key() for cell in cells]
+        # A re-run is an explicit request to retry: clear terminal failure
+        # records for the cells of *this* sweep so they become claimable
+        # again (other sweeps' failures in a shared queue stay put).
+        for key in keys:
+            try:
+                os.unlink(os.path.join(queue.failed_dir, f"{key}.err"))
+            except FileNotFoundError:
+                pass
+        present = queue.present_keys()
+        enqueued = sum(queue.enqueue(cell, present=present) for cell in cells)
+        self._progress(
+            f"queue backend: {enqueued} cell(s) enqueued in {self.queue_dir}, "
+            f"{self.num_workers} local worker(s)"
+        )
+
+        import multiprocessing
+
+        workers = [
+            multiprocessing.Process(
+                target=_local_worker_entry,
+                args=(self.queue_dir, self.poll_interval_s),
+                daemon=True,
+            )
+            for _ in range(self.num_workers)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            # Collect while the workers are still alive: a result file that
+            # exists but cannot be unpickled (torn write survivor, version-
+            # skewed worker) is quarantined by load(), and the cell must go
+            # back onto the queue for re-execution rather than abort the
+            # sweep after the whole grid already ran.
+            for _ in range(self.max_attempts):
+                self._wait_for_results(queue, cache, cells, keys)
+                executions, unreadable = self._collect(queue, cache, cells, keys)
+                if not unreadable:
+                    return executions
+                present = queue.present_keys()
+                for index in unreadable:
+                    queue.enqueue(cells[index], present=present)
+            raise QueueCellError(
+                f"{len(unreadable)} result(s) stayed unreadable after "
+                f"{self.max_attempts} collection round(s): "
+                + ", ".join(cells[i].label() for i in unreadable)
+            )
+        finally:
+            queue.signal_stop(run_id)
+            for worker in workers:
+                worker.join(timeout=30.0)
+                if worker.is_alive():  # pragma: no cover - last-resort cleanup
+                    worker.terminate()
+
+    def _wait_for_results(
+        self,
+        queue: WorkQueue,
+        cache: ResultCache,
+        cells: Sequence[SweepCell],
+        keys: Sequence[str],
+    ) -> None:
+        labels = {key: cell.label() for key, cell in zip(keys, cells)}
+        missing = set(keys)
+        while missing:
+            missing = {key for key in missing if not os.path.exists(cache.path(key))}
+            if not missing:
+                return
+            failed = [key for key in queue.failed_keys() if key in missing]
+            if failed:
+                details = []
+                for key in failed:
+                    failure = queue.read_failure(key)
+                    details.append(
+                        f"{failure.get('label') or labels[key]}: "
+                        f"{failure.get('error')} "
+                        f"(after {failure.get('attempts')} attempt(s))"
+                    )
+                raise QueueCellError(
+                    f"{len(failed)} sweep cell(s) exhausted their retry "
+                    "budget -- " + "; ".join(details)
+                )
+            queue.reclaim_stale(self.lease_timeout_s, self.max_attempts)
+            time.sleep(self.poll_interval_s)
+
+    def _collect(
+        self,
+        queue: WorkQueue,
+        cache: ResultCache,
+        cells: Sequence[SweepCell],
+        keys: Sequence[str],
+    ) -> tuple[list[CellExecution], list[int]]:
+        """Load every result; indexes whose entry was quarantined on load
+        (file existed, bytes unreadable) come back for re-execution."""
+        executions: list[CellExecution | None] = []
+        unreadable: list[int] = []
+        for index, key in enumerate(keys):
+            result = cache.load(key)
+            if result is None:
+                unreadable.append(index)
+                executions.append(None)
+                continue
+            meta = queue.read_meta(key) or {}
+            executions.append(CellExecution(
+                result=result,
+                # No telemetry record (worker died between result and meta
+                # writes) must read as "unmeasured" -- a fabricated 0.0
+                # would deflate the cell_time columns; NaN is filtered out.
+                runtime_s=float(meta.get("runtime_s", float("nan"))),
+                attempts=int(meta.get("attempt", 1)),
+                worker=meta.get("worker"),
+            ))
+        return executions, unreadable
+
+
+def make_executor(
+    backend: str,
+    parallel: int = 0,
+    queue_dir: str | None = None,
+    num_queue_workers: int = 1,
+    lease_timeout_s: float = 30.0,
+    max_attempts: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> SweepExecutor:
+    """Build the executor named by ``backend`` (the CLI's ``--backend``)."""
+    if backend == "inline":
+        return InlineExecutor()
+    if backend == "process":
+        # An explicit --parallel is honored exactly (1 = one cell at a
+        # time); only an unspecified count falls back to 2 so that asking
+        # for the process backend fans out at all.
+        return ProcessExecutor(max_workers=parallel if parallel >= 1 else 2)
+    if backend == "queue":
+        if queue_dir is None:
+            raise ValueError("the queue backend requires a queue directory")
+        return QueueExecutor(
+            queue_dir,
+            num_workers=num_queue_workers,
+            lease_timeout_s=lease_timeout_s,
+            max_attempts=max_attempts,
+            progress=progress,
+        )
+    raise ValueError(f"unknown sweep backend {backend!r}")

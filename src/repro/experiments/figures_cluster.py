@@ -8,13 +8,11 @@ EXPERIMENTS.md records paper-vs-measured shapes.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.algorithms.base import TrainerConfig
 from repro.experiments.common import ExperimentOutput, Series
 from repro.experiments.harness import (
     run_comparison,
-    run_trainer,
     run_trainer_jobs,
     time_to_loss_speedups,
 )

@@ -64,7 +64,10 @@ def _finalize(
         by_scenario.setdefault(scenario, []).append((algorithm, loss_mean, loss_std))
     winners = []
     for scenario in sorted(by_scenario):
-        entries = [(a, l, s) for a, l, s in by_scenario[scenario] if np.isfinite(l)]
+        entries = [
+            (algo, loss, std) for algo, loss, std in by_scenario[scenario]
+            if np.isfinite(loss)
+        ]
         if entries:
             best, loss, std = min(entries, key=lambda entry: entry[1])
             winners.append(f"{scenario}: {best} ({format_mean_std(loss, std)})")

@@ -8,7 +8,6 @@ Appendix G (multi-cloud training).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.algorithms.base import TrainerConfig
 from repro.datasets.partition import (

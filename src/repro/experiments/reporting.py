@@ -10,7 +10,29 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "format_seconds", "format_mean_std", "downsample_series"]
+__all__ = [
+    "render_table",
+    "format_seconds",
+    "format_mean_std",
+    "mean_std",
+    "downsample_series",
+]
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and standard deviation of a sample, NaN-safe and empty-safe.
+
+    The numeric backend of every ``*_mean``/``*_std`` column pair in the
+    sweep tables, including the per-cell wall-clock telemetry columns: an
+    empty sample (e.g. a fully cache-served group, which measured no fresh
+    executions) yields ``(nan, nan)`` so the renderer prints ``-`` rather
+    than a fabricated zero.
+    """
+    finite = [float(v) for v in values if np.isfinite(v)]
+    if not finite:
+        return float("nan"), float("nan")
+    array = np.asarray(finite)
+    return float(array.mean()), float(array.std())
 
 
 def render_table(

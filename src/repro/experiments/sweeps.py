@@ -6,19 +6,23 @@ of magnitude more. This module provides the scale-out layer:
 
 - :class:`SweepSpec` describes a grid declaratively (plain strings and
   numbers, so every cell is hashable and picklable);
-- :func:`run_sweep` executes the grid -- sequentially or across processes
-  via :class:`~concurrent.futures.ProcessPoolExecutor` -- with
+- :func:`run_sweep` executes the grid through a pluggable
+  :class:`~repro.experiments.executors.SweepExecutor` backend -- inline,
+  local process pool, or the multi-host file-queue broker -- with
   *deterministic per-cell seeding*: a cell's result is a pure function of
-  its spec, never of scheduling order or worker count, so parallel runs are
-  bit-identical to sequential ones;
-- :class:`ResultCache` stores finished cells on disk keyed by a hash of the
-  cell spec, so re-running a sweep only pays for cells that changed;
+  its spec, never of scheduling order, worker count, or backend, so every
+  backend is bit-identical to every other;
+- :class:`~repro.experiments.executors.ResultCache` (re-exported here)
+  stores finished cells on disk keyed by a hash of the cell spec, so
+  re-running a sweep only pays for cells that changed;
 - :func:`aggregate_sweep` folds cell results into the tabular form the
-  reporting helpers render.
+  reporting helpers render, including per-cell wall-clock telemetry.
 
-``parallel_map`` is also the execution backend for the harness's
-``run_comparison(..., parallel=N)`` and the figure functions' ``parallel``
-knob, so full artifact regeneration shares the same machinery.
+The execution backends themselves live in
+:mod:`repro.experiments.executors`; ``parallel_map`` (re-exported) is also
+the execution backend for the harness's ``run_comparison(..., parallel=N)``
+and the figure functions' ``parallel`` knob, so full artifact regeneration
+shares the same machinery.
 """
 
 from __future__ import annotations
@@ -26,17 +30,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import pickle
-import tempfile
 import time
-from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.algorithms.base import TrainerConfig
 from repro.experiments.common import ExperimentOutput
+from repro.experiments.executors import (
+    InlineExecutor,
+    ProcessExecutor,
+    ResultCache,
+    SweepExecutor,
+    parallel_map,
+)
+from repro.experiments.reporting import mean_std
 from repro.graph.topology import RANDOMIZED_TOPOLOGY_KINDS
 from repro.experiments.scenarios import (
     Scenario,
@@ -86,21 +94,6 @@ def _scenario_kinds() -> tuple[str, ...]:
 # import time for CLI choices -- families registered later are still valid in
 # ScenarioSpec, which consults the registry directly.
 SCENARIO_KINDS = _scenario_kinds()
-
-
-def parallel_map(fn: Callable, items: Sequence, parallel: int = 0) -> list:
-    """``[fn(x) for x in items]``, optionally fanned out across processes.
-
-    ``parallel <= 1`` runs in-process (no pool overhead, easiest to debug);
-    larger values use a :class:`ProcessPoolExecutor`. ``fn`` and every item
-    must be picklable for the parallel path. Result order always matches
-    input order, so both paths are interchangeable.
-    """
-    items = list(items)
-    if parallel <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(parallel, len(items))) as pool:
-        return list(pool.map(fn, items))
 
 
 # -- declarative grid specs ----------------------------------------------------
@@ -402,61 +395,8 @@ class CellOutcome:
     result: TrainingResult
     from_cache: bool
     runtime_s: float
-
-
-class ResultCache:
-    """Pickle-per-cell on-disk cache keyed by the cell's config hash.
-
-    Writes go through a temp file + :func:`os.replace`, so concurrent sweep
-    processes sharing a directory can never observe a half-written entry.
-    """
-
-    def __init__(self, directory: str):
-        self.directory = str(directory)
-        os.makedirs(self.directory, exist_ok=True)
-
-    def path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.pkl")
-
-    def load(self, key: str) -> TrainingResult | None:
-        try:
-            with open(self.path(key), "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except (pickle.UnpicklingError, EOFError, AttributeError):
-            # A corrupt or stale entry is treated as a miss, not an error.
-            return None
-
-    def store(self, key: str, result: TrainingResult) -> None:
-        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle)
-            os.replace(tmp_path, self.path(key))
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
-
-    def __len__(self) -> int:
-        return sum(1 for name in os.listdir(self.directory) if name.endswith(".pkl"))
-
-
-def _execute_cell(
-    payload: tuple[SweepCell, str | None],
-) -> tuple[TrainingResult, float]:
-    """Top-level worker function (must be picklable for the process pool).
-
-    The cache write happens here, per finished cell, so a sweep that dies
-    or is interrupted partway keeps every cell completed so far.
-    """
-    cell, cache_dir = payload
-    start = time.perf_counter()
-    result = cell.execute()
-    if cache_dir is not None:
-        ResultCache(cache_dir).store(cell.cache_key(), result)
-    return result, time.perf_counter() - start
+    attempts: int = 1
+    worker: str | None = None
 
 
 @dataclass
@@ -466,6 +406,7 @@ class SweepResult:
     spec: SweepSpec
     outcomes: list[CellOutcome]
     wall_time_s: float = 0.0
+    backend: str = "inline"
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -484,26 +425,46 @@ class SweepResult:
                 return outcome.result
         raise KeyError(f"cell {cell.label()} not part of this sweep")
 
+    def summary(self) -> dict:
+        """Machine-readable sweep summary (the ``--json-summary`` payload)."""
+        return {
+            "cells": len(self.outcomes),
+            "executed": self.cells_executed,
+            "cached": self.cells_from_cache,
+            "backend": self.backend,
+            "wall_s": round(self.wall_time_s, 3),
+        }
+
 
 def run_sweep(
     spec: SweepSpec,
     parallel: int = 0,
     cache_dir: str | None = None,
     force: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> SweepResult:
     """Execute every cell of the grid, reusing cached results where allowed.
 
     Args:
         spec: the declarative grid.
-        parallel: process count for cell execution (``<= 1`` = in-process).
-            Results are identical for any value -- cells are independently
-            seeded from their own spec.
+        parallel: process count for cell execution (``<= 1`` = in-process);
+            shorthand for ``executor=ProcessExecutor(parallel)``. Results
+            are identical for any value -- cells are independently seeded
+            from their own spec.
         cache_dir: directory for the on-disk result cache (``None`` disables
-            caching).
+            caching, except for the queue backend, which stores results in
+            its queue directory by default).
         force: execute every cell even if a cached result exists (fresh
             results still overwrite the cache entries).
+        executor: the execution backend (see
+            :mod:`repro.experiments.executors`); overrides ``parallel``.
+            All backends produce bit-identical outcomes.
     """
     start = time.perf_counter()
+    if executor is None:
+        executor = ProcessExecutor(parallel) if parallel > 1 else InlineExecutor()
+    if cache_dir is None:
+        cache_dir = executor.default_cache_dir()
     cells = spec.cells()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     outcomes: list[CellOutcome | None] = [None] * len(cells)
@@ -517,15 +478,34 @@ def run_sweep(
                 continue
         pending.append(index)
 
-    executed = parallel_map(
-        _execute_cell,
-        [(cells[i], cache_dir) for i in pending],
-        parallel,
-    )
-    for index, (result, runtime) in zip(pending, executed):
-        outcomes[index] = CellOutcome(cells[index], result, False, runtime)
+    if force and cache is not None:
+        # Evict the stale entries up front so *every* backend re-executes:
+        # the queue broker's workers (and its coordinator wait loop) treat
+        # an existing result file as "cell done", so forcing through that
+        # backend would otherwise serve the old results as fresh ones.
+        for index in pending:
+            try:
+                os.unlink(cache.path(cells[index].cache_key()))
+            except FileNotFoundError:
+                pass
 
-    return SweepResult(spec, outcomes, wall_time_s=time.perf_counter() - start)
+    executed = executor.run([cells[i] for i in pending], cache_dir)
+    for index, execution in zip(pending, executed):
+        outcomes[index] = CellOutcome(
+            cells[index],
+            execution.result,
+            False,
+            execution.runtime_s,
+            attempts=execution.attempts,
+            worker=execution.worker,
+        )
+
+    return SweepResult(
+        spec,
+        outcomes,
+        wall_time_s=time.perf_counter() - start,
+        backend=executor.name,
+    )
 
 
 # -- aggregation ---------------------------------------------------------------
@@ -539,21 +519,28 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
     figure sweeps expose seed spread rather than just point estimates. The
     aggregation is order-independent within each group (results arrive in
     grid order regardless of execution backend), so parallel, sequential,
-    and cache-served sweeps aggregate to identical numbers.
+    queue-brokered, and cache-served sweeps aggregate to identical numbers
+    -- except the trailing ``cell_time_*`` telemetry columns, which report
+    the measured wall clock of each group's freshly executed cells (NaN
+    when every cell came from cache).
     """
-    groups: dict[tuple[str, str], list[TrainingResult]] = {}
+    groups: dict[tuple[str, str], list[CellOutcome]] = {}
     for outcome in sweep.outcomes:
         key = (outcome.cell.algorithm, outcome.cell.scenario.label())
-        groups.setdefault(key, []).append(outcome.result)
+        groups.setdefault(key, []).append(outcome)
 
     rows: list[list[object]] = []
-    for (algorithm, scenario_label), results in groups.items():
+    for (algorithm, scenario_label), outcomes in groups.items():
+        results = [outcome.result for outcome in outcomes]
         losses = np.array([r.history.final_loss() for r in results])
         accuracies = np.array([r.history.best_accuracy() for r in results])
         epoch_times = np.array(
             [r.costs.summary()["epoch_time"] for r in results]
         )
         has_accuracy = bool(np.isfinite(accuracies).any())
+        cell_time_mean, cell_time_std = mean_std(
+            [o.runtime_s for o in outcomes if not o.from_cache]
+        )
         rows.append(
             [
                 algorithm,
@@ -565,6 +552,8 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
                 float(np.nanstd(accuracies)) if has_accuracy else float("nan"),
                 float(epoch_times.mean()),
                 float(epoch_times.std()),
+                cell_time_mean,
+                cell_time_std,
             ]
         )
     spec = sweep.spec
@@ -584,11 +573,14 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
             "best_acc_std",
             "epoch_time_mean",
             "epoch_time_std",
+            "cell_time_mean",
+            "cell_time_std",
         ],
         rows=rows,
         notes=(
             f"{sweep.cells_executed} cell(s) executed, "
             f"{sweep.cells_from_cache} from cache, "
-            f"{sweep.wall_time_s:.1f}s wall time."
+            f"{sweep.wall_time_s:.1f}s wall time "
+            f"({sweep.backend} backend)."
         ),
     )

@@ -8,7 +8,7 @@ tracks epoch progress -- the unit the paper's figures use on their x-axes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

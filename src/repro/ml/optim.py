@@ -12,7 +12,7 @@ worker replica carries its own velocity buffer, as a PyTorch optimizer would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

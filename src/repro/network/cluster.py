@@ -12,7 +12,7 @@ take Gbps for readability and convert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,7 +12,6 @@ accidental revert fails loudly instead of silently degrading results.
 import inspect
 
 import numpy as np
-import pytest
 
 from repro.algorithms.base import TrainerConfig
 from repro.algorithms.netmax import NetMaxTrainer

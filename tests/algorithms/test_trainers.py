@@ -10,14 +10,6 @@ import numpy as np
 import pytest
 
 from repro.algorithms import (
-    ADPSGDMonitorTrainer,
-    ADPSGDTrainer,
-    AllreduceTrainer,
-    NetMaxTrainer,
-    PragueTrainer,
-    PSAsynTrainer,
-    PSSynTrainer,
-    SAPSTrainer,
     TrainerConfig,
     create_trainer,
     trainer_names,

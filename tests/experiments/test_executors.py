@@ -1,0 +1,561 @@
+"""Failure-path and equivalence tests for the pluggable sweep executors.
+
+The file-queue broker's whole contract is exercised here: bit-identity with
+the inline/process backends through the shared cache, resume-only-missing,
+stale-lease reclaim (simulated *and* via a real SIGKILLed worker), retry
+exhaustion surfacing a clear error, and corrupt-result quarantine.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.executors import (
+    InlineExecutor,
+    ProcessExecutor,
+    QueueExecutor,
+    ResultCache,
+    WorkQueue,
+    make_executor,
+    parallel_map,
+    run_queue_worker,
+)
+from repro.experiments.executors import QueueCellError
+from repro.experiments.sweeps import (
+    RunSpec,
+    aggregate_sweep,
+    run_sweep,
+)
+# Same-directory import (pytest prepend mode; the test tree is not a
+# package): the sweep tests own the tiny-spec helpers.
+from test_sweeps import (
+    assert_results_identical,
+    metric_rows,
+    tiny_spec,
+)
+
+# Fast poll/reclaim settings so the failure paths run in test time.
+FAST = dict(lease_timeout_s=5.0, poll_interval_s=0.02)
+
+
+def queue_executor(tmp_path, **overrides) -> QueueExecutor:
+    options = dict(FAST, num_workers=1)
+    options.update(overrides)
+    return QueueExecutor(str(tmp_path / "queue"), **options)
+
+
+class TestMakeExecutor:
+    def test_backend_names(self):
+        assert make_executor("inline").name == "inline"
+        assert make_executor("process", parallel=3).name == "process"
+        queue = make_executor("queue", queue_dir="/tmp/q", num_queue_workers=2)
+        assert queue.name == "queue"
+        assert queue.num_workers == 2
+
+    def test_queue_requires_directory(self):
+        with pytest.raises(ValueError, match="queue directory"):
+            make_executor("queue")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            make_executor("slurm")
+
+    def test_explicit_parallel_one_is_honored(self):
+        """--backend process --parallel 1 must not silently fan out to 2
+        workers (memory-capped hosts rely on the exact count)."""
+        assert make_executor("process", parallel=1).max_workers == 1
+        assert make_executor("process", parallel=4).max_workers == 4
+        assert make_executor("process").max_workers == 2  # unspecified
+
+    def test_invalid_queue_settings_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            QueueExecutor("/tmp/q", num_workers=-1)
+        with pytest.raises(ValueError, match="lease_timeout_s"):
+            QueueExecutor("/tmp/q", lease_timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            QueueExecutor("/tmp/q", max_attempts=0)
+
+
+class TestBackendEquivalence:
+    """queue == process == inline, bit for bit (the tentpole criterion)."""
+
+    def test_all_backends_bit_identical(self, tmp_path):
+        spec = tiny_spec()
+        inline = run_sweep(spec, executor=InlineExecutor())
+        process = run_sweep(spec, executor=ProcessExecutor(2))
+        queued = run_sweep(spec, executor=queue_executor(tmp_path, num_workers=2))
+        assert inline.backend == "inline"
+        assert process.backend == "process"
+        assert queued.backend == "queue"
+        assert queued.cells_executed == len(spec.cells())
+        for a, b, c in zip(inline.outcomes, process.outcomes, queued.outcomes):
+            assert a.cell == b.cell == c.cell
+            assert_results_identical(a.result, b.result)
+            assert_results_identical(a.result, c.result)
+        assert (
+            metric_rows(aggregate_sweep(inline))
+            == metric_rows(aggregate_sweep(process))
+            == metric_rows(aggregate_sweep(queued))
+        )
+
+    def test_queue_results_land_in_shared_cache(self, tmp_path):
+        """An explicit --cache-dir is honored, so a later inline run over
+        the same grid is served entirely from the queue run's results."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        cache_dir = str(tmp_path / "cache")
+        queued = run_sweep(
+            spec, cache_dir=cache_dir, executor=queue_executor(tmp_path)
+        )
+        followup = run_sweep(spec, cache_dir=cache_dir)
+        assert followup.cells_from_cache == 1
+        assert_results_identical(
+            queued.outcomes[0].result, followup.outcomes[0].result
+        )
+
+    def test_queue_telemetry_recorded(self, tmp_path):
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        queued = run_sweep(spec, executor=queue_executor(tmp_path))
+        outcome = queued.outcomes[0]
+        assert outcome.runtime_s > 0.0
+        assert outcome.attempts == 1
+        assert outcome.worker  # hostname-pid of whichever worker ran it
+        meta = WorkQueue(str(tmp_path / "queue")).read_meta(
+            outcome.cell.cache_key()
+        )
+        assert meta["label"] == outcome.cell.label()
+        assert meta["runtime_s"] == outcome.runtime_s
+
+
+class TestForce:
+    def test_force_reexecutes_through_queue_backend(self, tmp_path):
+        """force=True must re-execute through *every* backend: the queue
+        broker treats an existing result file as "done", so the stale entry
+        is evicted up front (regression: force used to be a silent no-op
+        here, serving old results labeled as freshly executed)."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        first = run_sweep(spec, executor=queue_executor(tmp_path))
+        results_dir = str(tmp_path / "queue" / "results")
+        result_path = ResultCache(results_dir).path(cell.cache_key())
+        stamp_before = os.stat(result_path).st_mtime_ns
+
+        forced = run_sweep(
+            spec, executor=queue_executor(tmp_path), force=True
+        )
+        assert forced.cells_executed == 1
+        assert forced.cells_from_cache == 0
+        assert os.stat(result_path).st_mtime_ns > stamp_before
+        assert_results_identical(first.outcomes[0].result,
+                                 forced.outcomes[0].result)
+
+
+class TestQueueResume:
+    def test_restarted_sweep_executes_only_missing_cells(self, tmp_path):
+        spec = tiny_spec()
+        first = run_sweep(spec, executor=queue_executor(tmp_path, num_workers=2))
+        assert first.cells_executed == 4
+
+        results_dir = str(tmp_path / "queue" / "results")
+        victim = first.outcomes[2].cell.cache_key()
+        os.unlink(ResultCache(results_dir).path(victim))
+
+        resumed = run_sweep(spec, executor=queue_executor(tmp_path))
+        assert resumed.cells_executed == 1
+        assert resumed.cells_from_cache == 3
+        for a, b in zip(first.outcomes, resumed.outcomes):
+            assert_results_identical(a.result, b.result)
+
+
+class TestStaleLeaseReclaim:
+    def test_reclaim_simulated_dead_worker(self, tmp_path):
+        """A lease whose heartbeat went stale returns to the task pool with
+        the attempt counter bumped, and the cell still executes."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue = WorkQueue(str(tmp_path / "queue"))
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3,
+            lease_timeout_s=0.2,
+            run_id="test-run",
+        )
+        assert queue.enqueue(cell)
+        claim = queue.claim()  # "worker" claims, then dies: no heartbeat
+        assert claim is not None and queue.pending_tasks() == []
+
+        time.sleep(0.3)  # let the lease go stale
+        assert queue.reclaim_stale(lease_timeout_s=0.2, max_attempts=3) == 1
+        (task,) = queue.pending_tasks()
+        assert task.key == cell.cache_key()
+        assert task.attempt == 2  # the dead worker spent one attempt
+        assert queue.active_leases() == []
+
+        summary = run_queue_worker(
+            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.2
+        )
+        assert summary.executed == 1
+        result = ResultCache(queue.default_results_dir()).load(cell.cache_key())
+        assert_results_identical(result, cell.execute())
+
+    def test_reclaim_on_final_attempt_fails_terminally(self, tmp_path):
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue = WorkQueue(str(tmp_path / "queue"))
+        assert queue.enqueue(cell, attempt=3)
+        assert queue.claim() is not None
+        time.sleep(0.3)
+        assert queue.reclaim_stale(lease_timeout_s=0.2, max_attempts=3) == 1
+        assert queue.pending_tasks() == []
+        failure = queue.read_failure(cell.cache_key())
+        assert "presumed dead" in failure["error"]
+        assert failure["attempts"] == 3
+
+    def test_sigkilled_worker_is_reclaimed_end_to_end(self, tmp_path):
+        """The real thing: a worker process is SIGKILLed mid-cell; the
+        coordinator-side reclaim makes the cell claimable again and a second
+        worker finishes it, bit-identically to a fresh execution."""
+        spec = tiny_spec(
+            algorithms=("adpsgd",),
+            seeds=(0,),
+            run=RunSpec(max_sim_time=600.0, eval_interval_s=60.0),
+        )
+        (cell,) = spec.cells()
+        queue_dir = str(tmp_path / "queue")
+        queue = WorkQueue(queue_dir)
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3,
+            lease_timeout_s=0.5,
+            run_id="test-run",
+        )
+        assert queue.enqueue(cell)
+
+        worker = multiprocessing.Process(
+            target=run_queue_worker, args=(queue_dir,), daemon=True
+        )
+        worker.start()
+        deadline = time.monotonic() + 60.0
+        while not queue.active_leases() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert queue.active_leases(), "worker never claimed the cell"
+        worker.kill()  # SIGKILL: no cleanup, the lease heartbeat just stops
+        worker.join(timeout=30.0)
+        cache = ResultCache(queue.default_results_dir())
+        assert cache.load(cell.cache_key()) is None, (
+            "cell finished before the kill; make the cell slower"
+        )
+
+        time.sleep(0.7)  # heartbeat is dead, let the lease age past timeout
+        assert queue.reclaim_stale(lease_timeout_s=0.5, max_attempts=3) == 1
+        summary = run_queue_worker(
+            queue_dir, poll_interval_s=0.02, drain_timeout_s=0.2
+        )
+        assert summary.executed == 1
+        assert_results_identical(cache.load(cell.cache_key()), cell.execute())
+
+    def test_reclaim_resets_the_drain_timer(self, tmp_path):
+        """A worker that reclaims a dead peer's lease must stay to execute
+        it rather than draining out on an already-expired idle timer
+        (regression: reclaim-then-exit used to strand the requeued task)."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue = WorkQueue(str(tmp_path / "queue"))
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3,
+            lease_timeout_s=0.2,
+            run_id="test-run",
+        )
+        queue.enqueue(cell)
+        claim = queue.claim()  # dead peer: claims, then never heartbeats
+        stale = time.time() - 10.0
+        os.utime(claim.lease_path, (stale, stale))
+
+        # drain_timeout_s=0.0: any idle check fires instantly, so the only
+        # way this worker executes the cell is the reclaim resetting the
+        # idle timer before the drain check runs.
+        summary = run_queue_worker(
+            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.0
+        )
+        assert summary.reclaimed == 1
+        assert summary.executed == 1
+        result = ResultCache(queue.default_results_dir()).load(cell.cache_key())
+        assert result is not None
+
+    def test_heartbeat_keeps_slow_cells_alive(self, tmp_path):
+        """A lease timeout shorter than the cell runtime must NOT cause
+        spurious retries: the executing worker's heartbeat keeps renewing
+        the lease, so the cell completes on attempt 1."""
+        spec = tiny_spec(
+            algorithms=("adpsgd",),
+            seeds=(0,),
+            run=RunSpec(max_sim_time=300.0, eval_interval_s=60.0),
+        )
+        queued = run_sweep(
+            spec,
+            executor=queue_executor(tmp_path, lease_timeout_s=0.3),
+        )
+        assert queued.outcomes[0].attempts == 1
+
+
+class TestRetryExhaustion:
+    def test_exhausted_budget_surfaces_clear_error(self, tmp_path):
+        """A cell that fails every attempt fails the sweep with the cell
+        label, the attempt count, and the underlying error text."""
+        spec = tiny_spec(algorithms=("nonexistent",), seeds=(0,))
+        with pytest.raises(QueueCellError) as error:
+            run_sweep(
+                spec, executor=queue_executor(tmp_path, max_attempts=2)
+            )
+        message = str(error.value)
+        assert "nonexistent/s0" in message
+        assert "unknown algorithm" in message
+        assert "2 attempt(s)" in message
+        failure = WorkQueue(str(tmp_path / "queue")).read_failure(
+            spec.cells()[0].cache_key()
+        )
+        assert failure["attempts"] == 2
+
+    def test_rerun_after_failure_retries_the_cell(self, tmp_path):
+        """A restarted sweep clears its cells' terminal-failure records, so
+        a fixed environment can finish a previously failing grid."""
+        bad = tiny_spec(algorithms=("nonexistent",), seeds=(0,))
+        executor = queue_executor(tmp_path, max_attempts=1)
+        with pytest.raises(QueueCellError):
+            run_sweep(bad, executor=executor)
+        # The retry of the same grid fails again (the algorithm is still
+        # unknown) -- but it *re-attempts* rather than replaying the stale
+        # failure record instantly.
+        with pytest.raises(QueueCellError, match="unknown algorithm"):
+            run_sweep(bad, executor=queue_executor(tmp_path, max_attempts=1))
+
+    def test_good_cells_complete_despite_failing_sibling(self, tmp_path):
+        """The failure is per-cell: completed siblings stay in the cache, so
+        only the bad cell is missing afterwards."""
+        spec = tiny_spec(algorithms=("adpsgd", "nonexistent"), seeds=(0,))
+        cells = spec.cells()
+        with pytest.raises(QueueCellError):
+            run_sweep(spec, executor=queue_executor(tmp_path, max_attempts=1))
+        cache = ResultCache(str(tmp_path / "queue" / "results"))
+        good = [c for c in cells if c.algorithm == "adpsgd"]
+        assert all(cache.load(c.cache_key()) is not None for c in good)
+
+
+class TestQuarantine:
+    def corrupt(self, cache: ResultCache, key: str) -> None:
+        with open(cache.path(key), "wb") as handle:
+            handle.write(b"\x80\x04 definitely not a result pickle")
+
+    def test_corrupt_entry_quarantined_and_reexecuted(self, tmp_path):
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        cache_dir = str(tmp_path / "cache")
+        first = run_sweep(spec, cache_dir=cache_dir)
+        key = spec.cells()[0].cache_key()
+        cache = ResultCache(cache_dir)
+        self.corrupt(cache, key)
+
+        again = run_sweep(spec, cache_dir=cache_dir)
+        assert again.cells_executed == 1 and again.cells_from_cache == 0
+        assert_results_identical(first.outcomes[0].result,
+                                 again.outcomes[0].result)
+        quarantined = os.listdir(cache.quarantine_dir())
+        assert len(quarantined) == 1 and quarantined[0].startswith(key)
+        # The re-executed (clean) entry serves the next run from cache.
+        assert run_sweep(spec, cache_dir=cache_dir).cells_from_cache == 1
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        cache_dir = str(tmp_path / "cache")
+        run_sweep(spec, cache_dir=cache_dir)
+        key = spec.cells()[0].cache_key()
+        cache = ResultCache(cache_dir)
+        with open(cache.path(key), "r+b") as handle:  # truncate mid-pickle
+            handle.truncate(64)
+        assert cache.load(key) is None
+        assert os.listdir(cache.quarantine_dir())
+        assert not os.path.exists(cache.path(key))
+
+    def test_quarantine_through_the_queue_backend(self, tmp_path):
+        """A corrupt result in the queue's results store is quarantined by
+        the restarted coordinator and the cell re-executes."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0, 1))
+        first = run_sweep(spec, executor=queue_executor(tmp_path))
+        results_dir = str(tmp_path / "queue" / "results")
+        cache = ResultCache(results_dir)
+        key = spec.cells()[1].cache_key()
+        self.corrupt(cache, key)
+
+        resumed = run_sweep(spec, executor=queue_executor(tmp_path))
+        assert resumed.cells_executed == 1
+        assert resumed.cells_from_cache == 1
+        for a, b in zip(first.outcomes, resumed.outcomes):
+            assert_results_identical(a.result, b.result)
+        assert os.listdir(cache.quarantine_dir())
+
+
+class TestWorkQueuePrimitives:
+    def test_claim_is_exclusive(self, tmp_path):
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue = WorkQueue(str(tmp_path / "queue"))
+        assert queue.enqueue(cell)
+        assert not queue.enqueue(cell)  # already queued: dedup
+        assert queue.claim() is not None
+        assert queue.claim() is None  # second claimant loses
+        assert not queue.enqueue(cell)  # leased: still dedup
+
+    def test_unreadable_task_spec_fails_terminally_not_the_worker(self, tmp_path):
+        """Garbage bytes in tasks/ must become a failed/ record -- never an
+        uncaught exception that serially crashes the worker fleet."""
+        queue = WorkQueue(str(tmp_path / "queue"))
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3, lease_timeout_s=30.0, run_id="test-run",
+        )
+        bad = os.path.join(queue.tasks_dir, "deadbeef" * 8 + ".a1.task")
+        with open(bad, "wb") as handle:
+            handle.write(b"\x80\x04 not a sweep cell")
+        summary = run_queue_worker(
+            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.2
+        )
+        assert summary.executed == 0
+        failure = queue.read_failure("deadbeef" * 8)
+        assert "unreadable task spec" in failure["error"]
+        assert queue.pending_tasks() == [] and queue.active_leases() == []
+
+    def test_collect_reports_unreadable_results_for_reexecution(self, tmp_path):
+        """An exists-but-unreadable result at collection time is returned
+        as re-executable, not raised as a hard error (the coordinator
+        re-enqueues those cells while its workers are still alive)."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0, 1))
+        cells = spec.cells()
+        keys = [cell.cache_key() for cell in cells]
+        executor = queue_executor(tmp_path)
+        run_sweep(spec, executor=executor)
+        queue = WorkQueue(str(tmp_path / "queue"))
+        cache = ResultCache(queue.default_results_dir())
+        with open(cache.path(keys[1]), "wb") as handle:
+            handle.write(b"\x80\x04 torn result bytes")
+        executions, unreadable = executor._collect(queue, cache, cells, keys)
+        assert unreadable == [1]
+        assert executions[0] is not None and executions[1] is None
+        # load() quarantined the torn entry, so the waiting loop's
+        # exists() check now sees the cell as missing -> re-executed.
+        assert not os.path.exists(cache.path(keys[1]))
+
+    def test_worker_skips_already_completed_cells(self, tmp_path):
+        """A cell whose result landed between enqueue and claim is released
+        without re-execution (the kill-resume fast path)."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue = WorkQueue(str(tmp_path / "queue"))
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3,
+            lease_timeout_s=30.0,
+            run_id="test-run",
+        )
+        ResultCache(queue.default_results_dir()).store(
+            cell.cache_key(), cell.execute()
+        )
+        queue.enqueue(cell)
+        summary = run_queue_worker(
+            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.2
+        )
+        assert summary.executed == 0
+        assert summary.skipped == 1
+
+    def test_worker_without_config_drains_out(self, tmp_path):
+        summary = run_queue_worker(
+            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.1
+        )
+        assert summary.executed == 0
+
+    def test_stop_marker_ends_workers_immediately(self, tmp_path):
+        """A STOP that *appears during the worker's lifetime* ends it long
+        before the drain timeout (the local-worker shutdown path)."""
+        import threading
+
+        queue = WorkQueue(str(tmp_path / "queue"))
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3, lease_timeout_s=30.0, run_id="test-run",
+        )
+        timer = threading.Timer(0.3, queue.signal_stop, args=("test-run",))
+        timer.start()
+        start = time.monotonic()
+        try:
+            summary = run_queue_worker(
+                str(tmp_path / "queue"), poll_interval_s=0.02,
+                drain_timeout_s=30.0,
+            )
+        finally:
+            timer.cancel()
+        assert summary.executed == 0
+        assert time.monotonic() - start < 5.0
+
+    def test_stale_stop_marker_from_previous_sweep_is_ignored(self, tmp_path):
+        """A reused queue directory keeps the previous sweep's STOP marker;
+        a worker joining the *next* sweep generation must work through the
+        queue rather than exiting on the stale marker (regression: workers
+        that raced ahead of the coordinator used to quit instantly)."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue = WorkQueue(str(tmp_path / "queue"))
+        queue.signal_stop("previous-run")  # leftover from an earlier sweep
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3, lease_timeout_s=30.0, run_id="next-run",
+        )
+        queue.enqueue(cell)
+        summary = run_queue_worker(
+            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.2
+        )
+        assert summary.executed == 1
+        # ...while the marker API reports the generation it stops.
+        queue.signal_stop("next-run")
+        assert queue.stop_marker_id() == "next-run"
+
+    def test_coordinator_restart_clears_previous_stop(self, tmp_path):
+        """End to end on a reused queue dir: the second sweep (new run_id)
+        completes with local workers despite the first sweep's STOP."""
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        first = run_sweep(spec, executor=queue_executor(tmp_path))
+        assert os.path.exists(WorkQueue(str(tmp_path / "queue")).stop_path)
+        more = tiny_spec(algorithms=("adpsgd",), seeds=(1,))
+        second = run_sweep(more, executor=queue_executor(tmp_path))
+        assert second.cells_executed == 1
+        assert_results_identical(
+            second.outcomes[0].result, more.cells()[0].execute()
+        )
+        assert first.outcomes[0].cell != second.outcomes[0].cell
+
+
+class TestProgressWiring:
+    def test_queue_progress_messages(self, tmp_path):
+        messages = []
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        executor = queue_executor(tmp_path, progress=messages.append)
+        run_sweep(spec, executor=executor)
+        assert any("enqueued" in message for message in messages)
+
+
+def test_parallel_map_reexported():
+    """Harness + figures import parallel_map from sweeps; it must keep
+    working from both homes after the executor split."""
+    from repro.experiments.sweeps import parallel_map as from_sweeps
+
+    assert from_sweeps is parallel_map
+    assert parallel_map(str, [1, 2], parallel=0) == ["1", "2"]
+
+
+def test_cell_time_columns_share_the_nan_renderer():
+    """A NaN telemetry column renders '-' like every other NaN metric."""
+    sweep = run_sweep(tiny_spec(algorithms=("adpsgd",), seeds=(0,)))
+    output = aggregate_sweep(sweep)
+    rendered = output.render()
+    assert "cell_time_mean" in rendered
+    assert np.isfinite(output.rows[0][9])

@@ -8,17 +8,23 @@ import json
 
 from repro.experiments.sweeps import (
     CACHE_VERSION,
-    CellOutcome,
     ResultCache,
     RunSpec,
     ScenarioSpec,
-    SweepCell,
     SweepSpec,
     WorkloadSpec,
     aggregate_sweep,
     parallel_map,
     run_sweep,
 )
+
+# The trailing cell_time_* columns are measured wall clock -- everything
+# before them is deterministic, so backend/cache comparisons slice them off.
+METRIC_COLUMNS = 9
+
+
+def metric_rows(output):
+    return [row[:METRIC_COLUMNS] for row in output.rows]
 
 
 def tiny_spec(**overrides) -> SweepSpec:
@@ -183,8 +189,8 @@ class TestAggregate:
         par = aggregate_sweep(run_sweep(tiny_spec(), parallel=2))
         run_sweep(tiny_spec(), cache_dir=str(tmp_path))  # populate the cache
         cached = aggregate_sweep(run_sweep(tiny_spec(), cache_dir=str(tmp_path)))
-        assert seq.rows == par.rows
-        assert seq.rows == cached.rows
+        assert metric_rows(seq) == metric_rows(par)
+        assert metric_rows(seq) == metric_rows(cached)
 
 
 class TestVarianceBands:
@@ -197,11 +203,22 @@ class TestVarianceBands:
             "final_loss_mean", "final_loss_std",
             "best_acc_mean", "best_acc_std",
             "epoch_time_mean", "epoch_time_std",
+            "cell_time_mean", "cell_time_std",
         ]
         for row in output.rows:
             loss_std, acc_std, epoch_std = row[4], row[6], row[8]
             assert loss_std >= 0.0 and epoch_std >= 0.0
             assert np.isnan(acc_std) or acc_std >= 0.0
+
+    def test_cell_time_telemetry_columns(self, tmp_path):
+        """Executed groups report their measured wall clock; fully
+        cache-served groups have no fresh measurement and render NaN."""
+        fresh = aggregate_sweep(run_sweep(tiny_spec(), cache_dir=str(tmp_path)))
+        for row in fresh.rows:
+            assert row[9] > 0.0 and row[10] >= 0.0
+        cached = aggregate_sweep(run_sweep(tiny_spec(), cache_dir=str(tmp_path)))
+        for row in cached.rows:
+            assert np.isnan(row[9]) and np.isnan(row[10])
 
     def test_std_measures_across_seed_spread(self):
         """Two seeds with different outcomes yield a positive loss std; a

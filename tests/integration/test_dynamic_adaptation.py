@@ -7,11 +7,9 @@ pushes the link's probability down to its floor; SAPS keeps gossiping over
 it forever (worker 1's only subgraph neighbor is worker 0).
 """
 
-import numpy as np
 import pytest
 
 from repro import Scenario, Topology, TrainerConfig
-from repro.algorithms.netmax import NetMaxTrainer
 from repro.experiments import make_workload, run_trainer
 from repro.network.cluster import ClusterSpec
 from repro.network.links import TraceLinks

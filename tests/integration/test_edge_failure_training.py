@@ -195,7 +195,6 @@ class TestMonitorReplanning:
         trainer.monitor.tick = recording_tick
         trainer.run()
         assert published, "monitor never published"
-        schedule = scenario.topology.schedule
         flip_times = set(scenario.topology.flip_times())
         solve_times = {time for time, _ in published}
         assert flip_times & solve_times, (

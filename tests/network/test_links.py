@@ -291,7 +291,7 @@ class TestRecordLinkTrace:
         links = DynamicSlowdownLinks(make_static(), period_s=10.0, seed=3)
         trainer = _TrainerShim(links, now=60.0)
         path = tmp_path / "trace.json"
-        payload = record_link_trace(trainer, step_s=2.0, path=str(path))
+        record_link_trace(trainer, step_s=2.0, path=str(path))
         replayed = TraceLinks.from_json(str(path))
         assert replayed.num_workers == links.num_workers
         for t in np.arange(0.0, 60.0, 2.0):
