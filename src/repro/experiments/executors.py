@@ -266,6 +266,8 @@ def _worker_id() -> str:
 
 def _file_age_s(path: str) -> float | None:
     try:
+        # repro-lint: allow[RPL020] -- lease/heartbeat age telemetry compared
+        # against on-disk mtimes; broker liveness, never a simulation input
         return time.time() - os.path.getmtime(path)
     except OSError:
         return None
@@ -544,7 +546,11 @@ class WorkQueue:
                 try:
                     with open(lease_path, "rb") as handle:
                         label = pickle.load(handle).label()
-                except Exception:
+                except (OSError, pickle.UnpicklingError, EOFError,
+                        AttributeError, ImportError, IndexError):
+                    # The torn-bytes error surface ResultCache.load guards
+                    # against, plus the lease file vanishing mid-read; the
+                    # failure record still identifies the cell by key.
                     label = None
                 self._record_failure(
                     name,
@@ -809,6 +815,8 @@ class QueueExecutor(SweepExecutor):
         queue = WorkQueue(self.queue_dir)
         queue.clear_stop()
         cache = ResultCache(cache_dir)
+        # repro-lint: allow[RPL020] -- broker run identity (stop markers must
+        # not collide across coordinator generations), not a simulation input
         run_id = uuid.uuid4().hex
         queue.write_config(
             cache_dir=cache_dir,

@@ -83,7 +83,11 @@ __all__ = [
 # NetMax monitor now solves Algorithm 3 through the signature-keyed policy
 # cache on *quantized* time matrices (netmax/adpsgd-monitor numerics can
 # shift at the quantization level), so v3 entries must never be reused.
-CACHE_VERSION = 4
+# Version 5: model-parameter initialization moved from the collision-prone
+# `default_rng(seed + 1)` to the named `[seed, _MODEL_INIT_STREAM]` stream
+# (repro-lint RPL004), shifting every workload's initial parameters, so v4
+# entries must never be reused.
+CACHE_VERSION = 5
 
 
 def _scenario_kinds() -> tuple[str, ...]:
@@ -150,9 +154,14 @@ class ScenarioSpec:
     def has_dynamic_edges(self) -> bool:
         """Whether built scenarios carry a time-varying topology.
 
-        After canonicalization ``edge_failures`` survives in ``params`` iff
-        it is non-zero, so this is a pure spec-level query (no build)."""
-        return any(key == "edge_failures" and value for key, value in self.params)
+        After canonicalization ``edge_failures`` (the seeded random process)
+        and ``edge_events`` (a deterministic script) survive in ``params``
+        iff they are non-zero/non-empty, so this is a pure spec-level query
+        (no build)."""
+        return any(
+            key in ("edge_failures", "edge_events") and value
+            for key, value in self.params
+        )
 
     def build(self, seed: int) -> Scenario:
         return build_scenario(

@@ -46,7 +46,9 @@ class Topology:
     adjacency matrix, which is validated for symmetry and absent self-loops.
     """
 
-    def __init__(self, adjacency: np.ndarray):
+    _edge_signature: bytes | None = None
+
+    def __init__(self, adjacency: np.ndarray) -> None:
         adjacency = np.asarray(adjacency)
         if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
             raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
@@ -332,13 +334,11 @@ class Topology:
 
     def edge_signature(self) -> bytes:
         """Signature of this frozen edge set (see :meth:`edge_signature_at`)."""
-        signature = getattr(self, "_edge_signature", None)
-        if signature is None:
-            signature = hashlib.sha256(
+        if self._edge_signature is None:
+            self._edge_signature = hashlib.sha256(
                 np.packbits(self._adjacency).tobytes()
             ).digest()[:16]
-            self._edge_signature = signature
-        return signature
+        return self._edge_signature
 
     def flip_times(self) -> tuple[float, ...]:
         """Times at which the live edge set changes (static graphs: none)."""
@@ -417,15 +417,19 @@ class EdgeSchedule:
             edge set) enforces it at construction.
     """
 
-    def __init__(self, num_workers: int, events, require_connected: bool = True):
+    def __init__(
+        self,
+        num_workers: int,
+        events: Iterable[EdgeFlipEvent | tuple[float, int, int, str]],
+        require_connected: bool = True,
+    ) -> None:
         if num_workers < 2:
             raise ValueError("need at least 2 workers")
-        normalized = []
-        for event in events:
-            if not isinstance(event, EdgeFlipEvent):
-                event = EdgeFlipEvent(
-                    float(event[0]), int(event[1]), int(event[2]), str(event[3])
-                )
+        normalized: list[EdgeFlipEvent] = []
+        for item in events:
+            event = item if isinstance(item, EdgeFlipEvent) else EdgeFlipEvent(
+                float(item[0]), int(item[1]), int(item[2]), str(item[3])
+            )
             if not (0 <= event.a < num_workers and 0 <= event.b < num_workers):
                 raise ValueError(
                     f"edge ({event.a}, {event.b}) out of range for M={num_workers}"
@@ -460,6 +464,67 @@ class EdgeSchedule:
     # -- constructors ----------------------------------------------------------
 
     @classmethod
+    def from_events(
+        cls,
+        num_workers: int,
+        events: Iterable[EdgeFlipEvent | tuple[float, int, int, str]],
+        require_connected: bool = True,
+    ) -> "EdgeSchedule":
+        """Explicit deterministic script (the named mirror of
+        :meth:`ChurnSchedule.from_events`): any iterable of
+        :class:`EdgeFlipEvent` or ``(time, a, b, kind)`` tuples."""
+        return cls(num_workers, events, require_connected=require_connected)
+
+    @classmethod
+    def from_string(
+        cls, num_workers: int, spec: str, require_connected: bool = True
+    ) -> "EdgeSchedule":
+        """Parse the compact scenario-parameter grammar.
+
+        ``spec`` is ``;``-separated episodes ``A-B@FAIL:REPAIR`` (or
+        ``A-B@FAIL`` for an edge that never recovers): the undirected edge
+        ``(A, B)`` fails at time ``FAIL`` and is repaired at ``REPAIR``.
+        Example: ``"0-1@2:4;1-2@5:7.5"``. The separators avoid ``,`` so a
+        spec survives the CLI's ``--scenario-param key=v1,v2`` value-grid
+        splitting as one value.
+        """
+        events: list[EdgeFlipEvent] = []
+        for episode in spec.split(";"):
+            episode = episode.strip()
+            if not episode:
+                continue
+            edge_part, at, times_part = episode.partition("@")
+            a_part, dash, b_part = edge_part.partition("-")
+            if not at or not dash:
+                raise ValueError(
+                    f"bad edge_events episode {episode!r}; expected "
+                    "'A-B@FAIL[:REPAIR]', e.g. '0-1@2:4'"
+                )
+            try:
+                a, b = int(a_part), int(b_part)
+                fail_at, colon, repair_part = times_part.partition(":")
+                fail = float(fail_at)
+                repair = float(repair_part) if colon else None
+            except ValueError as error:
+                raise ValueError(
+                    f"bad edge_events episode {episode!r}: {error}"
+                ) from error
+            events.append(EdgeFlipEvent(fail, a, b, FAIL))
+            if repair is not None:
+                if repair <= fail:
+                    raise ValueError(
+                        f"edge_events episode {episode!r}: repair time "
+                        f"{repair} must be after the failure at {fail}"
+                    )
+                events.append(EdgeFlipEvent(repair, a, b, REPAIR))
+        if not events:
+            raise ValueError(
+                f"edge_events spec {spec!r} contains no episodes; expected "
+                "';'-separated 'A-B@FAIL[:REPAIR]' entries"
+            )
+        return cls(num_workers, events, require_connected=require_connected)
+
+    @classmethod
     def single(
         cls,
         num_workers: int,
@@ -470,7 +535,7 @@ class EdgeSchedule:
     ) -> "EdgeSchedule":
         """One edge failing (and optionally recovering) -- the unit scenario."""
         a, b = edge
-        events = [EdgeFlipEvent(fail_at, a, b, FAIL)]
+        events: list[EdgeFlipEvent] = [EdgeFlipEvent(fail_at, a, b, FAIL)]
         if repair_at is not None:
             if repair_at <= fail_at:
                 raise ValueError("repair_at must be after fail_at")
@@ -500,7 +565,7 @@ class EdgeSchedule:
         if not 0.0 < duty < 1.0:
             raise ValueError(f"duty must be in (0, 1), got {duty}")
         a, b = edge
-        events = []
+        events: list[EdgeFlipEvent] = []
         cycle = 0
         while True:
             fail_at = cycle * period_s + duty * period_s
@@ -556,7 +621,7 @@ class EdgeSchedule:
                 "connected"
             )
         rng = np.random.default_rng([seed, _EDGE_FLIP_STREAM])
-        events = []
+        events: list[EdgeFlipEvent] = []
         for index in range(num_failures):
             a, b = failable[int(rng.integers(len(failable)))]
             lo = index * window
@@ -631,7 +696,7 @@ class DynamicTopology(Topology):
     graph is validated to satisfy Assumption 1 at construction time.
     """
 
-    def __init__(self, base: Topology, schedule: EdgeSchedule):
+    def __init__(self, base: Topology, schedule: EdgeSchedule) -> None:
         if schedule.num_workers != base.num_workers:
             raise ValueError(
                 f"schedule is for {schedule.num_workers} workers but the base "
@@ -651,7 +716,7 @@ class DynamicTopology(Topology):
         for event in schedule.events:
             if event.time != starts[-1]:
                 starts.append(event.time)
-        segments = []
+        segments: list[Topology] = []
         for start in starts:
             adjacency = np.array(base.adjacency)
             for a, b in schedule.down_edges_at(start):
@@ -806,6 +871,39 @@ def validate_edge_failure_request(
         raise ValueError(
             f"edge_failures on a {kind} graph needs at least 3 workers "
             "(a single edge is a bridge)"
+        )
+
+
+def validate_edge_events_request(
+    kind: str,
+    num_workers: int,
+    edge_events: str,
+    edge_failures: int,
+    edge_probability: float = 0.25,
+) -> None:
+    """Reject unbuildable deterministic edge scripts up front (spec time).
+
+    The spec-time half of the scenario registry's ``edge_events`` axis.
+    Syntax, endpoint range, and fail/repair alternation are always checked
+    (by constructing the :class:`EdgeSchedule`). For the deterministic graph
+    families the full :class:`DynamicTopology` is built too -- the graph
+    does not depend on the seed there -- so a script that flips a non-edge
+    or disconnects a segment dies in a dry run; randomized families
+    (``random``/``small-world``/``expander``) defer those two checks to
+    build time, when the seed is known.
+    """
+    if not edge_events:
+        return
+    if edge_failures:
+        raise ValueError(
+            "edge_events (a deterministic script) and edge_failures (the "
+            "seeded random process) are mutually exclusive; set one"
+        )
+    schedule = EdgeSchedule.from_string(num_workers, edge_events)
+    if kind not in RANDOMIZED_TOPOLOGY_KINDS and kind != "expander":
+        DynamicTopology(
+            make_topology(kind, num_workers, edge_probability=edge_probability),
+            schedule,
         )
 
 

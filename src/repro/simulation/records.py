@@ -28,7 +28,7 @@ class TrainingHistory:
     accuracy of the consensus model.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.times: list[float] = []
         self.global_steps: list[int] = []
         self.epochs: list[float] = []
@@ -105,7 +105,7 @@ class EpochCostTracker:
     - communication cost = the difference.
     """
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers

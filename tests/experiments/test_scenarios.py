@@ -295,6 +295,42 @@ class TestScenarioRegistry:
             build_scenario("heterogeneous", 4, seed=0, topology="star",
                            edge_failures=1)
 
+    def test_edge_events_builds_a_scripted_dynamic_topology(self):
+        """The deterministic event-list axis: same DynamicTopology wrapper
+        as edge_failures, but the flip times come verbatim from the script
+        (no RNG involvement at all), so two seeds share one schedule."""
+        from repro.experiments.scenarios import build_scenario
+        from repro.graph.topology import DynamicTopology
+
+        scenario = build_scenario(
+            "heterogeneous", 4, seed=0, topology="ring",
+            edge_events="0-1@2:4;1-2@5",
+        )
+        assert scenario.name.endswith("-ring-ev3"), scenario.name
+        assert isinstance(scenario.topology, DynamicTopology)
+        assert scenario.topology.flip_times() == (2.0, 4.0, 5.0)
+        assert scenario.topology.has_edge_at(0, 1, 1.9)
+        assert not scenario.topology.has_edge_at(0, 1, 2.0)
+        assert scenario.topology.has_edge_at(0, 1, 4.0)
+        other_seed = build_scenario(
+            "heterogeneous", 4, seed=7, topology="ring",
+            edge_events="0-1@2:4;1-2@5",
+        )
+        assert other_seed.topology.flip_times() == (2.0, 4.0, 5.0)
+
+    def test_edge_events_spec_time_rejections(self):
+        from repro.experiments.scenarios import build_scenario
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            build_scenario("heterogeneous", 4, seed=0, topology="ring",
+                           edge_events="0-1@2", edge_failures=1)
+        with pytest.raises(ValueError, match="does not contain"):
+            build_scenario("heterogeneous", 5, seed=0, topology="ring",
+                           edge_events="0-2@2")
+        with pytest.raises(ValueError, match="disconnect"):
+            build_scenario("heterogeneous", 4, seed=0, topology="ring",
+                           edge_events="0-1@2;1-2@3")
+
     def test_churn_scenario_runs_end_to_end(self):
         from repro.algorithms.base import TrainerConfig
         from repro.experiments.harness import run_trainer

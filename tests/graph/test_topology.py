@@ -155,3 +155,77 @@ class TestAccessors:
 
     def test_num_workers(self):
         assert Topology.fully_connected(7).num_workers == 7
+
+
+class TestEdgeEventsGrammar:
+    """EdgeSchedule.from_events / from_string: the deterministic script axis."""
+
+    def test_from_events_mirrors_constructor(self):
+        from repro.graph import EdgeSchedule
+
+        explicit = EdgeSchedule.from_events(
+            4, [(2.0, 0, 1, "fail"), (4.0, 0, 1, "repair")]
+        )
+        assert explicit == EdgeSchedule.single(4, (0, 1), fail_at=2.0,
+                                               repair_at=4.0)
+
+    def test_from_string_parses_episodes(self):
+        from repro.graph import EdgeSchedule
+
+        schedule = EdgeSchedule.from_string(4, "0-1@2:4;1-2@5")
+        assert len(schedule) == 3  # fail+repair, then a permanent fail
+        times = [event.time for event in schedule.events]
+        assert times == [2.0, 4.0, 5.0]
+        assert schedule.events[0].edge == (0, 1)
+        assert schedule.events[2].edge == (1, 2)
+        assert schedule.events[2].kind == "fail"
+
+    def test_from_string_normalizes_whitespace_and_edge_order(self):
+        from repro.graph import EdgeSchedule
+
+        a = EdgeSchedule.from_string(4, " 1-0@2:4 ; 2-1@5 ")
+        b = EdgeSchedule.from_string(4, "0-1@2:4;1-2@5")
+        assert a == b
+
+    def test_from_string_rejects_malformed_episodes(self):
+        from repro.graph import EdgeSchedule
+
+        with pytest.raises(ValueError, match="expected 'A-B@FAIL"):
+            EdgeSchedule.from_string(4, "0-1")
+        with pytest.raises(ValueError, match="bad edge_events episode"):
+            EdgeSchedule.from_string(4, "0-x@2")
+        with pytest.raises(ValueError, match="repair time"):
+            EdgeSchedule.from_string(4, "0-1@4:2")
+        with pytest.raises(ValueError, match="no episodes"):
+            EdgeSchedule.from_string(4, " ; ")
+
+    def test_from_string_inherits_schedule_validation(self):
+        from repro.graph import EdgeSchedule
+
+        with pytest.raises(ValueError, match="out of range"):
+            EdgeSchedule.from_string(4, "0-9@2")
+        with pytest.raises(ValueError, match="fails twice"):
+            EdgeSchedule.from_string(4, "0-1@2;0-1@3")
+
+    def test_validate_edge_events_request(self):
+        from repro.graph import validate_edge_events_request
+
+        # Clean deterministic script on a ring: accepted.
+        validate_edge_events_request("ring", 4, "0-1@2:4", edge_failures=0)
+        # Empty script is a no-op regardless of the other axis.
+        validate_edge_events_request("ring", 4, "", edge_failures=2)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            validate_edge_events_request("ring", 4, "0-1@2", edge_failures=1)
+        # Deterministic families build the DynamicTopology at spec time, so
+        # a script that flips a non-edge or disconnects the graph dies early.
+        with pytest.raises(ValueError, match="does not contain"):
+            validate_edge_events_request("ring", 5, "0-2@2", edge_failures=0)
+        with pytest.raises(ValueError, match="disconnect"):
+            validate_edge_events_request("ring", 4, "0-1@2;1-2@3",
+                                         edge_failures=0)
+        # Randomized families defer graph checks to build time (seed unknown)
+        # but still validate syntax and alternation.
+        validate_edge_events_request("random", 8, "0-2@2", edge_failures=0)
+        with pytest.raises(ValueError, match="fails twice"):
+            validate_edge_events_request("random", 8, "0-2@2;0-2@3",
+                                         edge_failures=0)

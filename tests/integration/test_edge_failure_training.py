@@ -289,3 +289,78 @@ class TestSweepEngine:
                 num_workers=4,
                 params=(("topology", "star"), ("edge_failures", 1)),
             )
+
+
+class TestEdgeEventsAxis:
+    """The deterministic event-list spelling of the dynamic-edge axis."""
+
+    @staticmethod
+    def _spec(script: str = "0-1@3:6;1-2@8:12") -> SweepSpec:
+        return SweepSpec(
+            algorithms=("adpsgd",),
+            seeds=(0,),
+            scenarios=(ScenarioSpec(
+                kind="heterogeneous",
+                num_workers=M,
+                params=(("topology", "ring"), ("edge_events", script)),
+            ),),
+            workload=WorkloadSpec(num_samples=256),
+            run=RunSpec(max_sim_time=10.0, eval_interval_s=5.0),
+        )
+
+    def test_scripted_run_replays_bit_identically(self):
+        a = run_sweep(self._spec())
+        b = run_sweep(self._spec())
+        for x, y in zip(a.outcomes, b.outcomes):
+            assert_results_identical(x.result, y.result)
+
+    def test_cache_key_tracks_the_script(self):
+        cell = self._spec().cells()[0]
+        moved = self._spec("0-1@3:7;1-2@8:12").cells()[0]
+        assert cell.cache_key() != moved.cache_key()
+
+    def test_sync_algorithms_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="time-varying"):
+            SweepSpec(
+                algorithms=("ps-syn",),
+                seeds=(0,),
+                scenarios=self._spec().scenarios,
+            )
+
+    def test_conservation_no_transfer_starts_on_a_failed_edge(self):
+        """Mirrors the edge_failures conservation check: with a scripted
+        schedule the failure windows are known exactly, so no transfer may
+        begin on (0, 1) during [3, 6) or on (1, 2) during [8, 12)."""
+        scenario = build_scenario(
+            "heterogeneous", M, seed=0, topology="ring",
+            edge_events="0-1@3:6;1-2@8:12",
+        )
+        workload = make_workload(
+            "mobilenet", "mnist", num_workers=M, batch_size=32,
+            num_samples=256, seed=0,
+        )
+        config = TrainerConfig(max_sim_time=20.0, eval_interval_s=5.0, seed=0)
+        trainer = create_trainer(
+            "adpsgd",
+            workload.make_tasks(),
+            scenario.topology,
+            scenario.links,
+            workload.profile,
+            config,
+            test_data=workload.test_data,
+        )
+        transfers = []
+        original = trainer.comm.begin_transfer
+
+        def recording_begin(receiver, sender, nbytes, time):
+            transfers.append((receiver, sender, time))
+            return original(receiver, sender, nbytes, time)
+
+        trainer.comm.begin_transfer = recording_begin
+        trainer.run()
+        assert transfers, "run produced no transfers at all"
+        for receiver, sender, time in transfers:
+            assert scenario.topology.has_edge_at(receiver, sender, time), (
+                f"transfer {sender} -> {receiver} at t={time} started on a "
+                "failed edge"
+            )

@@ -1,0 +1,20 @@
+"""Make ``tools/`` importable so the suite can import repro_lint directly.
+
+The analyzer is deliberately not part of the ``repro`` package (it lints
+that package, so it must not be linted/imported as simulation code); CI and
+scripts/lint.sh run it with ``PYTHONPATH=tools``, and this conftest mirrors
+that for the test process.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOLS = os.path.join(REPO_ROOT, "tools")
+if TOOLS not in sys.path:
+    sys.path.insert(0, TOOLS)
+
+
+def pytest_ignore_collect(collection_path, config):
+    # The fixture snippets are deliberate rule violations, not tests.
+    return collection_path.name == "fixtures"

@@ -1,0 +1,8 @@
+# Deliberate RPL001 violations: stdlib random is process-global state.
+import random
+from random import shuffle
+
+
+def pick(items):
+    shuffle(items)
+    return random.choice(items)

@@ -1,0 +1,9 @@
+# Clean under RPL001: all randomness flows through a seeded numpy Generator.
+import numpy as np
+
+_SHUFFLE_STREAM = 0x0001
+
+
+def pick(items, seed):
+    rng = np.random.default_rng([seed, _SHUFFLE_STREAM])
+    return items[int(rng.integers(len(items)))]

@@ -1,0 +1,9 @@
+# Deliberate RPL002 violations: numpy's legacy global RNG state.
+import numpy as np
+from numpy.random import rand
+
+
+def sample(n):
+    noise = np.random.randn(n)
+    np.random.seed(0)
+    return noise + rand(n)

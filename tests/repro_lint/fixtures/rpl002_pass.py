@@ -1,0 +1,11 @@
+# Clean under RPL002: Generator construction is allowed, global draws are not.
+import numpy as np
+from numpy.random import default_rng
+
+_NOISE_STREAM = 0x0002
+
+
+def sample(n, seed):
+    rng = default_rng([seed, _NOISE_STREAM])
+    sequence = np.random.SeedSequence(seed)
+    return rng.standard_normal(n), sequence

@@ -1,0 +1,9 @@
+# Deliberate RPL003 violations: unseeded constructors pull OS entropy.
+import numpy as np
+
+
+def fresh():
+    rng = np.random.default_rng()
+    sequence = np.random.SeedSequence()
+    explicit_none = np.random.default_rng(None)
+    return rng, sequence, explicit_none

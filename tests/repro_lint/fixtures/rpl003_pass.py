@@ -1,0 +1,10 @@
+# Clean under RPL003: every constructor receives explicit entropy.
+import numpy as np
+
+_DATA_STREAM = 0x0003
+
+
+def fresh(seed):
+    rng = np.random.default_rng([seed, _DATA_STREAM])
+    sequence = np.random.SeedSequence(entropy=seed)
+    return rng, sequence

@@ -1,0 +1,8 @@
+# Deliberate RPL004 violations: collision-prone derived seeds.
+import numpy as np
+
+
+def children(seed, rng):
+    arithmetic = np.random.default_rng(seed + 1)
+    sampled = np.random.default_rng(rng.integers(2**63))
+    return arithmetic, sampled

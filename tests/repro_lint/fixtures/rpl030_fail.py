@@ -1,0 +1,32 @@
+# Deliberate RPL030 violations: a cell field and a nested spec field are
+# missing from describe(), and CACHE_VERSION is never folded in.
+import hashlib
+import json
+from dataclasses import dataclass
+
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    max_time: float = 60.0
+    eval_every: float = 5.0  # never read by describe() below
+
+
+@dataclass(frozen=True)
+class Cell:
+    algorithm: str
+    seed: int
+    run: RunSpec = RunSpec()
+    lr: float = 0.1  # never read by describe() below
+
+    def describe(self):
+        return {
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "run": {"max_time": self.run.max_time},
+        }
+
+    def cache_key(self):
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,37 @@
+# Clean under RPL030: every field (including nested spec fields) reaches
+# describe(), and CACHE_VERSION versions the payload.
+import hashlib
+import json
+from dataclasses import dataclass
+
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    max_time: float = 60.0
+    eval_every: float = 5.0
+
+
+@dataclass(frozen=True)
+class Cell:
+    algorithm: str
+    seed: int
+    run: RunSpec = RunSpec()
+    lr: float = 0.1
+
+    def describe(self):
+        return {
+            "cache_version": CACHE_VERSION,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "lr": self.lr,
+            "run": {
+                "max_time": self.run.max_time,
+                "eval_every": self.run.eval_every,
+            },
+        }
+
+    def cache_key(self):
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()

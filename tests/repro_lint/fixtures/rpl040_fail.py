@@ -1,0 +1,21 @@
+# Deliberate RPL040 violations: broad handlers that discard the error.
+def load(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        return None
+
+
+def probe(fn):
+    try:
+        fn()
+    except:  # noqa: E722
+        pass
+
+
+def bound_but_ignored(fn):
+    try:
+        fn()
+    except BaseException as error:  # noqa: F841
+        return "failed"

@@ -1,0 +1,33 @@
+# Clean under RPL040: broad handlers either report or re-raise; narrow
+# handlers may discard.
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError:
+        return None  # narrow: only the expected failure is discarded
+
+
+def probe(fn):
+    try:
+        fn()
+    except Exception as error:
+        log.warning("probe failed: %s", error)
+        return None
+
+
+def cleanup(fn):
+    try:
+        fn()
+    except Exception:
+        release_resources()
+        raise
+
+
+def release_resources():
+    pass

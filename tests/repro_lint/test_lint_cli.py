@@ -1,0 +1,107 @@
+"""CLI behavior: exit codes, JSON payload schema, and the two meta-runs
+that anchor CI -- ``python -m repro_lint src/`` must exit 0 on the real
+tree, and the deliberately-violating fixture tree must exit 1.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro_lint import __version__
+from repro_lint.__main__ import findings_payload, main
+from repro_lint.core import lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOLS = os.path.join(REPO_ROOT, "tools")
+
+
+def run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = TOOLS
+    return subprocess.run(
+        [sys.executable, "-m", "repro_lint", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+class TestExitCodes:
+    def test_source_tree_is_clean(self):
+        """The acceptance criterion: zero unwaived findings on src/."""
+        proc = run_cli("src/")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_violating_tree_fails(self):
+        """The fixture tree is the deliberately-introduced violation: were
+        CI's gate broken, this run coming back 0 would catch it."""
+        proc = run_cli(os.path.relpath(FIXTURES, REPO_ROOT))
+        assert proc.returncode == 1
+        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL010",
+                     "RPL020", "RPL030", "RPL040"):
+            assert code in proc.stdout, f"{code} missing from CLI output"
+
+    def test_no_arguments_is_a_usage_error(self):
+        assert main([]) == 2
+
+    def test_missing_path_is_a_usage_error(self):
+        assert main(["no/such/dir"]) == 2
+
+    def test_unknown_select_code_is_a_usage_error(self):
+        assert main(["--select", "RPL777", "src"]) == 2
+
+    def test_list_rules_prints_the_catalog(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPL000", "RPL001", "RPL009", "RPL010", "RPL020",
+                     "RPL030", "RPL031", "RPL040"):
+            assert code in out
+
+
+class TestSelect:
+    def test_select_restricts_to_the_given_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nimport time\nnow = time.time()\n")
+        quiet = lint_paths([str(bad)], select=["RPL001"])
+        assert sorted(f.code for f in quiet) == ["RPL001"]
+
+
+class TestJsonPayload:
+    def test_schema(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random  # repro-lint: allow[RPL001] -- fixture\n"
+            "import time\n"
+            "now = time.time()\n"
+        )
+        out = tmp_path / "findings.json"
+        code = main([str(bad), "--json", str(out), "--quiet"])
+        assert code == 1  # the RPL020 finding is unwaived
+        payload = json.loads(out.read_text())
+        assert payload["tool"] == "repro-lint"
+        assert payload["version"] == __version__
+        assert payload["summary"] == {"findings": 1, "waived": 1, "files": 1}
+        by_code = {f["code"]: f for f in payload["findings"]}
+        assert set(by_code) == {"RPL001", "RPL020"}
+        waived = by_code["RPL001"]
+        assert waived["waived"] is True
+        assert waived["justification"] == "fixture"
+        live = by_code["RPL020"]
+        assert live["waived"] is False
+        assert "justification" not in live
+        for entry in payload["findings"]:
+            assert {"code", "rule", "path", "line", "col", "message"} <= set(entry)
+
+    def test_clean_run_still_writes_the_artifact(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        out = tmp_path / "findings.json"
+        assert main([str(good), "--json", str(out), "--quiet"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["findings"] == 0
+        assert payload["findings"] == []
+
+    def test_payload_helper_counts(self):
+        payload = findings_payload([], files=0)
+        assert payload["summary"] == {"findings": 0, "waived": 0, "files": 0}

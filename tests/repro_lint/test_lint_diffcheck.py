@@ -1,0 +1,51 @@
+"""RPL031 (CACHE_VERSION policy), driven through the pure core so no git
+repository is needed: changed-path list + sweeps.py diff text -> findings.
+"""
+
+from repro_lint.config import CACHE_VERSION_FILE
+from repro_lint.diffcheck import check_cache_version
+
+BUMP_DIFF = (
+    "--- a/src/repro/experiments/sweeps.py\n"
+    "+++ b/src/repro/experiments/sweeps.py\n"
+    "-CACHE_VERSION = 4\n"
+    "+CACHE_VERSION = 5\n"
+)
+
+
+def test_numerics_change_without_bump_is_flagged():
+    findings = check_cache_version(
+        ["src/repro/algorithms/netmax.py", "README.md"], ""
+    )
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.code == "RPL031"
+    assert finding.path == CACHE_VERSION_FILE
+    assert "netmax.py" in finding.message
+    assert "CACHE_VERSION" in finding.message
+
+
+def test_numerics_change_with_bump_is_clean():
+    assert check_cache_version(
+        ["src/repro/algorithms/netmax.py"], BUMP_DIFF
+    ) == []
+
+
+def test_non_numerics_change_needs_no_bump():
+    assert check_cache_version(
+        ["README.md", "tools/repro_lint/core.py", "tests/test_cli.py",
+         "src/repro/experiments/executors.py"], ""
+    ) == []
+
+
+def test_scenarios_module_counts_as_numerics_bearing():
+    findings = check_cache_version(
+        ["src/repro/experiments/scenarios.py"], ""
+    )
+    assert [f.code for f in findings] == ["RPL031"]
+
+
+def test_message_truncates_long_path_lists():
+    changed = [f"src/repro/core/mod{i}.py" for i in range(8)]
+    findings = check_cache_version(changed, "")
+    assert "..." in findings[0].message

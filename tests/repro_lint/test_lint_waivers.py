@@ -1,0 +1,114 @@
+"""Waiver semantics: parsing, coverage, and the two meta-findings.
+
+Waivers are contracts: ``allow[CODE] -- why`` on (or directly above) the
+flagged line. A waiver without a justification is RPL000; a waiver that
+matches nothing is RPL009 -- so waivers cannot silently rot.
+"""
+
+from repro_lint.core import lint_source, parse_waivers
+
+
+def _codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestParsing:
+    def test_same_line_waiver(self):
+        waivers = parse_waivers(
+            "import random  # repro-lint: allow[RPL001] -- test fixture\n"
+        )
+        assert len(waivers) == 1
+        assert waivers[0].line == 1
+        assert waivers[0].codes == ("RPL001",)
+        assert waivers[0].justification == "test fixture"
+
+    def test_multi_code_waiver(self):
+        waivers = parse_waivers(
+            "# repro-lint: allow[RPL001, RPL020] -- both excused\nx = 1\n"
+        )
+        assert waivers[0].codes == ("RPL001", "RPL020")
+
+    def test_waiver_inside_string_literal_is_not_a_waiver(self):
+        waivers = parse_waivers(
+            's = "# repro-lint: allow[RPL001] -- not a comment"\n'
+        )
+        assert waivers == []
+
+    def test_justification_is_optional_in_the_grammar(self):
+        waivers = parse_waivers("# repro-lint: allow[RPL001]\nimport random\n")
+        assert waivers[0].justification == ""
+
+
+class TestCoverage:
+    def test_same_line_waiver_suppresses_the_finding(self):
+        findings = lint_source(
+            "import random  # repro-lint: allow[RPL001] -- fixture import\n"
+        )
+        assert _codes(findings) == ["RPL001"]
+        assert findings[0].waived
+        assert findings[0].justification == "fixture import"
+
+    def test_waiver_above_covers_the_next_code_line(self):
+        findings = lint_source(
+            "# repro-lint: allow[RPL001] -- fixture import\n"
+            "import random\n"
+        )
+        assert [f.waived for f in findings] == [True]
+
+    def test_waiver_covers_through_a_comment_run(self):
+        """A multi-line justification (comment block) between the waiver
+        and the flagged statement still covers it."""
+        findings = lint_source(
+            "# repro-lint: allow[RPL001] -- fixture import, kept because\n"
+            "# this snippet exercises the legacy shuffle path and the\n"
+            "# replacement lands with the next cache bump\n"
+            "import random\n"
+        )
+        assert [f.waived for f in findings] == [True]
+
+    def test_waiver_does_not_leak_past_the_next_code_line(self):
+        findings = lint_source(
+            "# repro-lint: allow[RPL001] -- only the first import\n"
+            "import random\n"
+            "from random import shuffle\n"
+        )
+        waived = [f for f in findings if f.waived]
+        live = [f for f in findings if not f.waived]
+        assert len(waived) == 1 and waived[0].line == 2
+        assert len(live) == 1 and live[0].line == 3
+
+    def test_waiver_only_covers_its_codes(self):
+        findings = lint_source(
+            "import time\n"
+            "# repro-lint: allow[RPL001] -- wrong code on purpose\n"
+            "now = time.time()\n"
+        )
+        # The RPL020 finding survives; the RPL001 waiver matched nothing.
+        assert _codes(findings) == ["RPL009", "RPL020"]
+        assert all(not f.waived for f in findings)
+
+
+class TestMetaFindings:
+    def test_justification_less_waiver_is_rpl000(self):
+        findings = lint_source(
+            "import random  # repro-lint: allow[RPL001]\n"
+        )
+        assert _codes(findings) == ["RPL000", "RPL001"]
+        by_code = {f.code: f for f in findings}
+        assert by_code["RPL001"].waived  # still suppressed...
+        assert not by_code["RPL000"].waived  # ...but the run fails anyway
+
+    def test_unused_waiver_is_rpl009(self):
+        findings = lint_source(
+            "# repro-lint: allow[RPL001] -- nothing to excuse here\n"
+            "x = 1\n"
+        )
+        assert _codes(findings) == ["RPL009"]
+        assert "matches no finding" in findings[0].message
+
+    def test_clean_waived_module_has_no_meta_findings(self):
+        findings = lint_source(
+            "# repro-lint: allow[RPL001] -- fixture import\n"
+            "import random\n"
+        )
+        assert _codes(findings) == ["RPL001"]

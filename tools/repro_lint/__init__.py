@@ -1,0 +1,42 @@
+"""repro-lint: AST-based determinism & cache-contract analyzer.
+
+The reproduction's trustworthiness rests on invariants the test suite can
+only probe *after the fact* (golden regressions, link-invariant suites,
+bit-identity integration tests). This package enforces the same contracts
+*statically*, at review time:
+
+- RNG discipline: no stdlib ``random``, no ``np.random`` module-level
+  state, no unseeded ``default_rng()``, and no collision-prone derived
+  seeds -- RNG streams come from the named ``default_rng([seed, _STREAM])``
+  pattern (see ``_TOPOLOGY_STREAM`` / ``_EDGE_FLIP_STREAM``).
+- Link-model purity: query-path methods of ``LinkSpeedModel`` subclasses
+  must stay pure functions of time (no ``self`` mutation, no stored-RNG
+  advance, no wall clock).
+- Wall-clock ban: ``time.time`` / ``datetime.now`` / ``os.urandom`` /
+  ``uuid4`` have no place in simulation code (broker telemetry waives
+  per site, with a justification).
+- Cache-key completeness: every dataclass field of the sweep-spec types
+  must be reachable from ``SweepCell.describe()`` -- the sha256 cache-key
+  payload -- so adding a field without keying it is a lint error.
+- CACHE_VERSION policy (diff mode): a diff touching numerics-bearing
+  modules must also bump ``CACHE_VERSION``.
+- Swallowed exceptions: no broad ``except`` that silently discards the
+  error, especially in the broker's lease/retry paths.
+
+Run ``python -m repro_lint src/`` (requires ``tools/`` on ``PYTHONPATH``).
+Waive a finding with ``# repro-lint: allow[CODE] -- justification``.
+"""
+
+from repro_lint.core import (  # noqa: F401  (public API re-exports)
+    Finding,
+    Module,
+    Rule,
+    RULE_REGISTRY,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+__version__ = "1.0.0"
+
+from repro_lint import rules  # noqa: E402,F401  (rule registration side effect)

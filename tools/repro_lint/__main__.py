@@ -1,0 +1,110 @@
+"""CLI: ``python -m repro_lint [paths...]`` (needs ``tools/`` on PYTHONPATH).
+
+Exit codes: 0 = no unwaived findings, 1 = findings, 2 = usage error.
+``--json`` writes the machine-readable findings payload (the CI artifact);
+waived findings are included there with ``waived: true`` for auditability
+but never affect the exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import repro_lint
+from repro_lint.core import RULE_REGISTRY, Finding, lint_paths
+from repro_lint.diffcheck import run_diff_check
+
+
+def findings_payload(findings: list[Finding], files: int | None = None) -> dict:
+    unwaived = [f for f in findings if not f.waived]
+    payload = {
+        "tool": "repro-lint",
+        "version": repro_lint.__version__,
+        "summary": {
+            "findings": len(unwaived),
+            "waived": len(findings) - len(unwaived),
+        },
+        "findings": [f.as_json() for f in findings],
+    }
+    if files is not None:
+        payload["summary"]["files"] = files
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro_lint",
+        description="AST-based determinism & cache-contract analyzer",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the JSON findings payload here")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--diff-base", metavar="REF",
+                        help="also run the CACHE_VERSION policy check against "
+                             "this git ref (merge-base semantics)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-finding lines (summary only)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULE_REGISTRY):
+            rule = RULE_REGISTRY[code]
+            print(f"{code}  {rule.name}: {rule.description}")
+        print("RPL000  waiver-needs-justification: a waiver must say why "
+              "(`allow[CODE] -- reason`)")
+        print("RPL009  unused-waiver: a waiver matching no finding must be "
+              "removed")
+        print("RPL031  cache-version-policy: numerics-bearing diffs must "
+              "bump CACHE_VERSION (runs with --diff-base)")
+        return 0
+
+    if not args.paths and not args.diff_base:
+        parser.print_usage(sys.stderr)
+        print("repro_lint: error: nothing to do (give paths, --diff-base, "
+              "or --list-rules)", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+
+    findings: list[Finding] = []
+    files = 0
+    try:
+        if args.paths:
+            from repro_lint.core import iter_python_files
+            file_list = list(iter_python_files(args.paths))
+            files = len(file_list)
+            findings.extend(lint_paths(file_list, select=select))
+        if args.diff_base:
+            findings.extend(run_diff_check(args.diff_base))
+    except (FileNotFoundError, KeyError) as error:
+        print(f"repro_lint: error: {error}", file=sys.stderr)
+        return 2
+
+    unwaived = [f for f in findings if not f.waived]
+    if not args.quiet:
+        for finding in findings:
+            print(finding.render())
+    waived_count = len(findings) - len(unwaived)
+    print(
+        f"repro-lint: {files} file(s), {len(unwaived)} finding(s), "
+        f"{waived_count} waived"
+    )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(findings_payload(findings, files), handle, indent=2)
+            handle.write("\n")
+
+    return 1 if unwaived else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Repo-specific knobs for the rules, in one place.
+
+Rules stay generic (they see one module at a time); everything that encodes
+*this* repository's layout or conventions -- which modules bear numerics,
+which RNG methods advance state, where the cache-key payload lives -- is a
+constant here, so adding a module or convention is a one-line change.
+"""
+
+# Paths (prefix match, forward slashes) whose changes can shift trainer
+# numerics: a diff touching any of these must also bump CACHE_VERSION in
+# src/repro/experiments/sweeps.py, or stale on-disk sweep results would
+# masquerade as fresh ones. scenarios.py is on the list because scenario
+# *builders* (workload/model/link construction) feed the runs directly even
+# though the spec parameters are already part of the cache key.
+NUMERICS_BEARING_PREFIXES = (
+    "src/repro/algorithms/",
+    "src/repro/core/",
+    "src/repro/simulation/",
+    "src/repro/network/",
+    "src/repro/graph/",
+    "src/repro/ml/",
+    "src/repro/datasets/",
+    "src/repro/experiments/scenarios.py",
+)
+
+# Where CACHE_VERSION lives (the diff check looks for +/- lines touching it).
+CACHE_VERSION_FILE = "src/repro/experiments/sweeps.py"
+
+# numpy Generator methods that advance the underlying bit stream. Calling
+# one of these on a *stored* RNG inside a link-model query path makes the
+# answer depend on query order -- the exact bug the purity contract bans.
+RNG_ADVANCE_METHODS = frozenset({
+    "integers", "random", "uniform", "normal", "standard_normal",
+    "choice", "shuffle", "permutation", "permuted", "exponential",
+    "poisson", "lognormal", "binomial", "geometric", "gamma", "beta",
+    "bytes",
+})
+
+# np.random module-level names that are legitimate *constructors* / types
+# rather than global-state conveniences.
+NUMPY_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+# Dotted-suffix matches for nondeterministic wall-clock / entropy reads.
+# time.perf_counter / time.monotonic are deliberately absent: measuring how
+# long something took is telemetry, not simulation input.
+WALLCLOCK_BANNED_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+)
+WALLCLOCK_BANNED_PREFIXES = ("secrets.",)
+
+# Base classes whose subclasses' query paths must be pure functions of time.
+PURITY_BASE_CLASSES = frozenset({"LinkSpeedModel"})
+
+# Query-path exemptions: construction and serialization may do what they
+# like; the purity contract is about *queries*.
+PURITY_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__repr__"})

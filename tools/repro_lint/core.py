@@ -1,0 +1,265 @@
+"""Rule framework: findings, the rule registry, waivers, and the runner.
+
+A rule sees one :class:`Module` (path + source + parsed AST) at a time and
+yields :class:`Finding`s. The runner matches findings against inline
+waivers (``# repro-lint: allow[CODE] -- justification``) before reporting:
+a waived finding is kept in the JSON payload for auditability but does not
+fail the run. A waiver with no justification, or one that matches nothing,
+is itself a finding -- waivers are contracts, not mute buttons.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import re
+import tokenize
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    justification: str | None = None
+
+    def render(self) -> str:
+        suffix = f"  (waived: {self.justification})" if self.waived else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{suffix}"
+
+    def as_json(self) -> dict:
+        payload = dataclasses.asdict(self)
+        if not self.waived:
+            payload.pop("justification")
+        return payload
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``# repro-lint: allow[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+
+@dataclass
+class Module:
+    """What a rule gets to look at: one parsed source file."""
+
+    path: str  # normalized with forward slashes, as given on the CLI
+    source: str
+    tree: ast.Module
+    waivers: list[Waiver] = field(default_factory=list)
+
+
+class Rule:
+    """Base class: subclass, set ``code``/``name``/``description``, implement
+    :meth:`check`, and decorate with :func:`register_rule`."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            rule=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate + index by code (collisions are bugs)."""
+    rule = cls()
+    if not rule.code or not rule.name:
+        raise ValueError(f"rule {cls.__name__} needs a code and a name")
+    if rule.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    RULE_REGISTRY[rule.code] = rule
+    return cls
+
+
+# -- waiver parsing ------------------------------------------------------------
+
+# `# repro-lint: allow[RPL004]` or `allow[RPL004,RPL020] -- why it is fine`.
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<codes>[A-Z0-9,\s]+)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+def parse_waivers(source: str) -> list[Waiver]:
+    """Extract waiver comments via the tokenizer (never fooled by strings)."""
+    waivers = []
+    lines = source.splitlines(keepends=True)
+    reader = iter(lines)
+    try:
+        for token in tokenize.generate_tokens(lambda: next(reader, "")):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _WAIVER_RE.search(token.string)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip() for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            waivers.append(Waiver(
+                line=token.start[0],
+                codes=codes,
+                justification=(match.group("why") or "").strip(),
+            ))
+    except tokenize.TokenError:
+        pass  # unterminated constructs -- the ast parse already failed loudly
+    return waivers
+
+
+def _comment_only_line(source_lines: list[str], line: int) -> bool:
+    text = source_lines[line - 1].strip() if 0 < line <= len(source_lines) else ""
+    return text.startswith("#")
+
+
+def apply_waivers(module: Module, findings: list[Finding]) -> list[Finding]:
+    """Match findings against the module's waivers.
+
+    A waiver covers findings of its codes on its own line; a waiver on a
+    comment-only line instead covers the next non-comment line (so a flagged
+    statement can carry the waiver -- and a multi-line justification --
+    above it). Emits meta-findings for
+    waivers with no justification (RPL000) and waivers that matched nothing
+    (RPL009) -- stale waivers must not outlive the code they excused.
+    """
+    source_lines = module.source.splitlines()
+    used: set[int] = set()
+    out: list[Finding] = []
+    for finding in findings:
+        waived = None
+        for index, waiver in enumerate(module.waivers):
+            if finding.code not in waiver.codes:
+                continue
+            covered = {waiver.line}
+            cursor = waiver.line
+            while _comment_only_line(source_lines, cursor):
+                cursor += 1
+                covered.add(cursor)
+            if finding.line in covered:
+                waived = (index, waiver)
+                break
+        if waived is None:
+            out.append(finding)
+        else:
+            index, waiver = waived
+            used.add(index)
+            out.append(dataclasses.replace(
+                finding, waived=True,
+                justification=waiver.justification or None,
+            ))
+    for index, waiver in enumerate(module.waivers):
+        if not waiver.justification:
+            out.append(Finding(
+                code="RPL000", rule="waiver-needs-justification",
+                path=module.path, line=waiver.line, col=0,
+                message=(
+                    "waiver has no justification; write "
+                    "`# repro-lint: allow[CODE] -- <why this is safe>`"
+                ),
+            ))
+        if index not in used and waiver.justification:
+            out.append(Finding(
+                code="RPL009", rule="unused-waiver",
+                path=module.path, line=waiver.line, col=0,
+                message=(
+                    f"waiver for {', '.join(waiver.codes)} matches no finding; "
+                    "remove it"
+                ),
+            ))
+    return out
+
+
+# -- running -------------------------------------------------------------------
+
+
+def _selected_rules(select: Iterable[str] | None) -> list[Rule]:
+    if select is None:
+        return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+    rules = []
+    for code in select:
+        if code not in RULE_REGISTRY:
+            raise KeyError(
+                f"unknown rule code {code!r}; known: {sorted(RULE_REGISTRY)}"
+            )
+        rules.append(RULE_REGISTRY[code])
+    return rules
+
+
+def lint_source(
+    source: str, path: str = "<snippet>", select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint one in-memory module; the unit-test entry point."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(
+            code="RPL999", rule="syntax-error", path=path,
+            line=error.lineno or 1, col=error.offset or 0,
+            message=f"cannot parse: {error.msg}",
+        )]
+    module = Module(
+        path=path, source=source, tree=tree, waivers=parse_waivers(source)
+    )
+    findings: list[Finding] = []
+    for rule in _selected_rules(select):
+        findings.extend(rule.check(module))
+    findings = apply_waivers(module, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in ("__pycache__", ".git")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def lint_paths(
+    paths: Iterable[str], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (the CLI entry point)."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        with open(file_path, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(
+            lint_source(source, path=file_path.replace(os.sep, "/"), select=select)
+        )
+    return findings

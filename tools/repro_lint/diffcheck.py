@@ -1,0 +1,71 @@
+"""CACHE_VERSION policy check (RPL031) -- the diff-mode companion rule.
+
+Sweep results are cached on disk keyed by (CACHE_VERSION, cell spec). A
+change to any numerics-bearing module can shift what a cell *computes*
+without changing what it is *called* -- and then every stale cache entry
+masquerades as a fresh result. Policy (see docs/determinism.md): a diff
+touching a numerics-bearing module must also bump ``CACHE_VERSION`` in
+``sweeps.py``.
+
+This cannot be an AST rule over one module; it looks at a git diff. The
+logic is a pure function (:func:`check_cache_version`) so the test suite
+drives it without a repository; :func:`run_diff_check` is the thin git
+wrapper the CLI's ``--diff-base`` flag calls.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+
+from repro_lint.config import CACHE_VERSION_FILE, NUMERICS_BEARING_PREFIXES
+from repro_lint.core import Finding
+
+_CACHE_VERSION_LINE = re.compile(r"^[+-]\s*CACHE_VERSION\s*=", re.MULTILINE)
+
+
+def check_cache_version(
+    changed_paths: list[str], sweeps_diff_text: str
+) -> list[Finding]:
+    """Pure core: changed file list + the sweeps.py diff -> findings."""
+    numerics = sorted(
+        path for path in changed_paths
+        if path.startswith(NUMERICS_BEARING_PREFIXES)
+    )
+    if not numerics:
+        return []
+    if _CACHE_VERSION_LINE.search(sweeps_diff_text):
+        return []
+    shown = ", ".join(numerics[:5]) + (", ..." if len(numerics) > 5 else "")
+    return [Finding(
+        code="RPL031", rule="cache-version-policy",
+        path=CACHE_VERSION_FILE, line=1, col=0,
+        message=(
+            f"diff touches numerics-bearing module(s) [{shown}] without "
+            "bumping CACHE_VERSION; stale sweep-cache entries could "
+            "masquerade as fresh results. Bump it (and regenerate the "
+            "golden-regression constants if numerics really moved), or "
+            "confirm the change cannot shift any trainer's output"
+        ),
+    )]
+
+
+def _git(repo_root: str, *args: str) -> str:
+    return subprocess.run(
+        ["git", "-C", repo_root, *args],
+        check=True, capture_output=True, text=True,
+    ).stdout
+
+
+def run_diff_check(diff_base: str, repo_root: str = ".") -> list[Finding]:
+    """Compare HEAD against ``diff_base`` (three-dot: merge-base semantics,
+    matching what a PR diff shows)."""
+    changed = _git(
+        repo_root, "diff", "--name-only", f"{diff_base}...HEAD"
+    ).splitlines()
+    sweeps_diff = _git(
+        repo_root, "diff", f"{diff_base}...HEAD", "--", CACHE_VERSION_FILE
+    )
+    return check_cache_version(
+        [path.strip() for path in changed if path.strip()], sweeps_diff
+    )

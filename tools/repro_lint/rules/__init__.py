@@ -1,0 +1,44 @@
+"""Rule modules; importing this package registers every rule.
+
+Shared AST helpers live here so individual rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``np.random.default_rng`` -> that string; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    return dotted_name(node.func)
+
+
+def self_attribute_chain(node: ast.AST) -> tuple[str, ...] | None:
+    """``self.workload.model`` -> ``("workload", "model")``; None otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return tuple(reversed(parts))
+    return None
+
+
+from repro_lint.rules import (  # noqa: E402,F401  (import-for-registration)
+    cachekey,
+    exceptions,
+    purity,
+    rng,
+    wallclock,
+)

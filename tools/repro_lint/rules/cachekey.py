@@ -1,0 +1,148 @@
+"""Cache-key completeness (RPL030).
+
+The sweep result cache is keyed by sha256 over ``SweepCell.describe()``.
+The classic stale-cache bug: a dataclass field is added to one of the spec
+types (``ScenarioSpec`` / ``WorkloadSpec`` / ``RunSpec`` / the cell itself)
+but never plumbed into ``describe()``, so two cells differing only in that
+field share a cache key and one silently serves the other's result.
+
+This rule makes that a lint error. It activates on any module defining a
+class with both ``describe`` and ``cache_key`` methods (the cell class),
+reads the cell's dataclass fields and their annotations, and checks that
+
+- every cell field is read as ``self.<field>`` inside ``describe``, and
+- for each cell field annotated with a dataclass defined in the same
+  module, every field of *that* dataclass is read as
+  ``self.<field>.<subfield>``, and
+- ``describe`` folds ``CACHE_VERSION`` into the payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro_lint.core import Finding, Module, Rule, register_rule
+from repro_lint.rules import dotted_name, self_attribute_chain
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _annotation_name(annotation: ast.AST | None) -> str | None:
+    """The bare class a field annotation names, if any (unwraps Optional-ish
+    subscripts conservatively: only plain names count)."""
+    if annotation is None:
+        return None
+    name = dotted_name(annotation)
+    if name is not None:
+        return name.split(".")[-1]
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.split(".")[-1].split("[")[0]
+    return None
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[tuple[str, str | None, int]]:
+    """``(field_name, annotation_class_or_None, lineno)`` per declared field."""
+    fields = []
+    for item in cls.body:
+        if not isinstance(item, ast.AnnAssign) or not isinstance(item.target, ast.Name):
+            continue
+        annotation = item.annotation
+        if _annotation_name(annotation) == "ClassVar":
+            continue
+        fields.append((item.target.id, _annotation_name(annotation), item.lineno))
+    return fields
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+@register_rule
+class CacheKeyCompleteness(Rule):
+    code = "RPL030"
+    name = "cache-key-completeness"
+    description = (
+        "every spec dataclass field must be reachable from the cell's "
+        "describe() -- an unkeyed field is a stale-cache hazard"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        classes = {
+            node.name: node for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for cls in classes.values():
+            describe = _method(cls, "describe")
+            if describe is None or _method(cls, "cache_key") is None:
+                continue
+            if not _is_dataclass(cls):
+                continue
+            yield from self._check_cell(module, cls, describe, classes)
+
+    def _check_cell(
+        self,
+        module: Module,
+        cell: ast.ClassDef,
+        describe: ast.FunctionDef,
+        classes: dict[str, ast.ClassDef],
+    ) -> Iterator[Finding]:
+        chains: set[tuple[str, ...]] = set()
+        mentions_cache_version = False
+        for node in ast.walk(describe):
+            chain = self_attribute_chain(node)
+            if chain is not None:
+                chains.add(chain)
+            if isinstance(node, ast.Name) and node.id == "CACHE_VERSION":
+                mentions_cache_version = True
+
+        def reachable(prefix: tuple[str, ...]) -> bool:
+            return any(chain[: len(prefix)] == prefix for chain in chains)
+
+        for field_name, annotation, lineno in _dataclass_fields(cell):
+            if not reachable((field_name,)):
+                yield Finding(
+                    code=self.code, rule=self.name, path=module.path,
+                    line=lineno, col=0,
+                    message=(
+                        f"{cell.name}.{field_name} never appears in "
+                        f"{cell.name}.describe(): the cache key cannot see "
+                        "it (stale-cache hazard); plumb it into describe()"
+                    ),
+                )
+                continue
+            nested = classes.get(annotation) if annotation else None
+            if nested is None or not _is_dataclass(nested):
+                continue
+            for sub_name, _sub_annotation, sub_lineno in _dataclass_fields(nested):
+                if not reachable((field_name, sub_name)):
+                    yield Finding(
+                        code=self.code, rule=self.name, path=module.path,
+                        line=sub_lineno, col=0,
+                        message=(
+                            f"{nested.name}.{sub_name} never appears in "
+                            f"{cell.name}.describe() (via self.{field_name}): "
+                            "the cache key cannot see it (stale-cache "
+                            "hazard); plumb it into describe()"
+                        ),
+                    )
+        if not mentions_cache_version:
+            yield Finding(
+                code=self.code, rule=self.name, path=module.path,
+                line=describe.lineno, col=describe.col_offset,
+                message=(
+                    f"{cell.name}.describe() does not fold CACHE_VERSION "
+                    "into the payload; stale results from older numerics "
+                    "could masquerade as fresh ones"
+                ),
+            )

@@ -1,0 +1,123 @@
+"""Link-model purity (RPL010).
+
+Every ``LinkSpeedModel`` must be a *pure function of time*: the invariant
+suite (`tests/network/test_link_invariants.py`) probes this at runtime by
+comparing repeated queries, but a stored-RNG advance or a lazily-mutated
+cache that only shifts answers across *different* query orders can slip
+past it. This rule bans the mechanisms statically: inside a query-path
+method of a LinkSpeedModel subclass there is no assigning to ``self``, no
+advancing a stored RNG, and no wall-clock read.
+
+Constructing a *fresh* deterministic generator per query
+(``default_rng([self.seed, interval])``) is explicitly allowed -- that is
+the purity pattern, not a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro_lint.config import (
+    PURITY_BASE_CLASSES,
+    PURITY_EXEMPT_METHODS,
+    RNG_ADVANCE_METHODS,
+)
+from repro_lint.core import Finding, Module, Rule, register_rule
+from repro_lint.rules import dotted_name, self_attribute_chain
+from repro_lint.rules.wallclock import banned_clock_name
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _link_model_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Subclasses of a purity base, resolved transitively within the module."""
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    marked = set(PURITY_BASE_CLASSES)
+    # Fixed point over within-module inheritance chains (StaticLinks ->
+    # RegionalLinks and the like); cross-module chains are out of reach for
+    # a single-file pass, which is fine -- the models live in links.py.
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in marked:
+                continue
+            if any(base in marked for base in _base_names(cls)):
+                marked.add(cls.name)
+                changed = True
+    return [c for c in classes if c.name in marked and c.name not in PURITY_BASE_CLASSES]
+
+
+def _is_classmethod(fn: ast.FunctionDef) -> bool:
+    for decorator in fn.decorator_list:
+        name = dotted_name(decorator)
+        if name and name.split(".")[-1] in ("classmethod", "staticmethod"):
+            return True
+    return False
+
+
+@register_rule
+class LinkModelPurity(Rule):
+    code = "RPL010"
+    name = "link-model-purity"
+    description = (
+        "query-path methods of LinkSpeedModel subclasses must not mutate "
+        "self, advance a stored RNG, or read the wall clock"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for cls in _link_model_classes(module.tree):
+            for item in cls.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name in PURITY_EXEMPT_METHODS or _is_classmethod(item):
+                    continue
+                yield from self._check_method(module, cls, item)
+
+    def _check_method(
+        self, module: Module, cls: ast.ClassDef, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        where = f"{cls.name}.{fn.name}"
+        for node in ast.walk(fn):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                root = target
+                while isinstance(root, (ast.Subscript, ast.Starred)):
+                    root = root.value
+                if self_attribute_chain(root) is not None:
+                    yield self.finding(
+                        module, node,
+                        f"{where} assigns to self -- query paths must be "
+                        "pure functions of time",
+                    )
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and name.startswith("self.") \
+                        and len(name.split(".")) >= 3 \
+                        and name.split(".")[-1] in RNG_ADVANCE_METHODS:
+                    yield self.finding(
+                        module, node,
+                        f"{where} advances a stored RNG (`{name}`); answers "
+                        "would depend on query order -- derive a fresh "
+                        "generator from (seed, time) instead",
+                    )
+            if isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if banned_clock_name(name):
+                    yield self.finding(
+                        module, node,
+                        f"{where} reads the wall clock (`{name}`) -- link "
+                        "speeds must depend only on simulated time",
+                    )

@@ -1,0 +1,160 @@
+"""RNG discipline rules (RPL001-RPL004).
+
+The whole reproduction rests on one convention: every random draw comes
+from a ``numpy`` Generator constructed as ``default_rng([seed, _STREAM])``
+-- a SeedSequence-derived *named stream* (see ``_TOPOLOGY_STREAM``,
+``_EDGE_FLIP_STREAM``) -- or from a Generator explicitly threaded in by the
+caller. Anything else either draws from process-global state (stdlib
+``random``, ``np.random.<fn>``), from OS entropy (unseeded constructors),
+or from collision-prone derived seeds (``seed + 1``, ``rng.integers(...)``)
+that can silently alias another stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro_lint.config import NUMPY_RANDOM_ALLOWED
+from repro_lint.core import Finding, Module, Rule, register_rule
+from repro_lint.rules import call_name
+
+
+@register_rule
+class NoStdlibRandom(Rule):
+    code = "RPL001"
+    name = "no-stdlib-random"
+    description = (
+        "the stdlib `random` module is process-global state; use a "
+        "numpy Generator from a named `default_rng([seed, _STREAM])` stream"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module, node,
+                            "stdlib `random` imported; all randomness must "
+                            "flow through seeded numpy Generators",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        module, node,
+                        "stdlib `random` imported; all randomness must "
+                        "flow through seeded numpy Generators",
+                    )
+
+
+@register_rule
+class NoNumpyGlobalRNG(Rule):
+    code = "RPL002"
+    name = "no-numpy-global-rng"
+    description = (
+        "np.random.<fn>() draws from numpy's process-global legacy state; "
+        "construct a Generator instead"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if len(parts) >= 2 and parts[-2] == "random" \
+                        and parts[0] in ("np", "numpy") \
+                        and parts[-1] not in NUMPY_RANDOM_ALLOWED:
+                    yield self.finding(
+                        module, node,
+                        f"`{name}()` uses numpy's global RNG state; "
+                        "draw from a seeded Generator",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("numpy.random", "np.random"):
+                    for alias in node.names:
+                        if alias.name not in NUMPY_RANDOM_ALLOWED:
+                            yield self.finding(
+                                module, node,
+                                f"`from numpy.random import {alias.name}` "
+                                "pulls a global-state convenience function",
+                            )
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register_rule
+class NoUnseededRNG(Rule):
+    code = "RPL003"
+    name = "no-unseeded-rng"
+    description = (
+        "default_rng() / SeedSequence() with no seed pulls OS entropy: "
+        "every run differs"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            if tail not in ("default_rng", "SeedSequence"):
+                continue
+            if not node.args or _is_none(node.args[0]):
+                if node.keywords and tail == "SeedSequence":
+                    continue  # SeedSequence(entropy=...) is seeded
+                yield self.finding(
+                    module, node,
+                    f"`{tail}()` without a seed is nondeterministic; seed it "
+                    "from a named stream: default_rng([seed, _STREAM])",
+                )
+
+
+# Call-derived seeds that are fine: explicitly spawning from a SeedSequence
+# is the documented derivation mechanism.
+_ALLOWED_SEED_CALL_TAILS = ("SeedSequence", "spawn")
+
+
+@register_rule
+class RNGStreamDiscipline(Rule):
+    code = "RPL004"
+    name = "rng-stream-discipline"
+    description = (
+        "derived seeds (arithmetic or sampled) risk stream collisions; use "
+        "the named-stream pattern default_rng([seed, _STREAM]) or "
+        "SeedSequence.spawn"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or name.split(".")[-1] != "default_rng":
+                continue
+            if not node.args:
+                continue  # RPL003's department
+            seed = node.args[0]
+            if isinstance(seed, ast.BinOp):
+                yield self.finding(
+                    module, node,
+                    "default_rng(<arithmetic seed>) is collision-prone "
+                    "(`seed + k` aliases the root stream of seed+k); use "
+                    "default_rng([seed, _NAMED_STREAM])",
+                )
+            elif isinstance(seed, ast.Call):
+                tail = (call_name(seed) or "").split(".")[-1]
+                if tail not in _ALLOWED_SEED_CALL_TAILS:
+                    yield self.finding(
+                        module, node,
+                        "default_rng(<sampled seed>) derives a stream by "
+                        "drawing from another generator; two draws can "
+                        "collide -- use default_rng([seed, _NAMED_STREAM]) "
+                        "or SeedSequence.spawn",
+                    )

@@ -1,0 +1,73 @@
+"""Wall-clock / entropy ban (RPL020).
+
+Simulation results must be pure functions of (spec, seed). Reading the wall
+clock or OS entropy anywhere in the simulation path silently breaks
+``parallel == inline`` bit-identity and poisons the sha256 result cache.
+Broker/executor telemetry legitimately needs some of these (lease ages,
+run ids); those sites carry explicit waivers with justifications rather
+than a blanket path exemption, so every use is auditable in place.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro_lint.config import (
+    WALLCLOCK_BANNED_PREFIXES,
+    WALLCLOCK_BANNED_SUFFIXES,
+)
+from repro_lint.core import Finding, Module, Rule, register_rule
+from repro_lint.rules import dotted_name
+
+
+def banned_clock_name(name: str | None) -> bool:
+    if name is None:
+        return False
+    if name.startswith(WALLCLOCK_BANNED_PREFIXES):
+        return True
+    return any(
+        name == suffix or name.endswith("." + suffix)
+        for suffix in WALLCLOCK_BANNED_SUFFIXES
+    )
+
+
+@register_rule
+class NoWallClock(Rule):
+    code = "RPL020"
+    name = "no-wall-clock"
+    description = (
+        "wall-clock / OS-entropy reads (time.time, datetime.now, "
+        "os.urandom, uuid4, secrets.*) are nondeterministic inputs"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        flagged: set[int] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = dotted_name(node)
+            if banned_clock_name(name) and id(node.value) not in flagged:
+                # One finding per outermost matching chain: mark the child
+                # so `datetime.datetime.now` does not double-report.
+                flagged.add(id(node))
+                yield self.finding(
+                    module, node,
+                    f"`{name}` reads nondeterministic state; simulation "
+                    "inputs must be pure functions of (spec, seed)",
+                )
+        for node in ast.walk(module.tree):
+            # `from os import urandom; urandom(8)` style: bare-name calls of
+            # the banned tails, resolved through the module's imports.
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                banned_tails = {
+                    suffix.split(".")[-1] for suffix in WALLCLOCK_BANNED_SUFFIXES
+                    if suffix.startswith((node.module or "") + ".")
+                }
+                for alias in node.names:
+                    if alias.name in banned_tails:
+                        yield self.finding(
+                            module, node,
+                            f"`from {node.module} import {alias.name}` pulls "
+                            "a nondeterministic reader into scope",
+                        )
