@@ -37,6 +37,10 @@ class ADPSGDTrainer(DecentralizedTrainer):
     name = "adpsgd"
     supports_churn = True
     supports_dynamic_edges = True
+    # The batched sweep engine mirrors this trainer's gossip loop (and, by
+    # inheritance, SAPS's -- it only repoints the neighbor cache) on
+    # churn-free, static-edge cells; the bit-identity suite pins the claim.
+    supports_batched = True
 
     def __init__(self, *args, mixing_weight: float = 0.5, overlap: bool = True, **kwargs):
         super().__init__(*args, **kwargs)

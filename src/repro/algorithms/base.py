@@ -179,6 +179,14 @@ class DecentralizedTrainer(abc.ABC):
     # reject dynamic topologies explicitly rather than silently ignoring
     # the schedule.
     supports_dynamic_edges = False
+    # Whether the batched sweep backend (repro.simulation.batched) knows how
+    # to advance this trainer in lockstep with other cells of a sweep grid.
+    # Opt-in per algorithm: the batched engine mirrors the trainer's event
+    # loop structure-of-arrays style, so it must replicate the hot path's
+    # exact operation and RNG-draw order -- a trainer the engine has not
+    # been taught (and whose bit-identity is not pinned by tests) must not
+    # advertise the capability.
+    supports_batched = False
 
     def __init__(
         self,
@@ -536,17 +544,14 @@ class DecentralizedTrainer(abc.ABC):
         """Algorithm-specific diagnostics added to the result."""
         return {}
 
-    def run(self) -> TrainingResult:
-        """Execute the training run to its stopping criterion."""
-        self._schedule_churn()
-        self._schedule_edge_flips()
-        self._setup()
-        self.sim.schedule_at(0.0, self._evaluation_event)
-        self.sim.run(
-            until_time=self.config.max_sim_time,
-            max_events=self.config.max_events,
-            stop_condition=self._should_stop,
-        )
+    def _finalize_result(self) -> TrainingResult:
+        """Assemble the result once the event loop has stopped.
+
+        Shared verbatim by :meth:`run` and the batched backend (which stops
+        the lockstep engine, syncs trainer state, and calls this), so both
+        paths produce the final evaluation, extras, and result through the
+        same code.
+        """
         # The run may have halted right after a scheduled evaluation (e.g. a
         # max_epochs or max_events stop); re-evaluating at the same virtual
         # time would duplicate the history point and double-feed
@@ -567,3 +572,16 @@ class DecentralizedTrainer(abc.ABC):
             global_steps=self.total_iterations(),
             extras=extras,
         )
+
+    def run(self) -> TrainingResult:
+        """Execute the training run to its stopping criterion."""
+        self._schedule_churn()
+        self._schedule_edge_flips()
+        self._setup()
+        self.sim.schedule_at(0.0, self._evaluation_event)
+        self.sim.run(
+            until_time=self.config.max_sim_time,
+            max_events=self.config.max_events,
+            stop_condition=self._should_stop,
+        )
+        return self._finalize_result()

@@ -244,11 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--parallel", type=int, default=0,
                        help="worker processes (0/1 = sequential); implies "
                             "--backend process when > 1")
-    sweep.add_argument("--backend", choices=["inline", "process", "queue"],
+    sweep.add_argument("--backend",
+                       choices=["inline", "process", "queue", "batched"],
                        default=None,
                        help="execution backend (default: inline, or process "
                             "when --parallel > 1); all backends produce "
-                            "bit-identical results")
+                            "bit-identical results (batched advances "
+                            "compatible cells in lockstep through one "
+                            "vectorized engine)")
     sweep.add_argument("--queue-dir", default=None,
                        help="shared directory for the queue backend's "
                             "file-based work broker")

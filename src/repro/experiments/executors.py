@@ -9,11 +9,14 @@ strategy so the same declarative grid can run
 - across local processes (:class:`ProcessExecutor` -- the PR 1
   :class:`~concurrent.futures.ProcessPoolExecutor` path), or
 - across *any number of worker processes on one or many hosts* sharing a
-  directory (:class:`QueueExecutor` -- a file-based work broker).
+  directory (:class:`QueueExecutor` -- a file-based work broker), or
+- through one structure-of-arrays engine advancing many cells in lockstep
+  (:class:`BatchedExecutor` -- see :mod:`repro.simulation.batched` and
+  docs/batched_execution.md).
 
-All three are interchangeable: cells are deterministically seeded from
+All four are interchangeable: cells are deterministically seeded from
 their own spec and results land in the sha256-keyed :class:`ResultCache`,
-so ``queue == process == inline`` bit-for-bit.
+so ``batched == queue == process == inline`` bit-for-bit.
 
 The file-queue broker (:class:`WorkQueue`) needs nothing but a shared
 POSIX directory -- no server, no sockets. Its one primitive is the atomic
@@ -66,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweeps -> executors)
     from repro.simulation.records import TrainingResult
 
 __all__ = [
+    "BatchedExecutor",
     "CellExecution",
     "InlineExecutor",
     "ProcessExecutor",
@@ -76,6 +80,7 @@ __all__ = [
     "WorkerSummary",
     "make_executor",
     "parallel_map",
+    "partition_batchable",
     "run_queue_worker",
 ]
 
@@ -251,6 +256,113 @@ class ProcessExecutor(SweepExecutor):
             [(cell, cache_dir) for cell in cells],
             self.max_workers,
         )
+
+
+# -- the batched structure-of-arrays backend -----------------------------------
+
+
+def _batch_key(cell: SweepCell) -> tuple | None:
+    """The compatibility class a cell may be batched within, or ``None``.
+
+    A cell is batchable when its trainer class opts in
+    (``supports_batched``), its scenario family has no churn process, and
+    its scenario spec carries no time-varying topology -- the three things
+    :class:`~repro.simulation.batched.BatchedSimulator` rejects. Unknown
+    algorithm names fall through to the per-cell path, where
+    ``create_trainer`` raises the canonical error.
+
+    The key itself is the worker count: the engine steps one event vector
+    per round, so every cell in a batch must share it. Everything else
+    (scenario, workload, schedule, trainer kwargs, horizon) is per-cell
+    state inside the engine and may differ freely within a batch.
+    """
+    from repro.algorithms.registry import TRAINER_REGISTRY
+    from repro.experiments.scenarios import get_scenario_family
+
+    trainer_cls = TRAINER_REGISTRY.get(cell.algorithm.lower())
+    if trainer_cls is None or not getattr(trainer_cls, "supports_batched", False):
+        return None
+    if get_scenario_family(cell.scenario.kind).has_churn:
+        return None
+    if cell.scenario.has_dynamic_edges():
+        return None
+    return (cell.scenario.num_workers,)
+
+
+def partition_batchable(
+    cells: Sequence[SweepCell],
+) -> tuple[list[list[int]], list[int]]:
+    """Split cell indexes into lockstep batches and per-cell fall-throughs.
+
+    Pure function of the cell specs (no trainers are built): returns
+    ``(batches, singles)`` where each batch is a list of >= 2 indexes whose
+    cells share a :func:`_batch_key`, and ``singles`` collects every other
+    index -- incompatible cells *and* compatibility classes of size one,
+    for which the batch engine would only add overhead. Every input index
+    appears exactly once across the two, so the executor's output order is
+    trivially the input order.
+    """
+    keyed: dict[tuple, list[int]] = {}
+    singles: list[int] = []
+    for index, cell in enumerate(cells):
+        key = _batch_key(cell)
+        if key is None:
+            singles.append(index)
+        else:
+            keyed.setdefault(key, []).append(index)
+    batches: list[list[int]] = []
+    for indexes in keyed.values():
+        if len(indexes) >= 2:
+            batches.append(indexes)
+        else:
+            singles.extend(indexes)
+    singles.sort()
+    return batches, singles
+
+
+class BatchedExecutor(SweepExecutor):
+    """Advance compatible cells in lockstep through one SoA engine.
+
+    Cells are partitioned by :func:`partition_batchable`; each batch is
+    built trainer-by-trainer through the same
+    :meth:`~repro.experiments.sweeps.SweepCell.build_trainer` path the
+    other backends use, then stepped together by
+    :class:`~repro.simulation.batched.BatchedSimulator`. Incompatible
+    cells (and singleton compatibility classes) fall through to the
+    ordinary per-cell path, so any grid accepted by the other backends is
+    accepted here -- and produces bit-identical results (the engine's
+    determinism contract, pinned by the bit-identity suite).
+
+    A batch's wall-clock is shared work, so its runtime telemetry is split
+    evenly across the batch's cells: per-cell ``runtime_s`` stays additive
+    (summing it over a sweep yields the sweep's execution time), at the
+    cost of being an average rather than a per-cell measurement.
+    """
+
+    name = "batched"
+
+    def run(
+        self, cells: Sequence[SweepCell], cache_dir: str | None
+    ) -> list[CellExecution]:
+        from repro.simulation.batched import BatchedSimulator
+
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        batches, singles = partition_batchable(cells)
+        executions: list[CellExecution | None] = [None] * len(cells)
+        for batch in batches:
+            start = time.perf_counter()
+            trainers = [cells[index].build_trainer() for index in batch]
+            results = BatchedSimulator(trainers).run()
+            share = (time.perf_counter() - start) / len(batch)
+            for index, result in zip(batch, results):
+                if cache is not None:
+                    cache.store(cells[index].cache_key(), result)
+                executions[index] = CellExecution(
+                    result=result, runtime_s=share, worker=_worker_id()
+                )
+        for index in singles:
+            executions[index] = _execute_one(cells[index], cache_dir)
+        return executions  # type: ignore[return-value]
 
 
 # -- the file-queue broker -----------------------------------------------------
@@ -950,6 +1062,8 @@ def make_executor(
     """Build the executor named by ``backend`` (the CLI's ``--backend``)."""
     if backend == "inline":
         return InlineExecutor()
+    if backend == "batched":
+        return BatchedExecutor()
     if backend == "process":
         # An explicit --parallel is honored exactly (1 = one cell at a
         # time); only an unspecified count falls back to 2 so that asking

@@ -29,11 +29,48 @@ from repro.experiments.scenarios import Scenario, Workload
 from repro.simulation.records import TrainingResult
 
 __all__ = [
+    "build_trainer",
     "run_trainer",
     "run_trainer_jobs",
     "run_comparison",
     "time_to_loss_speedups",
 ]
+
+
+def build_trainer(
+    algorithm: str,
+    scenario: Scenario,
+    workload: Workload,
+    config: TrainerConfig,
+    seed_offset: int = 0,
+    **trainer_kwargs,
+):
+    """Construct (but do not run) a trainer on a (scenario, workload) pair.
+
+    The construction half of :func:`run_trainer`, exposed separately so
+    execution backends that drive trainers through an external stepper
+    (the batched sweep backend) build them through exactly the same path
+    -- fresh tasks, churn injection, registry dispatch -- as the inline
+    one.
+    """
+    if scenario.num_workers != workload.num_workers:
+        raise ValueError(
+            f"scenario has {scenario.num_workers} workers but workload has "
+            f"{workload.num_workers}"
+        )
+    if scenario.churn is not None and "churn" not in trainer_kwargs:
+        trainer_kwargs["churn"] = scenario.churn
+    tasks = workload.make_tasks(seed_offset=seed_offset)
+    return create_trainer(
+        algorithm,
+        tasks,
+        scenario.topology,
+        scenario.links,
+        workload.profile,
+        config,
+        test_data=workload.test_data,
+        **trainer_kwargs,
+    )
 
 
 def run_trainer(
@@ -50,22 +87,12 @@ def run_trainer(
     ``adaptive=False`` for the NetMax ablation, ``group_size=2`` for
     Prague).
     """
-    if scenario.num_workers != workload.num_workers:
-        raise ValueError(
-            f"scenario has {scenario.num_workers} workers but workload has "
-            f"{workload.num_workers}"
-        )
-    if scenario.churn is not None and "churn" not in trainer_kwargs:
-        trainer_kwargs["churn"] = scenario.churn
-    tasks = workload.make_tasks(seed_offset=seed_offset)
-    trainer = create_trainer(
+    trainer = build_trainer(
         algorithm,
-        tasks,
-        scenario.topology,
-        scenario.links,
-        workload.profile,
+        scenario,
+        workload,
         config,
-        test_data=workload.test_data,
+        seed_offset=seed_offset,
         **trainer_kwargs,
     )
     return trainer.run()

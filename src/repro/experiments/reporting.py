@@ -20,19 +20,24 @@ __all__ = [
 
 
 def mean_std(values: Sequence[float]) -> tuple[float, float]:
-    """Mean and standard deviation of a sample, NaN-safe and empty-safe.
+    """Mean and sample standard deviation, NaN-safe and empty-safe.
 
     The numeric backend of every ``*_mean``/``*_std`` column pair in the
     sweep tables, including the per-cell wall-clock telemetry columns: an
     empty sample (e.g. a fully cache-served group, which measured no fresh
     executions) yields ``(nan, nan)`` so the renderer prints ``-`` rather
-    than a fabricated zero.
+    than a fabricated zero. The values are a sample (a handful of seeds,
+    not the population of all seeds), so the spread is the Bessel-corrected
+    ``ddof=1`` estimator; a single value measures no spread and yields a
+    NaN std, which :func:`format_mean_std` renders band-free.
     """
     finite = [float(v) for v in values if np.isfinite(v)]
     if not finite:
         return float("nan"), float("nan")
     array = np.asarray(finite)
-    return float(array.mean()), float(array.std())
+    if array.size < 2:
+        return float(array.mean()), float("nan")
+    return float(array.mean()), float(array.std(ddof=1))
 
 
 def render_table(

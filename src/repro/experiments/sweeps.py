@@ -300,20 +300,30 @@ class SweepCell:
     def label(self) -> str:
         return f"{self.algorithm}/s{self.seed}/{self.scenario.label()}"
 
-    def execute(self) -> TrainingResult:
-        """Build everything from the spec (deterministic per-cell seeding)."""
-        from repro.experiments.harness import run_trainer
+    def build_trainer(self):
+        """Construct the cell's trainer without running it.
+
+        The batched backend's entry point: everything (scenario, workload,
+        config, trainer) is built through exactly the same code path as
+        :meth:`execute`, so an externally stepped trainer starts from a
+        bit-identical state.
+        """
+        from repro.experiments.harness import build_trainer
 
         scenario = self.scenario.build(self.seed)
         workload = self.workload.build(scenario.num_workers, self.seed)
         config = self.run.build(self.seed)
-        return run_trainer(
+        return build_trainer(
             self.algorithm,
             scenario,
             workload,
             config,
             **dict(self.trainer_kwargs),
         )
+
+    def execute(self) -> TrainingResult:
+        """Build everything from the spec (deterministic per-cell seeding)."""
+        return self.build_trainer().run()
 
 
 @dataclass(frozen=True)
@@ -520,12 +530,32 @@ def run_sweep(
 # -- aggregation ---------------------------------------------------------------
 
 
+def _sample_std(values: np.ndarray) -> float:
+    """Across-seed spread as a sample (``ddof=1``) std; NaN when n < 2.
+
+    Seeds are a sample drawn from the space of possible seeds, not the
+    whole population, so the Bessel-corrected estimator applies; a single
+    seed measures no spread (``format_mean_std`` renders the NaN band-free).
+    """
+    if values.size < 2:
+        return float("nan")
+    return float(values.std(ddof=1))
+
+
+def _nan_sample_std(values: np.ndarray) -> float:
+    """NaN-aware sample std; NaN when fewer than two non-NaN values."""
+    if np.count_nonzero(~np.isnan(values)) < 2:
+        return float("nan")
+    return float(np.nanstd(values, ddof=1))
+
+
 def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
     """Mean +- std summary per (algorithm, scenario) across seeds.
 
     Every summarized metric carries a variance band (its across-seed
-    standard deviation in the ``*_std`` column right after its mean), so
-    figure sweeps expose seed spread rather than just point estimates. The
+    sample standard deviation, ``ddof=1``, in the ``*_std`` column right
+    after its mean), so figure sweeps expose seed spread rather than just
+    point estimates. The
     aggregation is order-independent within each group (results arrive in
     grid order regardless of execution backend), so parallel, sequential,
     queue-brokered, and cache-served sweeps aggregate to identical numbers
@@ -556,11 +586,11 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
                 scenario_label,
                 len(results),
                 float(losses.mean()),
-                float(losses.std()),
+                _sample_std(losses),
                 float(np.nanmean(accuracies)) if has_accuracy else float("nan"),
-                float(np.nanstd(accuracies)) if has_accuracy else float("nan"),
+                _nan_sample_std(accuracies) if has_accuracy else float("nan"),
                 float(epoch_times.mean()),
-                float(epoch_times.std()),
+                _sample_std(epoch_times),
                 cell_time_mean,
                 cell_time_std,
             ]

@@ -186,6 +186,25 @@ class SGDState:
         self.config = config
         self._velocity = np.zeros(dim, dtype=np.float64)
 
+    @property
+    def velocity(self) -> np.ndarray:
+        """The momentum buffer.
+
+        Exposed so external steppers (the batched sweep engine) can mirror
+        the buffer into a batch array and restore it afterwards; the setter
+        copies, so the state never aliases caller memory.
+        """
+        return self._velocity
+
+    @velocity.setter
+    def velocity(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != self._velocity.shape:
+            raise ValueError(
+                f"velocity shape {value.shape} != {self._velocity.shape}"
+            )
+        self._velocity = value.copy()
+
     def step(self, params: np.ndarray, grad: np.ndarray, lr: float) -> np.ndarray:
         if lr < 0:
             raise ValueError(f"learning rate must be >= 0, got {lr}")

@@ -9,6 +9,7 @@ seed -- a property the test-suite relies on heavily.
 from __future__ import annotations
 
 import heapq
+import math
 from collections.abc import Callable
 
 __all__ = ["Simulator"]
@@ -43,17 +44,46 @@ class Simulator:
         return len(self._queue)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute virtual ``time``."""
+        """Schedule ``callback`` at absolute virtual ``time``.
+
+        ``time`` must be finite: a NaN time would slip past the
+        past-scheduling guard (every comparison against NaN is False) and
+        poison the heap invariant, and an infinite time could park the
+        clock at ``inf``.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
         heapq.heappush(self._queue, (time, self._sequence, callback))
         self._sequence += 1
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` after a non-negative ``delay``."""
+        """Schedule ``callback`` after a non-negative finite ``delay``."""
+        if not math.isfinite(delay):
+            raise ValueError(f"delay must be finite, got {delay}")
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
         self.schedule_at(self._now + delay, callback)
+
+    def advance_to(self, time: float, *, events: int = 0) -> None:
+        """Move the clock forward without draining the queue.
+
+        The hook for external steppers (see
+        :mod:`repro.simulation.batched`) that execute this simulator's
+        events elsewhere: they advance the clock to the time they have
+        reached and report how many events they executed on this
+        simulator's behalf, keeping :attr:`now` and
+        :attr:`events_processed` truthful.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"time must be finite, got {time}")
+        if time < self._now:
+            raise ValueError(f"cannot advance to {time} < now {self._now}")
+        if events < 0:
+            raise ValueError(f"events must be >= 0, got {events}")
+        self._now = float(time)
+        self._events_processed += events
 
     def step(self) -> bool:
         """Execute the earliest event. Returns False if the queue is empty."""

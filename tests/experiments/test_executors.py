@@ -13,7 +13,10 @@ import time
 import numpy as np
 import pytest
 
+from hypothesis import given, settings, strategies as st
+
 from repro.experiments.executors import (
+    BatchedExecutor,
     InlineExecutor,
     ProcessExecutor,
     QueueExecutor,
@@ -21,11 +24,15 @@ from repro.experiments.executors import (
     WorkQueue,
     make_executor,
     parallel_map,
+    partition_batchable,
     run_queue_worker,
 )
 from repro.experiments.executors import QueueCellError
 from repro.experiments.sweeps import (
     RunSpec,
+    ScenarioSpec,
+    SweepCell,
+    WorkloadSpec,
     aggregate_sweep,
     run_sweep,
 )
@@ -50,6 +57,7 @@ def queue_executor(tmp_path, **overrides) -> QueueExecutor:
 class TestMakeExecutor:
     def test_backend_names(self):
         assert make_executor("inline").name == "inline"
+        assert make_executor("batched").name == "batched"
         assert make_executor("process", parallel=3).name == "process"
         queue = make_executor("queue", queue_dir="/tmp/q", num_queue_workers=2)
         assert queue.name == "queue"
@@ -127,6 +135,124 @@ class TestBackendEquivalence:
         )
         assert meta["label"] == outcome.cell.label()
         assert meta["runtime_s"] == outcome.runtime_s
+
+
+class TestBatchedBackend:
+    """The lockstep SoA backend: bit-identical, cache-compatible, and its
+    partitioner never co-schedules incompatible cells."""
+
+    def test_batched_bit_identical_to_inline(self):
+        """tiny_spec mixes a batchable algorithm (adpsgd) with a
+        non-batchable one (allreduce), so this exercises both the lockstep
+        engine and the per-cell fall-through in one sweep."""
+        spec = tiny_spec()
+        batches, singles = partition_batchable(spec.cells())
+        assert batches and singles  # both paths genuinely exercised
+        inline = run_sweep(spec, executor=InlineExecutor())
+        batched = run_sweep(spec, executor=BatchedExecutor())
+        assert batched.backend == "batched"
+        for a, b in zip(inline.outcomes, batched.outcomes):
+            assert a.cell == b.cell
+            assert_results_identical(a.result, b.result)
+        assert metric_rows(aggregate_sweep(inline)) == metric_rows(
+            aggregate_sweep(batched)
+        )
+
+    def test_batched_results_cache_and_rerun_identical(self, tmp_path):
+        spec = tiny_spec()
+        cache_dir = str(tmp_path / "cache")
+        fresh = run_sweep(spec, cache_dir=cache_dir, executor=BatchedExecutor())
+        assert fresh.cells_executed == len(spec.cells())
+        rerun = run_sweep(spec, cache_dir=cache_dir, executor=BatchedExecutor())
+        assert rerun.cells_from_cache == len(spec.cells())
+        for a, b in zip(fresh.outcomes, rerun.outcomes):
+            assert_results_identical(a.result, b.result)
+
+    def test_runtime_telemetry_is_additive(self):
+        outcome_runtimes = [
+            outcome.runtime_s
+            for outcome in run_sweep(
+                tiny_spec(), executor=BatchedExecutor()
+            ).outcomes
+        ]
+        assert all(runtime > 0.0 for runtime in outcome_runtimes)
+
+
+# Cell-spec axes for the partitioning property: batchable and non-batchable
+# algorithms, two worker counts, and the three compatibility hazards the
+# partitioner must keep out of batches (nothing / time-varying edges /
+# churn). ScenarioSpec construction validates params, so draws build real
+# specs, never toy stand-ins.
+_ALGORITHMS = ("adpsgd", "saps", "allreduce", "netmax")
+_HAZARDS = ("plain", "dynamic-edges", "churn")
+
+
+def _property_cell(algorithm: str, workers: int, hazard: str) -> SweepCell:
+    if hazard == "churn":
+        scenario = ScenarioSpec("churn", workers)
+    elif hazard == "dynamic-edges":
+        scenario = ScenarioSpec(
+            "heterogeneous", workers, params=(("edge_failures", 2),)
+        )
+    else:
+        scenario = ScenarioSpec("heterogeneous", workers)
+    return SweepCell(
+        algorithm=algorithm,
+        seed=0,
+        scenario=scenario,
+        workload=WorkloadSpec(),
+        run=RunSpec(),
+    )
+
+
+class TestBatchedPartitioning:
+    @given(
+        draws=st.lists(
+            st.tuples(
+                st.sampled_from(_ALGORITHMS),
+                st.sampled_from((4, 8)),
+                st.sampled_from(_HAZARDS),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_is_a_disjoint_cover_of_compatible_cells(self, draws):
+        from repro.algorithms.registry import TRAINER_REGISTRY
+
+        cells = [_property_cell(*draw) for draw in draws]
+        batches, singles = partition_batchable(cells)
+        # Exactly one home per cell: the executor fills its output slots
+        # from this partition, so overlap or omission would corrupt results.
+        covered = sorted(index for batch in batches for index in batch)
+        assert sorted(covered + singles) == list(range(len(cells)))
+        assert len(set(covered) | set(singles)) == len(cells)
+        for batch in batches:
+            assert len(batch) >= 2  # singleton batches fall through
+            members = [cells[index] for index in batch]
+            # Never co-scheduled: a batch is uniform in worker count and
+            # contains only batchable cells (opted-in trainer, no churn
+            # family, no time-varying topology).
+            assert len({cell.scenario.num_workers for cell in members}) == 1
+            for cell in members:
+                assert TRAINER_REGISTRY[cell.algorithm].supports_batched
+                assert cell.scenario.kind != "churn"
+                assert not cell.scenario.has_dynamic_edges()
+
+    def test_incompatible_cells_fall_through(self):
+        cells = [
+            _property_cell("adpsgd", 4, "plain"),
+            _property_cell("adpsgd", 4, "churn"),
+            _property_cell("adpsgd", 4, "dynamic-edges"),
+            _property_cell("allreduce", 4, "plain"),
+            _property_cell("adpsgd", 8, "plain"),  # lone worker count
+            _property_cell("saps", 4, "plain"),
+        ]
+        batches, singles = partition_batchable(cells)
+        # adpsgd and saps share the 4-worker batch; everything else is
+        # hazardous, opted out, or a singleton compatibility class.
+        assert batches == [[0, 5]]
+        assert singles == [1, 2, 3, 4]
 
 
 class TestForce:

@@ -221,15 +221,30 @@ class TestVarianceBands:
             assert np.isnan(row[9]) and np.isnan(row[10])
 
     def test_std_measures_across_seed_spread(self):
-        """Two seeds with different outcomes yield a positive loss std; a
-        single seed yields exactly zero."""
+        """Two seeds with different outcomes yield a positive sample std; a
+        single seed measures no spread, so every std column is NaN (rendered
+        band-free) rather than a misleading zero."""
         multi = aggregate_sweep(run_sweep(tiny_spec()))
         single = aggregate_sweep(run_sweep(tiny_spec(seeds=(0,))))
         multi_row = multi.row_dict()["adpsgd"]
         single_row = single.row_dict()["adpsgd"]
         assert multi_row[2] == 2 and single_row[2] == 1
         assert multi_row[4] > 0.0
-        assert single_row[4] == 0.0
+        assert np.isnan(single_row[4]) and np.isnan(single_row[8])
+
+    def test_std_uses_bessel_correction(self):
+        """The seed spread is the ddof=1 sample estimator: for two seeds,
+        std == |a - b| / sqrt(2), not the population |a - b| / 2."""
+        result = run_sweep(tiny_spec())
+        output = aggregate_sweep(result)
+        losses = [
+            cell.result.history.final_loss()
+            for cell in result.outcomes
+            if cell.cell.algorithm == "adpsgd"
+        ]
+        assert len(losses) == 2
+        expected = abs(losses[0] - losses[1]) / np.sqrt(2.0)
+        assert output.row_dict()["adpsgd"][4] == pytest.approx(expected, rel=1e-12)
 
 
 class TestScenarioParams:

@@ -53,6 +53,56 @@ class TestScheduling:
         with pytest.raises(ValueError, match="delay"):
             Simulator().schedule_in(-1.0, lambda: None)
 
+    @pytest.mark.parametrize(
+        "time", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_schedule_at_rejects_non_finite_time(self, time):
+        # Regression: a NaN time slipped past the `time < now` guard (every
+        # NaN comparison is False) and corrupted the heap order; an infinite
+        # time parked the clock at inf.
+        with pytest.raises(ValueError, match="finite"):
+            Simulator().schedule_at(time, lambda: None)
+
+    @pytest.mark.parametrize(
+        "delay", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_schedule_in_rejects_non_finite_delay(self, delay):
+        with pytest.raises(ValueError, match="finite"):
+            Simulator().schedule_in(delay, lambda: None)
+
+    def test_queue_stays_clean_after_rejected_time(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_at(float("nan"), lambda: None)
+        assert sim.pending == 0
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.run(until_time=2.0)
+        assert fired == [1]
+
+
+class TestAdvanceTo:
+    def test_moves_clock_and_event_counter(self):
+        sim = Simulator()
+        sim.advance_to(3.0, events=7)
+        assert sim.now == 3.0
+        assert sim.events_processed == 7
+
+    def test_defaults_to_zero_events(self):
+        sim = Simulator()
+        sim.advance_to(1.5)
+        assert sim.events_processed == 0
+
+    def test_rejects_regression_and_non_finite(self):
+        sim = Simulator()
+        sim.advance_to(2.0)
+        with pytest.raises(ValueError, match="cannot advance"):
+            sim.advance_to(1.0)
+        with pytest.raises(ValueError, match="finite"):
+            sim.advance_to(float("nan"))
+        with pytest.raises(ValueError, match="events"):
+            sim.advance_to(3.0, events=-1)
+
 
 class TestRun:
     def test_until_time_excludes_later_events(self):
