@@ -63,7 +63,9 @@ import argparse
 import inspect
 import itertools
 import json
+import os
 import sys
+import time
 
 import numpy as np
 
@@ -79,11 +81,17 @@ from repro.experiments import (
     run_comparison,
     time_to_loss_speedups,
 )
-from repro.experiments.executors import make_executor, run_queue_worker
+from repro.experiments.executors import (
+    WorkQueue,
+    make_executor,
+    run_queue_worker,
+)
+from repro.experiments.reporting import format_worker_health
 from repro.experiments.sweeps import (
     SCENARIO_KINDS,
     RunSpec,
     ScenarioSpec,
+    SweepProgress,
     SweepSpec,
     WorkloadSpec,
     aggregate_sweep,
@@ -261,11 +269,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes joining --queue-dir)")
     sweep.add_argument("--lease-timeout-s", type=float, default=30.0,
                        help="queue backend: reclaim a cell whose worker "
-                            "heartbeat is older than this (worker presumed "
-                            "dead)")
+                            "heartbeat counter has not advanced for this "
+                            "long (worker presumed dead); minimum 1.0")
+    sweep.add_argument("--lease-batch", type=int, default=1,
+                       help="queue backend: cells a worker claims per "
+                            "directory scan (amortizes scan overhead for "
+                            "sub-second cells)")
     sweep.add_argument("--max-attempts", type=int, default=3,
                        help="queue backend: per-cell retry budget before a "
                             "cell fails the sweep")
+    sweep.add_argument("--stream-interval-s", type=float, default=0.0,
+                       help="re-render the aggregate table to stderr at most "
+                            "this often as cells land (0 = only the final "
+                            "table; --json-summary always updates "
+                            "incrementally)")
     sweep.add_argument("--cache-dir", default=None,
                        help="directory for the on-disk result cache "
                             "(queue backend defaults to QUEUE_DIR/results)")
@@ -292,9 +309,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after this long with nothing claimable")
     worker.add_argument("--max-cells", type=int, default=None,
                         help="exit after executing this many cells")
+    worker.add_argument("--lease-batch", type=int, default=None,
+                        help="cells to claim per directory scan (default: "
+                             "the coordinator's published setting)")
     worker.add_argument("--json-summary", default=None, metavar="PATH",
                         help="write {worker, executed, skipped, failed, "
                              "reclaimed} to PATH on exit")
+
+    status = sub.add_parser(
+        "sweep-status",
+        help="inspect a sweep queue directory: depths, runs, worker health",
+    )
+    status.add_argument("--queue-dir", required=True,
+                        help="queue directory of a --backend queue sweep")
+    status.add_argument("--json", action="store_true",
+                        help="print the full machine-readable snapshot "
+                             "instead of the human summary")
 
     policy = sub.add_parser("policy", help="run Algorithm 3 on a time matrix")
     policy.add_argument("--times", required=True, help="CSV file, MxM iteration times")
@@ -404,6 +434,44 @@ def _write_json_summary(path: str | None, payload: dict) -> None:
         handle.write("\n")
 
 
+def _make_stream(args: argparse.Namespace):
+    """Incremental progress hook for ``repro sweep``.
+
+    Every snapshot refreshes ``--json-summary`` (same keys as the final
+    summary plus ``"in_progress": true``, so file-watching orchestration
+    can distinguish a mid-drain summary from the finished one -- the final
+    write drops the marker). With ``--stream-interval-s > 0`` the
+    aggregate table also re-renders to stderr, rate-limited, as cells
+    land. The final snapshot of a sweep is bit-identical to the batch
+    aggregation (it is built from the same outcomes), so streaming never
+    changes what the run prints at the end.
+    """
+    start = time.monotonic()
+    last_render = start
+
+    def stream(progress: SweepProgress) -> None:
+        nonlocal last_render
+        if not progress.done:
+            executed = sum(
+                1 for outcome in progress.outcomes if not outcome.from_cache
+            )
+            _write_json_summary(args.json_summary, {
+                "cells": progress.total,
+                "executed": executed,
+                "cached": progress.completed - executed,
+                "backend": progress.backend,
+                "wall_s": round(time.monotonic() - start, 3),
+                "in_progress": True,
+            })
+        if args.stream_interval_s > 0 and not progress.done:
+            now = time.monotonic()
+            if now - last_render >= args.stream_interval_s:
+                last_render = now
+                print(progress.aggregate().render(), file=sys.stderr)
+
+    return stream
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.algorithms.registry import trainer_names
 
@@ -450,18 +518,27 @@ def _run_sweep(args: argparse.Namespace) -> int:
             "backend": "dry-run", "wall_s": 0.0,
         })
         return 0
-    executor = make_executor(
-        backend,
-        parallel=args.parallel,
-        queue_dir=args.queue_dir,
-        num_queue_workers=args.num_queue_workers,
-        lease_timeout_s=args.lease_timeout_s,
-        max_attempts=args.max_attempts,
-        progress=lambda message: print(message, file=sys.stderr),
-    )
+    try:
+        executor = make_executor(
+            backend,
+            parallel=args.parallel,
+            queue_dir=args.queue_dir,
+            num_queue_workers=args.num_queue_workers,
+            lease_timeout_s=args.lease_timeout_s,
+            max_attempts=args.max_attempts,
+            progress=lambda message: print(message, file=sys.stderr),
+            lease_batch=args.lease_batch,
+        )
+    except ValueError as error:
+        # e.g. a lease timeout below the staleness-observation floor.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stream = _make_stream(args) if (args.json_summary is not None
+                                    or args.stream_interval_s > 0) else None
     try:
         sweep = run_sweep(
-            spec, cache_dir=args.cache_dir, force=args.force, executor=executor
+            spec, cache_dir=args.cache_dir, force=args.force,
+            executor=executor, stream=stream,
         )
     except RuntimeError as error:
         # e.g. queue cells that exhausted their retry budget. Overwrite any
@@ -484,6 +561,7 @@ def _run_sweep_worker(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout_s,
         max_cells=args.max_cells,
         progress=lambda message: print(message, file=sys.stderr),
+        lease_batch=args.lease_batch,
     )
     print(f"worker {summary.worker}: {summary.executed} cell(s) executed, "
           f"{summary.skipped} already done, {summary.failed} failed "
@@ -492,6 +570,30 @@ def _run_sweep_worker(args: argparse.Namespace) -> int:
     # Nonzero on any failed attempt so orchestration (cron, job arrays)
     # can spot an unhealthy worker host without watching the coordinator.
     return 1 if summary.failed else 0
+
+
+def _run_sweep_status(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.queue_dir):
+        print(f"error: {args.queue_dir} is not a directory", file=sys.stderr)
+        return 2
+    snapshot = WorkQueue(args.queue_dir).status_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"queue {snapshot['queue_dir']}: {snapshot['pending']} pending, "
+          f"{snapshot['leased']} leased, {snapshot['completed']} completed, "
+          f"{len(snapshot['failed'])} failed")
+    for run in snapshot["runs"]:
+        state = ("active" if run["active"]
+                 else "inactive" if run["active"] is not None else "unknown")
+        print(f"  run {run['run_id'][:12]} [{state}]: "
+              f"{run['pending']} pending, {run['leased']} leased")
+    health = format_worker_health(snapshot["workers"])
+    if health:
+        print(f"  {health}")
+    if snapshot["stop"] is not None:
+        print(f"  STOP marker present (run {snapshot['stop'][:12]})")
+    return 0
 
 
 def _run_policy(args: argparse.Namespace) -> int:
@@ -526,6 +628,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.command == "sweep-worker":
         return _run_sweep_worker(args)
+    if args.command == "sweep-status":
+        return _run_sweep_status(args)
     if args.command == "policy":
         return _run_policy(args)
     raise AssertionError(f"unhandled command {args.command!r}")

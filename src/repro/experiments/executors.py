@@ -31,10 +31,14 @@ POSIX directory -- no server, no sockets. Its one primitive is the atomic
 - **complete**: the worker stores the result through the cache's
   temp+rename write, records timing telemetry in ``meta/<key>.json``, and
   deletes its lease;
-- **reclaim**: a lease is heartbeat-touched while its cell executes; if a
-  worker dies, the heartbeat stops, the lease's mtime goes stale, and any
-  other process renames it back into ``tasks/`` with the attempt counter
-  bumped -- a killed worker costs one retry, never a lost cell;
+- **reclaim**: a lease grows by one heartbeat byte while its cell
+  executes; if a worker dies, the byte counter freezes, and once any
+  observer has watched an unchanged counter for a full lease timeout it
+  renames the lease back into ``tasks/`` with the attempt counter
+  bumped -- a killed worker costs one retry, never a lost cell. The
+  counter lives *inside* the file, so staleness never compares one
+  host's wall clock against another host's mtime (NFS clock skew and
+  coarse mtime granularity cannot spuriously reclaim a live lease);
 - **fail**: a cell whose retry budget is exhausted moves to
   ``failed/<key>.err`` (error text + provenance) where the coordinator
   surfaces it as a hard error;
@@ -46,11 +50,30 @@ Because results are idempotent (bit-identical regardless of which worker
 executes a cell, enforced by the determinism test suite), the races left
 open by this design -- e.g. a presumed-dead worker completing after its
 lease was reclaimed -- are benign: both writers store the same bytes.
+
+The long-lived service layer on top of the broker adds:
+
+- a **worker registry** (``registry/<worker_id>.json``): every worker
+  heartbeats a health record (host, pid, current cell, cells completed,
+  beat counter) that ``repro sweep`` progress output and
+  ``repro sweep-status`` surface;
+- **batch leases**: a worker claims up to ``lease_batch`` cells per
+  directory scan (one rename each, but one scan amortized across the
+  batch), so sub-second cells stop paying a scan per cell;
+- **priority + fair-share scheduling**: task filenames carry a priority
+  (estimated cell cost -- slowest first, so stragglers start early) and a
+  run id; a worker round-robins across the runs sharing the queue
+  directory, so two coordinators' sweeps interleave instead of queueing
+  behind each other, and their task files can never collide;
+- **run records** (``runs/<run_id>.json``): each coordinator registers
+  its sweep and deactivates it on exit, so one coordinator's STOP marker
+  never turns away workers that another coordinator still needs.
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
 import json
 import os
 import pickle
@@ -69,6 +92,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweeps -> executors)
     from repro.simulation.records import TrainingResult
 
 __all__ = [
+    "MIN_LEASE_TIMEOUT_S",
     "BatchedExecutor",
     "CellExecution",
     "InlineExecutor",
@@ -83,6 +107,13 @@ __all__ = [
     "partition_batchable",
     "run_queue_worker",
 ]
+
+#: Floor on ``--lease-timeout-s``. The heartbeat appends a counter byte
+#: every ``timeout / 3`` seconds and staleness requires the counter to sit
+#: unchanged across a full timeout window; below ~1s the beat interval
+#: approaches filesystem latency on shared mounts and a healthy worker's
+#: lease could look frozen between two observations.
+MIN_LEASE_TIMEOUT_S = 1.0
 
 
 def _atomic_write(directory: str, path: str, mode: str, write: Callable) -> None:
@@ -164,6 +195,25 @@ class ResultCache:
         except FileNotFoundError:
             pass
 
+    def peek(self, key: str) -> TrainingResult | None:
+        """:meth:`load` without the quarantine side effect.
+
+        The streaming wait loop peeks at results as they land; it must
+        never move a file aside mid-poll (an in-progress arrival would be
+        destroyed and the coordinator's existence checks would never see
+        it), so unreadable bytes simply read as "not here yet" and the
+        destructive :meth:`load` in the final collection pass stays the
+        only quarantiner.
+        """
+        try:
+            with open(self.path(key), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
     def store(self, key: str, result: TrainingResult) -> None:
         _atomic_write(
             self.directory, self.path(key), "wb",
@@ -215,10 +265,28 @@ class SweepExecutor(abc.ABC):
     """
 
     name: str = "?"
+    _result_listener: Callable[[int, CellExecution], None] | None = None
 
     def default_cache_dir(self) -> str | None:
         """Backend-provided result store when the caller passes none."""
         return None
+
+    def set_result_listener(
+        self, listener: Callable[[int, CellExecution], None] | None
+    ) -> None:
+        """Stream completed cells out of :meth:`run` as they land.
+
+        ``listener(index, execution)`` fires at most once per input index,
+        from the coordinating process, before :meth:`run` returns. It is a
+        *progress* channel -- the authoritative results are still the
+        returned list, and callers must not assume every index streams
+        (a backend is free to only notify at the end).
+        """
+        self._result_listener = listener
+
+    def _notify(self, index: int, execution: CellExecution) -> None:
+        if self._result_listener is not None:
+            self._result_listener(index, execution)
 
     @abc.abstractmethod
     def run(
@@ -235,7 +303,12 @@ class InlineExecutor(SweepExecutor):
     def run(
         self, cells: Sequence[SweepCell], cache_dir: str | None
     ) -> list[CellExecution]:
-        return [_execute_one(cell, cache_dir) for cell in cells]
+        executions = []
+        for index, cell in enumerate(cells):
+            execution = _execute_one(cell, cache_dir)
+            self._notify(index, execution)
+            executions.append(execution)
+        return executions
 
 
 class ProcessExecutor(SweepExecutor):
@@ -251,11 +324,25 @@ class ProcessExecutor(SweepExecutor):
     def run(
         self, cells: Sequence[SweepCell], cache_dir: str | None
     ) -> list[CellExecution]:
-        return parallel_map(
-            _execute_payload,
-            [(cell, cache_dir) for cell in cells],
-            self.max_workers,
-        )
+        payloads = [(cell, cache_dir) for cell in cells]
+        if self.max_workers <= 1 or len(payloads) <= 1:
+            executions = []
+            for index, payload in enumerate(payloads):
+                execution = _execute_payload(payload)
+                self._notify(index, execution)
+                executions.append(execution)
+            return executions
+        executions = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(payloads))
+        ) as pool:
+            # pool.map yields in input order as results become available,
+            # so the stream observes cells in grid order (a cell is
+            # announced once every earlier cell has also finished).
+            for index, execution in enumerate(pool.map(_execute_payload, payloads)):
+                self._notify(index, execution)
+                executions.append(execution)
+        return executions
 
 
 # -- the batched structure-of-arrays backend -----------------------------------
@@ -360,8 +447,10 @@ class BatchedExecutor(SweepExecutor):
                 executions[index] = CellExecution(
                     result=result, runtime_s=share, worker=_worker_id()
                 )
+                self._notify(index, executions[index])
         for index in singles:
             executions[index] = _execute_one(cells[index], cache_dir)
+            self._notify(index, executions[index])
         return executions  # type: ignore[return-value]
 
 
@@ -376,32 +465,86 @@ def _worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
-def _file_age_s(path: str) -> float | None:
-    try:
-        # repro-lint: allow[RPL020] -- lease/heartbeat age telemetry compared
-        # against on-disk mtimes; broker liveness, never a simulation input
-        return time.time() - os.path.getmtime(path)
-    except OSError:
-        return None
+def _poll_jitter(worker_id: str) -> float:
+    """A worker's fixed poll-phase offset in ``[0, 1)``.
+
+    Derived from the worker id by hashing -- fully deterministic (no
+    entropy reads, so the broker stays inside the repro-lint RPL020
+    contract) yet spread ~uniformly across a fleet, so N workers polling
+    the same queue directory scan ``tasks/`` out of phase instead of in
+    lockstep (the thundering-herd fix).
+    """
+    digest = hashlib.sha256(worker_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def _poll_delay(
+    base_s: float, jitter: float, idle_polls: int, *, empty_but_leased: bool
+) -> float:
+    """How long an idle worker sleeps before rescanning the queue.
+
+    ``base * (0.5 + jitter)`` de-synchronizes the fleet; consecutive idle
+    polls back off exponentially (capped at 8x) so a drained-but-open
+    queue is not rescanned at full rate forever. When the queue is
+    *empty-but-leased* -- nothing claimable, peers still executing -- the
+    cap applies immediately: rescans can only discover a reclaim or a
+    retry, both of which arrive on lease-timeout timescales.
+    """
+    backoff = 8 if empty_but_leased else min(2 ** max(0, idle_polls - 1), 8)
+    return base_s * (0.5 + jitter) * backoff
 
 
 @dataclass
 class _TaskName:
-    """Parsed ``<sha256-key>.a<attempt>`` broker filename stem."""
+    """Parsed broker filename stem.
+
+    Two generations of the format co-exist:
+
+    - ``<sha256-key>.a<attempt>`` -- the PR 5 batch-broker name, still
+      written for run-less enqueues and still parsed (a queue directory
+      with in-flight tasks survives a coordinator upgrade);
+    - ``<sha256-key>.p<priority:08d>.r<run>.a<attempt>`` -- the service
+      name: ``priority`` is the estimated cell cost (higher = claimed
+      first, so the slowest cells start earliest) and ``run`` namespaces
+      the task to one coordinator's sweep, so two coordinators sharing a
+      queue directory can never collide on a filename and fair-share
+      scheduling can tell their tasks apart.
+
+    The key is a hex digest, so the ``.p``/``.r``/``.a`` markers can
+    never occur inside it and parsing is unambiguous.
+    """
 
     key: str
     attempt: int
+    run: str = ""
+    priority: int = 0
+
+    #: Priorities are fixed-width in the filename (sortable as text).
+    MAX_PRIORITY = 99_999_999
 
     @classmethod
     def parse(cls, filename: str) -> _TaskName | None:
         stem, _, _ = filename.rpartition(".")
-        key, _, attempt = stem.rpartition(".a")
-        if not key or not attempt.isdigit():
+        head, _, attempt = stem.rpartition(".a")
+        if not head or not attempt.isdigit():
             return None
-        return cls(key=key, attempt=int(attempt))
+        key, run, priority = head, "", 0
+        body, run_sep, run_part = head.rpartition(".r")
+        if run_sep:
+            prio_head, prio_sep, prio_part = body.rpartition(".p")
+            if prio_sep and prio_head and prio_part.isdigit():
+                key, run, priority = prio_head, run_part, int(prio_part)
+        return cls(key=key, attempt=int(attempt), run=run, priority=priority)
 
     def stem(self) -> str:
-        return f"{self.key}.a{self.attempt}"
+        if not self.run:
+            return f"{self.key}.a{self.attempt}"
+        return (f"{self.key}.p{self.priority:08d}.r{self.run}"
+                f".a{self.attempt}")
+
+    def with_attempt(self, attempt: int) -> _TaskName:
+        return _TaskName(key=self.key, attempt=attempt, run=self.run,
+                         priority=self.priority)
 
 
 @dataclass
@@ -419,10 +562,14 @@ class WorkQueue:
     Layout under ``queue_dir`` (see docs/distributed_sweeps.md)::
 
         queue.json   broker settings (retry budget, lease timeout, results)
-        tasks/       claimable cells:   <key>.a<attempt>.task   (pickle)
-        leases/      in-flight cells:   <key>.a<attempt>.lease  (same bytes)
+        tasks/       claimable cells:   <key>[.p<prio>.r<run>].a<n>.task
+        leases/      in-flight cells:   same stem, .lease (task bytes plus
+                     one appended heartbeat byte per beat)
         failed/      exhausted cells:   <key>.err               (JSON)
         meta/        per-cell telemetry <key>.json              (JSON)
+        runs/        one record per coordinator sweep: <run_id>.json with
+                     that sweep's settings and an ``active`` flag
+        registry/    worker health records: <worker_id>.json
         results/     default ResultCache directory (sha256-keyed pickles)
 
     Every transition is a single atomic rename, so any number of workers on
@@ -438,9 +585,16 @@ class WorkQueue:
         self.leases_dir = os.path.join(self.queue_dir, "leases")
         self.failed_dir = os.path.join(self.queue_dir, "failed")
         self.meta_dir = os.path.join(self.queue_dir, "meta")
+        self.runs_dir = os.path.join(self.queue_dir, "runs")
+        self.registry_dir = os.path.join(self.queue_dir, "registry")
         for directory in (self.tasks_dir, self.leases_dir, self.failed_dir,
-                          self.meta_dir):
+                          self.meta_dir, self.runs_dir, self.registry_dir):
             os.makedirs(directory, exist_ok=True)
+        # Lease-staleness observations: stem -> (heartbeat counter = file
+        # size, monotonic time that counter was first seen). Per-instance
+        # on purpose -- staleness is "unchanged across MY observation
+        # window", which never compares clocks across processes or hosts.
+        self._lease_observed: dict[str, tuple[int, float]] = {}
 
     # -- configuration ---------------------------------------------------------
 
@@ -455,16 +609,31 @@ class WorkQueue:
         max_attempts: int,
         lease_timeout_s: float,
         run_id: str,
+        lease_batch: int = 1,
     ) -> None:
         """Publish broker settings so bare ``sweep-worker`` processes need
         nothing beyond the queue directory itself. ``run_id`` scopes the
         STOP marker to this sweep generation, so a reused queue directory's
-        leftover STOP can never turn away newly joining workers."""
-        self._atomic_write_json(self.config_path, {
+        leftover STOP can never turn away newly joining workers.
+
+        Also registers ``runs/<run_id>.json`` (the same settings plus
+        ``active: true``): workers resolve per-task settings through the
+        task's run record, so two coordinators with different cache
+        directories or retry budgets coexist in one queue directory, and
+        the STOP marker only ends workers once *no* run is still active.
+        """
+        settings = {
             "cache_dir": os.path.abspath(cache_dir),
             "max_attempts": int(max_attempts),
             "lease_timeout_s": float(lease_timeout_s),
+            "lease_batch": int(lease_batch),
             "run_id": run_id,
+        }
+        self._atomic_write_json(self.config_path, settings)
+        self._atomic_write_json(self._run_path(run_id), {
+            **settings,
+            "active": True,
+            "coordinator": _worker_id(),
         })
 
     def read_config(self) -> dict | None:
@@ -473,6 +642,36 @@ class WorkQueue:
                 return json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
             return None
+
+    def _run_path(self, run_id: str) -> str:
+        return os.path.join(self.runs_dir, f"{run_id}.json")
+
+    def run_settings(self, run_id: str) -> dict | None:
+        """The settings record a coordinator registered for ``run_id``."""
+        if not run_id:
+            return None
+        try:
+            with open(self._run_path(run_id), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def list_runs(self) -> list[dict]:
+        try:
+            entries = sorted(os.listdir(self.runs_dir))
+        except FileNotFoundError:
+            return []
+        runs = []
+        for entry in entries:
+            if entry.endswith(".json"):
+                record = self.run_settings(entry[:-len(".json")])
+                if record is not None:
+                    runs.append(record)
+        return runs
+
+    def active_run_ids(self) -> list[str]:
+        return [record["run_id"] for record in self.list_runs()
+                if record.get("active")]
 
     def default_results_dir(self) -> str:
         return os.path.join(self.queue_dir, "results")
@@ -527,7 +726,12 @@ class WorkQueue:
     # -- transitions -----------------------------------------------------------
 
     def enqueue(
-        self, cell: SweepCell, attempt: int = 1, present: set[str] | None = None
+        self,
+        cell: SweepCell,
+        attempt: int = 1,
+        present: set[str] | None = None,
+        run: str = "",
+        priority: int | None = None,
     ) -> bool:
         """Make a cell claimable unless it is already queued, leased, or
         terminally failed. Returns whether a task file was created.
@@ -535,14 +739,26 @@ class WorkQueue:
         ``present`` is an optional snapshot of already-present keys (from
         :meth:`present_keys`): bulk enqueues pass it so an N-cell grid costs
         one directory scan instead of N (the snapshot is kept current as
-        cells are added)."""
+        cells are added).
+
+        ``run`` namespaces the task to one coordinator's sweep;
+        ``priority`` defaults to the cell's estimated cost (higher =
+        claimed first), so a run's slowest cells start earliest and never
+        become the lone straggler at the end of the drain."""
         key = cell.cache_key()
         if present is not None:
             if key in present:
                 return False
-        elif key in self.present_keys():
+        elif key in self.present_keys(run):
             return False
-        name = _TaskName(key=key, attempt=attempt)
+        if priority is None:
+            priority = 0
+            if run:
+                estimate = getattr(cell, "estimated_cost", None)
+                if estimate is not None:
+                    priority = int(estimate())
+        priority = max(0, min(int(priority), _TaskName.MAX_PRIORITY))
+        name = _TaskName(key=key, attempt=attempt, run=run, priority=priority)
         _atomic_write(
             self.queue_dir,
             os.path.join(self.tasks_dir, f"{name.stem()}.task"),
@@ -553,24 +769,86 @@ class WorkQueue:
             present.add(key)
         return True
 
-    def present_keys(self) -> set[str]:
-        """Keys currently queued, leased, or terminally failed."""
-        keys = {name.key for name in self.pending_tasks()}
-        keys.update(name.key for name in self.active_leases())
+    def present_keys(self, run: str | None = None) -> set[str]:
+        """Keys currently queued, leased, or terminally failed.
+
+        With a ``run``, only that run's tasks and leases count as present:
+        coordinators dedupe within their own sweep, but a second
+        coordinator sharing the directory still enqueues its own copy of a
+        cell another run already carries -- its results may live in a
+        different cache directory, and duplicate execution is benign
+        (results are idempotent, and workers skip cells whose result
+        already exists). Terminal failures are global either way.
+        """
+        names = list(self.pending_tasks()) + list(self.active_leases())
+        if run is not None:
+            names = [name for name in names if name.run == run]
+        keys = {name.key for name in names}
         keys.update(self.failed_keys())
         return keys
 
-    def claim(self) -> ClaimedTask | None:
-        """Atomically claim one pending task (first key in sorted order that
-        this process wins the rename race for)."""
+    def _claim_order(self, rotation: str | None = None) -> list[_TaskName]:
+        """Pending tasks in the order a worker should try to claim them.
+
+        Within one run: highest priority (estimated cost) first, key as
+        the deterministic tiebreak. Across runs: round-robin, one task per
+        run per rank, cycling the sorted run ids starting just *after*
+        ``rotation`` (the run this worker last claimed from) -- so a
+        worker alternates between concurrent sweeps instead of draining
+        whichever run sorts first, and no run starves while another has
+        pending work. Pure function of the directory listing plus the
+        caller's rotation cursor: no coordination state on disk.
+        """
+        by_run: dict[str, list[_TaskName]] = {}
         for name in self.pending_tasks():
+            by_run.setdefault(name.run, []).append(name)
+        for names in by_run.values():
+            names.sort(key=lambda name: (-name.priority, name.key, name.attempt))
+        runs = sorted(by_run)
+        if rotation is not None and runs:
+            start = sum(1 for run in runs if run <= rotation)
+            runs = runs[start:] + runs[:start]
+        order: list[_TaskName] = []
+        rank = 0
+        remaining = True
+        while remaining:
+            remaining = False
+            for run in runs:
+                names = by_run[run]
+                if rank < len(names):
+                    order.append(names[rank])
+                    remaining = True
+            rank += 1
+        return order
+
+    def claim(self) -> ClaimedTask | None:
+        """Atomically claim one pending task (the scheduling order's first
+        task that this process wins the rename race for)."""
+        claims = self.claim_batch(1)
+        return claims[0] if claims else None
+
+    def claim_batch(
+        self, limit: int, rotation: str | None = None
+    ) -> list[ClaimedTask]:
+        """Claim up to ``limit`` tasks from one directory scan.
+
+        Each claim is still an individual atomic rename (mutual exclusion
+        is per task, unchanged), but the scan cost -- the dominant
+        per-claim overhead for sub-second cells on shared filesystems --
+        is paid once per batch instead of once per cell. Losing a rename
+        race simply moves on to the next candidate, so concurrent batch
+        claimants partition the scan between them.
+        """
+        claims: list[ClaimedTask] = []
+        for name in self._claim_order(rotation):
+            if len(claims) >= limit:
+                break
             task_path = os.path.join(self.tasks_dir, f"{name.stem()}.task")
             lease_path = os.path.join(self.leases_dir, f"{name.stem()}.lease")
             try:
                 os.rename(task_path, lease_path)
             except FileNotFoundError:
                 continue  # somebody else won this one
-            os.utime(lease_path)  # lease age counts from the claim
             try:
                 with open(lease_path, "rb") as handle:
                     cell = pickle.load(handle)
@@ -584,8 +862,19 @@ class WorkQueue:
                 )
                 os.unlink(lease_path)
                 continue
-            return ClaimedTask(name=name, lease_path=lease_path, cell=cell)
-        return None
+            claims.append(ClaimedTask(name=name, lease_path=lease_path, cell=cell))
+        return claims
+
+    def requeue(self, claim: ClaimedTask) -> None:
+        """Return an unexecuted claim to the task pool without spending an
+        attempt (e.g. a batch tail the worker will not get to)."""
+        try:
+            os.rename(
+                claim.lease_path,
+                os.path.join(self.tasks_dir, f"{claim.name.stem()}.task"),
+            )
+        except FileNotFoundError:
+            pass  # reclaimed from under us; its copy is already queued
 
     def complete(
         self,
@@ -593,9 +882,15 @@ class WorkQueue:
         cache: ResultCache,
         result: TrainingResult,
         runtime_s: float,
+        seq: int | None = None,
     ) -> None:
         """Result first (atomic), telemetry second, lease last -- a crash
-        between any two steps leaves the queue recoverable."""
+        between any two steps leaves the queue recoverable.
+
+        ``seq`` is the executing worker's completion counter; together
+        with ``run`` it lets observers reconstruct per-worker execution
+        order (the fair-share interleaving CI asserts on) without any
+        cross-host clock."""
         key = claim.name.key
         cache.store(key, result)
         self._atomic_write_json(os.path.join(self.meta_dir, f"{key}.json"), {
@@ -603,6 +898,8 @@ class WorkQueue:
             "label": claim.cell.label(),
             "runtime_s": runtime_s,
             "attempt": claim.name.attempt,
+            "run": claim.name.run,
+            "seq": seq,
             "worker": _worker_id(),
         })
         self._drop_lease(claim.lease_path)
@@ -616,7 +913,7 @@ class WorkQueue:
         """Requeue a failed attempt, or fail terminally once the budget is
         spent. Returns True when the cell will be retried."""
         if claim.name.attempt < max_attempts:
-            retry = _TaskName(key=claim.name.key, attempt=claim.name.attempt + 1)
+            retry = claim.name.with_attempt(claim.name.attempt + 1)
             try:
                 os.rename(
                     claim.lease_path,
@@ -644,16 +941,40 @@ class WorkQueue:
         )
 
     def reclaim_stale(self, lease_timeout_s: float, max_attempts: int) -> int:
-        """Return stale leases (heartbeat older than the timeout -- their
-        worker is presumed dead) to the task pool, spending one attempt.
-        Safe to call from any process; rename races resolve to one winner.
+        """Return stale leases (their worker is presumed dead) to the task
+        pool, spending one attempt. Safe to call from any process; rename
+        races resolve to one winner.
+
+        Staleness is a *frozen heartbeat counter*, not a file age: the
+        executing worker appends one byte to its lease per beat, so the
+        counter is the file size, and a lease is stale only once this
+        observer has watched the same size for a full ``lease_timeout_s``
+        on its own monotonic clock. No wall clock and no mtime is ever
+        consulted -- clock skew between hosts sharing the directory and
+        coarse (1s) mtime granularity on network filesystems can neither
+        spuriously reclaim a live lease nor hide a dead one. The cost is
+        one observation latency: a fresh :class:`WorkQueue` instance needs
+        two looks, ``lease_timeout_s`` apart, before its first reclaim.
         """
         reclaimed = 0
+        now = time.monotonic()
+        seen: set[str] = set()
         for name in self.active_leases():
-            lease_path = os.path.join(self.leases_dir, f"{name.stem()}.lease")
-            age = _file_age_s(lease_path)
-            if age is None or age <= lease_timeout_s:
+            stem = name.stem()
+            seen.add(stem)
+            lease_path = os.path.join(self.leases_dir, f"{stem}.lease")
+            try:
+                counter = os.path.getsize(lease_path)
+            except OSError:
+                self._lease_observed.pop(stem, None)
                 continue
+            observed = self._lease_observed.get(stem)
+            if observed is None or observed[0] != counter:
+                self._lease_observed[stem] = (counter, now)
+                continue
+            if now - observed[1] <= lease_timeout_s:
+                continue
+            stale_for = now - observed[1]
             if name.attempt >= max_attempts:
                 try:
                     with open(lease_path, "rb") as handle:
@@ -666,14 +987,16 @@ class WorkQueue:
                     label = None
                 self._record_failure(
                     name,
-                    f"worker lease expired after {age:.1f}s on final attempt "
-                    f"{name.attempt}/{max_attempts} (worker presumed dead)",
+                    f"worker heartbeat frozen for {stale_for:.1f}s on final "
+                    f"attempt {name.attempt}/{max_attempts} "
+                    "(worker presumed dead)",
                     label,
                 )
                 self._drop_lease(lease_path)
+                self._lease_observed.pop(stem, None)
                 reclaimed += 1
                 continue
-            retry = _TaskName(key=name.key, attempt=name.attempt + 1)
+            retry = name.with_attempt(name.attempt + 1)
             try:
                 os.rename(
                     lease_path,
@@ -681,7 +1004,11 @@ class WorkQueue:
                 )
             except FileNotFoundError:
                 continue  # another reclaimer (or the worker itself) won
+            self._lease_observed.pop(stem, None)
             reclaimed += 1
+        for stem in list(self._lease_observed):
+            if stem not in seen:
+                del self._lease_observed[stem]
         return reclaimed
 
     def _drop_lease(self, lease_path: str) -> None:
@@ -698,8 +1025,15 @@ class WorkQueue:
 
     def signal_stop(self, run_id: str) -> None:
         """Tell every worker (local or remote) of this sweep generation to
-        drain and exit: workers honor the marker once nothing is claimable,
-        so in-flight and still-queued cells finish first."""
+        drain and exit: workers honor the marker once nothing is claimable
+        *and no registered run is still active*, so in-flight and
+        still-queued cells finish first and one coordinator finishing can
+        never pull a shared fleet out from under another coordinator's
+        half-drained sweep. Deactivates this run's record first."""
+        record = self.run_settings(run_id)
+        if record is not None:
+            record["active"] = False
+            self._atomic_write_json(self._run_path(run_id), record)
         self._atomic_write_json(
             self.stop_path, {"run_id": run_id, "worker": _worker_id()}
         )
@@ -722,15 +1056,102 @@ class WorkQueue:
         except FileNotFoundError:
             pass
 
+    # -- observability ---------------------------------------------------------
+
+    def registry_records(self) -> list[dict]:
+        """Every worker health record in ``registry/``, sorted by worker."""
+        try:
+            entries = sorted(os.listdir(self.registry_dir))
+        except FileNotFoundError:
+            return []
+        records = []
+        for entry in entries:
+            if not entry.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.registry_dir, entry),
+                          encoding="utf-8") as handle:
+                    records.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):
+                continue  # record mid-rewrite; the next scan sees it
+        return records
+
+    def completed_count(self) -> int:
+        """Cells with telemetry records (== completed at least once)."""
+        try:
+            return sum(1 for entry in os.listdir(self.meta_dir)
+                       if entry.endswith(".json"))
+        except FileNotFoundError:
+            return 0
+
+    def status_snapshot(self) -> dict:
+        """One JSON-ready view of the whole service: queue depths per run,
+        registered runs, worker health, and the STOP marker. This is what
+        ``repro sweep-status`` prints."""
+        pending = self.pending_tasks()
+        leases = self.active_leases()
+        per_run: dict[str, dict[str, int]] = {}
+        for name in pending:
+            per_run.setdefault(name.run, {"pending": 0, "leased": 0})
+            per_run[name.run]["pending"] += 1
+        for name in leases:
+            per_run.setdefault(name.run, {"pending": 0, "leased": 0})
+            per_run[name.run]["leased"] += 1
+        runs = []
+        for record in self.list_runs():
+            depths = per_run.get(record["run_id"], {"pending": 0, "leased": 0})
+            runs.append({
+                "run_id": record["run_id"],
+                "active": bool(record.get("active")),
+                "coordinator": record.get("coordinator"),
+                **depths,
+            })
+        known = {run["run_id"] for run in runs}
+        for run_id, depths in sorted(per_run.items()):
+            if run_id not in known:  # pre-service tasks carry no run record
+                runs.append({"run_id": run_id, "active": None,
+                             "coordinator": None, **depths})
+        return {
+            "queue_dir": os.path.abspath(self.queue_dir),
+            "pending": len(pending),
+            "leased": len(leases),
+            "completed": self.completed_count(),
+            "failed": self.failed_keys(),
+            "stop": self.stop_marker_id(),
+            "runs": runs,
+            "workers": self.registry_records(),
+        }
+
 
 class _LeaseHeartbeat:
-    """Touch the lease file periodically while its cell executes, so a
-    *live* worker's lease never looks stale no matter how long the cell
-    runs; only a dead worker's heartbeat stops."""
+    """Append one counter byte per beat to each lease while its cell
+    executes, so a *live* worker's lease counter never freezes no matter
+    how long the cell runs; only a dead worker's counter stops moving.
 
-    def __init__(self, lease_path: str, interval_s: float):
-        self._lease_path = lease_path
+    Appending (rather than touching mtime) keeps the liveness signal
+    inside the file where every observer reads the same value -- there is
+    no cross-host clock or mtime-granularity dependence. The appended
+    bytes are invisible to consumers: ``pickle.load`` stops at its STOP
+    opcode and never reads the tail, so a reclaimed lease re-pickles
+    cleanly after its rename back into ``tasks/``.
+
+    One heartbeat serves a whole claimed batch (``lease_paths``); a path
+    that disappears (completed, or reclaimed from under us) is skipped,
+    never recreated. ``on_beat`` lets the worker piggyback its registry
+    heartbeat on the same cadence.
+    """
+
+    def __init__(
+        self,
+        lease_paths: str | Sequence[str],
+        interval_s: float,
+        on_beat: Callable[[], None] | None = None,
+    ):
+        if isinstance(lease_paths, str):
+            lease_paths = [lease_paths]
+        self._lease_paths = list(lease_paths)
         self._interval_s = max(0.05, interval_s)
+        self._on_beat = on_beat
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
 
@@ -744,10 +1165,78 @@ class _LeaseHeartbeat:
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval_s):
-            try:
-                os.utime(self._lease_path)
-            except OSError:
-                return  # lease reclaimed; stop touching it
+            for path in self._lease_paths:
+                try:
+                    # Existence check first: open("ab") would resurrect a
+                    # lease that completion or a reclaimer already removed
+                    # (the race between check and append is benign -- a
+                    # ghost lease is itself reclaimed once its counter
+                    # freezes, and results are idempotent).
+                    if os.path.exists(path):
+                        with open(path, "ab") as handle:
+                            handle.write(b"\0")
+                except OSError:
+                    continue  # lease reclaimed; stop touching it
+            if self._on_beat is not None:
+                self._on_beat()
+
+
+class _WorkerRegistry:
+    """This worker's health record in ``registry/<worker_id>.json``.
+
+    The record is the service's observability surface: host, pid, what
+    the worker is doing right now, how much it has done, and a beat
+    counter bumped by the lease heartbeat. Thread-safe because the
+    heartbeat thread calls :meth:`beat` while the worker's main thread
+    updates status. ``last_seen`` is a wall-clock timestamp for *human*
+    display only -- liveness decisions always use the ``beats`` counter
+    (same contract as lease staleness: counters, never clocks).
+    """
+
+    def __init__(self, queue: WorkQueue, worker: str):
+        self._queue = queue
+        self._lock = threading.Lock()
+        self._path = os.path.join(queue.registry_dir, f"{worker}.json")
+        self._record = {
+            "worker": worker,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "status": "starting",
+            "current_cell": None,
+            "cells_completed": 0,
+            "cells_failed": 0,
+            "beats": 0,
+            "last_seen": None,
+        }
+
+    def update(self, **fields: object) -> None:
+        with self._lock:
+            self._record.update(fields)
+            self._write()
+
+    def beat(self) -> None:
+        with self._lock:
+            self._record["beats"] += 1
+            self._write()
+
+    def note_completed(self) -> None:
+        with self._lock:
+            self._record["cells_completed"] += 1
+            self._record["current_cell"] = None
+            self._write()
+
+    def note_failed(self) -> None:
+        with self._lock:
+            self._record["cells_failed"] += 1
+            self._record["current_cell"] = None
+            self._write()
+
+    def _write(self) -> None:
+        # repro-lint: allow[RPL020] -- human-facing "last seen" timestamp in
+        # a worker health record; broker observability, never a simulation
+        # input (liveness logic reads the beats counter instead)
+        self._record["last_seen"] = time.time()
+        self._queue._atomic_write_json(self._path, dict(self._record))
 
 
 @dataclass
@@ -776,98 +1265,152 @@ def run_queue_worker(
     drain_timeout_s: float = 10.0,
     max_cells: int | None = None,
     progress: Callable[[str], None] | None = None,
+    lease_batch: int | None = None,
 ) -> WorkerSummary:
     """Join a queue directory and execute cells until it drains.
 
-    The worker loop: claim a task; if its result already exists, drop the
-    lease (``skipped``); otherwise execute under a lease heartbeat and
-    complete or fail it. With nothing claimable it reclaims stale leases,
-    then polls; it exits after ``drain_timeout_s`` with no claimable work,
-    when the coordinator writes the ``STOP`` marker, or after ``max_cells``
-    executions. Any number of these may run concurrently against the same
-    directory, on any number of hosts.
+    The worker loop: claim up to ``lease_batch`` tasks in one scan
+    (default: the coordinator's published setting); cells whose result
+    already exists drop their lease (``skipped``); the rest execute
+    sequentially under one lease heartbeat and complete or fail
+    individually. With nothing claimable the worker reclaims stale
+    leases, then polls with deterministic per-worker jittered backoff; it
+    exits after ``drain_timeout_s`` with no claimable work, when the
+    coordinator writes the ``STOP`` marker (and no registered run is
+    still active), or after ``max_cells`` executions. Any number of these
+    may run concurrently against the same directory, on any number of
+    hosts; each maintains a health record in ``registry/``.
 
     Broker settings (result-cache path, retry budget, lease timeout) come
-    from ``queue.json``, written by the coordinator at enqueue time; a
-    worker that starts *before* the coordinator simply polls until the
-    config appears or the drain timeout expires.
+    from ``queue.json``, written by the coordinator at enqueue time --
+    per-task, the task's own run record takes precedence, so tasks from
+    different coordinators land in their own cache directories. A worker
+    that starts *before* any coordinator simply polls until the config
+    appears or the drain timeout expires.
     """
     queue = WorkQueue(queue_dir)
     summary = WorkerSummary(worker=_worker_id())
     say = progress if progress is not None else (lambda message: None)
+    registry = _WorkerRegistry(queue, summary.worker)
+    jitter = _poll_jitter(summary.worker)
     idle_since = time.monotonic()
+    idle_polls = 0
+    rotation: str | None = None  # run id this worker last claimed from
     # A STOP marker already present at startup is *stale* by definition: it
     # belongs to a sweep that finished before this worker existed (reused
     # queue directory). Only a marker that appears -- or changes run_id --
     # during this worker's lifetime ends it; a worker joining ahead of the
     # next coordinator just polls until tasks appear or it drains out.
     startup_stop = queue.stop_marker_id()
-    while True:
-        if max_cells is not None and summary.executed >= max_cells:
-            break
-        config = queue.read_config()
-        if config is None:
-            # Queue not published yet (worker raced ahead of the
-            # coordinator): wait for it like any other idle period.
-            if time.monotonic() - idle_since > drain_timeout_s:
-                break
-            time.sleep(poll_interval_s)
-            continue
-        claim = queue.claim()
-        if claim is None:
-            reclaimed = queue.reclaim_stale(
-                config["lease_timeout_s"], config["max_attempts"]
-            )
-            if reclaimed:
-                # A dead peer's cell just became claimable again: that is
-                # new work, not idleness -- never drain out on top of it.
-                summary.reclaimed += reclaimed
-                idle_since = time.monotonic()
+    registry.update(status="idle")
+    try:
+        while True:
+            remaining = None
+            if max_cells is not None:
+                remaining = max_cells - summary.executed
+                if remaining <= 0:
+                    break
+            config = queue.read_config()
+            if config is None:
+                # Queue not published yet (worker raced ahead of the
+                # coordinator): wait for it like any other idle period.
+                if time.monotonic() - idle_since > drain_timeout_s:
+                    break
+                idle_polls += 1
+                time.sleep(_poll_delay(poll_interval_s, jitter, idle_polls,
+                                       empty_but_leased=False))
                 continue
-            # STOP is a drain-then-exit signal, checked only with nothing
-            # claimable, and only for markers newer than this worker (see
-            # startup_stop above): in-flight and still-queued cells always
-            # finish first, and a stale marker can never turn away a
-            # freshly joined worker.
-            marker = queue.stop_marker_id()
-            if marker is not None and marker != startup_stop:
-                break
-            if time.monotonic() - idle_since > drain_timeout_s:
-                break
-            time.sleep(poll_interval_s)
-            continue
-        idle_since = time.monotonic()
-        # Re-read the config after a successful claim: the claimed task may
-        # belong to a sweep generation newer than the config snapshot above
-        # (coordinator replaces queue.json *before* enqueueing), and the
-        # result must land in that generation's cache directory.
-        config = queue.read_config() or config
-        cache = ResultCache(config["cache_dir"])
-        if cache.load(claim.name.key) is not None:
-            queue.release_without_execution(claim)
-            summary.skipped += 1
-            continue
-        say(f"executing {claim.cell.label()} "
-            f"(attempt {claim.name.attempt}/{config['max_attempts']})")
-        heartbeat_interval = config["lease_timeout_s"] / 3.0
-        try:
-            with _LeaseHeartbeat(claim.lease_path, heartbeat_interval):
-                start = time.perf_counter()
-                result = claim.cell.execute()
-                runtime = time.perf_counter() - start
-        except Exception as error:
-            summary.failed += 1
-            retrying = queue.fail(
-                claim, f"{type(error).__name__}: {error}", config["max_attempts"]
-            )
-            say(f"cell {claim.cell.label()} failed "
-                f"({'will retry' if retrying else 'retry budget exhausted'}): "
-                f"{error}")
-            idle_since = time.monotonic()  # execution time is not idle time
-            continue
-        queue.complete(claim, cache, result, runtime)
-        summary.executed += 1
-        idle_since = time.monotonic()
+            limit = (lease_batch if lease_batch is not None
+                     else int(config.get("lease_batch", 1)))
+            limit = max(1, limit)
+            if remaining is not None:
+                # Never claim more than this invocation may still execute:
+                # a capped worker must not strand a batch tail in leases.
+                limit = min(limit, remaining)
+            claims = queue.claim_batch(limit, rotation=rotation)
+            if not claims:
+                reclaimed = queue.reclaim_stale(
+                    config["lease_timeout_s"], config["max_attempts"]
+                )
+                if reclaimed:
+                    # A dead peer's cell just became claimable again: that is
+                    # new work, not idleness -- never drain out on top of it.
+                    summary.reclaimed += reclaimed
+                    idle_since = time.monotonic()
+                    idle_polls = 0
+                    continue
+                # STOP is a drain-then-exit signal, checked only with nothing
+                # claimable, only for markers newer than this worker (see
+                # startup_stop above), and only once no registered run is
+                # still active: in-flight and still-queued cells always
+                # finish first, a stale marker can never turn away a freshly
+                # joined worker, and one coordinator's exit never strands a
+                # concurrent coordinator's half-drained sweep.
+                marker = queue.stop_marker_id()
+                if (marker is not None and marker != startup_stop
+                        and not queue.active_run_ids()):
+                    break
+                if time.monotonic() - idle_since > drain_timeout_s:
+                    break
+                idle_polls += 1
+                time.sleep(_poll_delay(
+                    poll_interval_s, jitter, idle_polls,
+                    empty_but_leased=bool(queue.active_leases()),
+                ))
+                continue
+            idle_since = time.monotonic()
+            idle_polls = 0
+            rotation = claims[-1].name.run
+            # Re-read the config after a successful claim: the claimed tasks
+            # may belong to a sweep generation newer than the snapshot above
+            # (coordinator replaces queue.json *before* enqueueing). Each
+            # task then resolves its own run's settings, falling back to the
+            # shared config for run-less (pre-service) tasks.
+            config = queue.read_config() or config
+            settings = [queue.run_settings(claim.name.run) or config
+                        for claim in claims]
+            heartbeat_interval = min(
+                cfg["lease_timeout_s"] for cfg in settings
+            ) / 3.0
+            with _LeaseHeartbeat(
+                [claim.lease_path for claim in claims],
+                heartbeat_interval,
+                on_beat=registry.beat,
+            ):
+                for claim, cfg in zip(claims, settings):
+                    cache = ResultCache(cfg["cache_dir"])
+                    if cache.load(claim.name.key) is not None:
+                        queue.release_without_execution(claim)
+                        summary.skipped += 1
+                        continue
+                    say(f"executing {claim.cell.label()} "
+                        f"(attempt {claim.name.attempt}/{cfg['max_attempts']})")
+                    registry.update(status="executing",
+                                    current_cell=claim.cell.label())
+                    try:
+                        start = time.perf_counter()
+                        result = claim.cell.execute()
+                        runtime = time.perf_counter() - start
+                    except Exception as error:
+                        summary.failed += 1
+                        retrying = queue.fail(
+                            claim, f"{type(error).__name__}: {error}",
+                            cfg["max_attempts"],
+                        )
+                        registry.note_failed()
+                        say(f"cell {claim.cell.label()} failed "
+                            f"({'will retry' if retrying else 'retry budget exhausted'}): "
+                            f"{error}")
+                        continue
+                    summary.executed += 1
+                    queue.complete(claim, cache, result, runtime,
+                                   seq=summary.executed)
+                    registry.note_completed()
+            registry.update(status="idle", current_cell=None)
+    finally:
+        registry.update(status="exited", current_cell=None,
+                        cells_skipped=summary.skipped,
+                        cells_reclaimed=summary.reclaimed)
     return summary
 
 
@@ -902,18 +1445,28 @@ class QueueExecutor(SweepExecutor):
         max_attempts: int = 3,
         poll_interval_s: float = 0.1,
         progress: Callable[[str], None] | None = None,
+        lease_batch: int = 1,
+        status_interval_s: float = 5.0,
     ):
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 = external workers only)")
-        if lease_timeout_s <= 0:
-            raise ValueError("lease_timeout_s must be positive")
+        if lease_timeout_s < MIN_LEASE_TIMEOUT_S:
+            raise ValueError(
+                f"lease_timeout_s must be >= {MIN_LEASE_TIMEOUT_S} "
+                "(below that, heartbeat-counter observations race filesystem "
+                "latency and healthy workers can be presumed dead)"
+            )
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if lease_batch < 1:
+            raise ValueError("lease_batch must be >= 1")
         self.queue_dir = str(queue_dir)
         self.num_workers = num_workers
         self.lease_timeout_s = lease_timeout_s
         self.max_attempts = max_attempts
         self.poll_interval_s = poll_interval_s
+        self.lease_batch = lease_batch
+        self.status_interval_s = status_interval_s
         self._progress = progress if progress is not None else (lambda message: None)
 
     def default_cache_dir(self) -> str | None:
@@ -935,6 +1488,7 @@ class QueueExecutor(SweepExecutor):
             max_attempts=self.max_attempts,
             lease_timeout_s=self.lease_timeout_s,
             run_id=run_id,
+            lease_batch=self.lease_batch,
         )
         keys = [cell.cache_key() for cell in cells]
         # A re-run is an explicit request to retry: clear terminal failure
@@ -945,11 +1499,14 @@ class QueueExecutor(SweepExecutor):
                 os.unlink(os.path.join(queue.failed_dir, f"{key}.err"))
             except FileNotFoundError:
                 pass
-        present = queue.present_keys()
-        enqueued = sum(queue.enqueue(cell, present=present) for cell in cells)
+        present = queue.present_keys(run_id)
+        enqueued = sum(
+            queue.enqueue(cell, present=present, run=run_id) for cell in cells
+        )
         self._progress(
-            f"queue backend: {enqueued} cell(s) enqueued in {self.queue_dir}, "
-            f"{self.num_workers} local worker(s)"
+            f"queue backend: {enqueued} cell(s) enqueued in {self.queue_dir} "
+            f"(run {run_id[:8]}), {self.num_workers} local worker(s), "
+            f"lease batch {self.lease_batch}"
         )
 
         import multiprocessing
@@ -970,14 +1527,20 @@ class QueueExecutor(SweepExecutor):
             # skewed worker) is quarantined by load(), and the cell must go
             # back onto the queue for re-execution rather than abort the
             # sweep after the whole grid already ran.
+            notified: set[int] = set()
             for _ in range(self.max_attempts):
-                self._wait_for_results(queue, cache, cells, keys)
+                self._wait_for_results(queue, cache, cells, keys, notified)
                 executions, unreadable = self._collect(queue, cache, cells, keys)
                 if not unreadable:
+                    for index, execution in enumerate(executions):
+                        if index not in notified:
+                            notified.add(index)
+                            self._notify(index, execution)
                     return executions
-                present = queue.present_keys()
+                present = queue.present_keys(run_id)
                 for index in unreadable:
-                    queue.enqueue(cells[index], present=present)
+                    notified.discard(index)  # its re-execution streams anew
+                    queue.enqueue(cells[index], present=present, run=run_id)
             raise QueueCellError(
                 f"{len(unreadable)} result(s) stayed unreadable after "
                 f"{self.max_attempts} collection round(s): "
@@ -996,11 +1559,37 @@ class QueueExecutor(SweepExecutor):
         cache: ResultCache,
         cells: Sequence[SweepCell],
         keys: Sequence[str],
+        notified: set[int],
     ) -> None:
         labels = {key: cell.label() for key, cell in zip(keys, cells)}
+        index_of = {key: index for index, key in enumerate(keys)}
         missing = set(keys)
+        last_health = time.monotonic()
         while missing:
-            missing = {key for key in missing if not os.path.exists(cache.path(key))}
+            arrived = {key for key in missing
+                       if os.path.exists(cache.path(key))}
+            missing -= arrived
+            # Stream each arrival exactly once, through a non-destructive
+            # peek: the wait loop must never quarantine (move aside) a file
+            # it is simultaneously using as its own completion signal. An
+            # unreadable arrival streams nothing; the collection pass deals
+            # with it.
+            if self._result_listener is not None:
+                for key in sorted(arrived, key=index_of.__getitem__):
+                    index = index_of[key]
+                    if index in notified:
+                        continue
+                    result = cache.peek(key)
+                    if result is None:
+                        continue
+                    meta = queue.read_meta(key) or {}
+                    notified.add(index)
+                    self._notify(index, CellExecution(
+                        result=result,
+                        runtime_s=float(meta.get("runtime_s", float("nan"))),
+                        attempts=int(meta.get("attempt", 1)),
+                        worker=meta.get("worker"),
+                    ))
             if not missing:
                 return
             failed = [key for key in queue.failed_keys() if key in missing]
@@ -1018,6 +1607,17 @@ class QueueExecutor(SweepExecutor):
                     "budget -- " + "; ".join(details)
                 )
             queue.reclaim_stale(self.lease_timeout_s, self.max_attempts)
+            now = time.monotonic()
+            if now - last_health >= self.status_interval_s:
+                last_health = now
+                from repro.experiments.reporting import format_worker_health
+
+                health = format_worker_health(queue.registry_records())
+                if health:
+                    self._progress(
+                        f"{len(keys) - len(missing)}/{len(keys)} cell(s) done; "
+                        + health
+                    )
             time.sleep(self.poll_interval_s)
 
     def _collect(
@@ -1058,6 +1658,7 @@ def make_executor(
     lease_timeout_s: float = 30.0,
     max_attempts: int = 3,
     progress: Callable[[str], None] | None = None,
+    lease_batch: int = 1,
 ) -> SweepExecutor:
     """Build the executor named by ``backend`` (the CLI's ``--backend``)."""
     if backend == "inline":
@@ -1078,5 +1679,6 @@ def make_executor(
             lease_timeout_s=lease_timeout_s,
             max_attempts=max_attempts,
             progress=progress,
+            lease_batch=lease_batch,
         )
     raise ValueError(f"unknown sweep backend {backend!r}")

@@ -14,6 +14,7 @@ __all__ = [
     "render_table",
     "format_seconds",
     "format_mean_std",
+    "format_worker_health",
     "mean_std",
     "downsample_series",
 ]
@@ -106,6 +107,32 @@ def format_seconds(seconds: float) -> str:
     if minutes < 120:
         return f"{minutes:.1f}min"
     return f"{minutes / 60:.1f}h"
+
+
+def format_worker_health(records: Sequence[dict]) -> str:
+    """One-line fleet health view from queue-registry worker records.
+
+    ``"2 worker(s): host-1234 executing adpsgd/s0/... (3 done), host-5678
+    idle (2 done)"`` -- the live view ``repro sweep`` progress output and
+    ``repro sweep-status`` share. Empty string when no worker has
+    registered yet (callers print nothing rather than an empty fleet).
+    """
+    if not records:
+        return ""
+    parts = []
+    for record in records:
+        status = record.get("status", "?")
+        piece = f"{record.get('worker', '?')} {status}"
+        cell = record.get("current_cell")
+        if status == "executing" and cell:
+            piece += f" {cell}"
+        piece += f" ({record.get('cells_completed', 0)} done"
+        failed = record.get("cells_failed", 0)
+        if failed:
+            piece += f", {failed} failed"
+        piece += ")"
+        parts.append(piece)
+    return f"{len(records)} worker(s): " + ", ".join(parts)
 
 
 def downsample_series(

@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,9 +67,11 @@ __all__ = [
     "SweepSpec",
     "SweepCell",
     "CellOutcome",
+    "SweepProgress",
     "SweepResult",
     "ResultCache",
     "run_sweep",
+    "aggregate_outcomes",
     "aggregate_sweep",
     "parallel_map",
 ]
@@ -325,6 +328,22 @@ class SweepCell:
         """Build everything from the spec (deterministic per-cell seeding)."""
         return self.build_trainer().run()
 
+    def estimated_cost(self) -> int:
+        """Relative expected runtime (the queue broker's priority key).
+
+        A scheduling hint only: it orders claims (slowest-expected cells
+        first, so no straggler starts last) and never touches results --
+        determinism is per-cell, independent of execution order.
+        """
+        from repro.experiments.harness import estimate_cell_cost
+
+        return estimate_cell_cost(
+            self.algorithm,
+            num_workers=self.scenario.num_workers,
+            max_sim_time=self.run.max_sim_time,
+            num_samples=self.workload.num_samples,
+        )
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -455,12 +474,42 @@ class SweepResult:
         }
 
 
+@dataclass
+class SweepProgress:
+    """A streaming snapshot of a sweep mid-drain.
+
+    ``outcomes`` holds every cell finished so far, in grid order (a prefix
+    filter of the final :class:`SweepResult`), so any aggregation over a
+    snapshot equals the same aggregation over that subset of the finished
+    sweep. ``done`` marks the final snapshot, whose outcomes are exactly
+    the SweepResult's -- the streamed end state is bit-identical to the
+    batch path by construction.
+    """
+
+    spec: SweepSpec
+    outcomes: list[CellOutcome]
+    completed: int
+    total: int
+    backend: str
+    done: bool = False
+
+    def aggregate(self) -> ExperimentOutput:
+        """The report table over the cells finished so far."""
+        suffix = "final" if self.done else "streaming"
+        return aggregate_outcomes(
+            self.spec,
+            self.outcomes,
+            notes=f"{self.completed}/{self.total} cell(s) done ({suffix}).",
+        )
+
+
 def run_sweep(
     spec: SweepSpec,
     parallel: int = 0,
     cache_dir: str | None = None,
     force: bool = False,
     executor: SweepExecutor | None = None,
+    stream: Callable[[SweepProgress], None] | None = None,
 ) -> SweepResult:
     """Execute every cell of the grid, reusing cached results where allowed.
 
@@ -478,6 +527,12 @@ def run_sweep(
         executor: the execution backend (see
             :mod:`repro.experiments.executors`); overrides ``parallel``.
             All backends produce bit-identical outcomes.
+        stream: incremental-aggregation hook: called with a
+            :class:`SweepProgress` as finished cells land (one snapshot per
+            newly finished cell, backend permitting) and exactly once more
+            with ``done=True`` and the final outcomes, before this function
+            returns. Purely observational -- results and their order are
+            unaffected.
     """
     start = time.perf_counter()
     if executor is None:
@@ -508,7 +563,36 @@ def run_sweep(
             except FileNotFoundError:
                 pass
 
-    executed = executor.run([cells[i] for i in pending], cache_dir)
+    def snapshot(done: bool = False) -> SweepProgress:
+        finished = [outcome for outcome in outcomes if outcome is not None]
+        return SweepProgress(
+            spec=spec,
+            outcomes=finished,
+            completed=len(finished),
+            total=len(cells),
+            backend=executor.name,
+            done=done,
+        )
+
+    if stream is not None and pending:
+        def on_cell(position: int, execution) -> None:
+            index = pending[position]
+            outcomes[index] = CellOutcome(
+                cells[index],
+                execution.result,
+                False,
+                execution.runtime_s,
+                attempts=execution.attempts,
+                worker=execution.worker,
+            )
+            stream(snapshot())
+
+        executor.set_result_listener(on_cell)
+    try:
+        executed = executor.run([cells[i] for i in pending], cache_dir)
+    finally:
+        if stream is not None and pending:
+            executor.set_result_listener(None)
     for index, execution in zip(pending, executed):
         outcomes[index] = CellOutcome(
             cells[index],
@@ -519,12 +603,26 @@ def run_sweep(
             worker=execution.worker,
         )
 
-    return SweepResult(
+    result = SweepResult(
         spec,
         outcomes,
         wall_time_s=time.perf_counter() - start,
         backend=executor.name,
     )
+    if stream is not None:
+        # The final snapshot is built from the assembled result, not the
+        # stream's own accumulation: the streamed end state is the batch
+        # state, bit for bit (including telemetry a mid-drain peek may have
+        # observed before the worker finished writing it).
+        stream(SweepProgress(
+            spec=spec,
+            outcomes=list(result.outcomes),
+            completed=len(result.outcomes),
+            total=len(result.outcomes),
+            backend=result.backend,
+            done=True,
+        ))
+    return result
 
 
 # -- aggregation ---------------------------------------------------------------
@@ -549,28 +647,25 @@ def _nan_sample_std(values: np.ndarray) -> float:
     return float(np.nanstd(values, ddof=1))
 
 
-def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
-    """Mean +- std summary per (algorithm, scenario) across seeds.
+def aggregate_outcomes(
+    spec: SweepSpec, outcomes: list[CellOutcome], notes: str = ""
+) -> ExperimentOutput:
+    """Mean +- std summary per (algorithm, scenario) over ``outcomes``.
 
-    Every summarized metric carries a variance band (its across-seed
-    sample standard deviation, ``ddof=1``, in the ``*_std`` column right
-    after its mean), so figure sweeps expose seed spread rather than just
-    point estimates. The
-    aggregation is order-independent within each group (results arrive in
-    grid order regardless of execution backend), so parallel, sequential,
-    queue-brokered, and cache-served sweeps aggregate to identical numbers
-    -- except the trailing ``cell_time_*`` telemetry columns, which report
-    the measured wall clock of each group's freshly executed cells (NaN
-    when every cell came from cache).
+    The incremental core of :func:`aggregate_sweep`: it accepts *any*
+    subset of a sweep's outcomes, so streaming snapshots mid-drain
+    aggregate through exactly the code path the finished sweep uses --
+    a partial table equals the full aggregation run on the same subset,
+    and the final streamed table equals the batch table.
     """
     groups: dict[tuple[str, str], list[CellOutcome]] = {}
-    for outcome in sweep.outcomes:
+    for outcome in outcomes:
         key = (outcome.cell.algorithm, outcome.cell.scenario.label())
         groups.setdefault(key, []).append(outcome)
 
     rows: list[list[object]] = []
-    for (algorithm, scenario_label), outcomes in groups.items():
-        results = [outcome.result for outcome in outcomes]
+    for (algorithm, scenario_label), group in groups.items():
+        results = [outcome.result for outcome in group]
         losses = np.array([r.history.final_loss() for r in results])
         accuracies = np.array([r.history.best_accuracy() for r in results])
         epoch_times = np.array(
@@ -578,7 +673,7 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
         )
         has_accuracy = bool(np.isfinite(accuracies).any())
         cell_time_mean, cell_time_std = mean_std(
-            [o.runtime_s for o in outcomes if not o.from_cache]
+            [o.runtime_s for o in group if not o.from_cache]
         )
         rows.append(
             [
@@ -595,7 +690,6 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
                 cell_time_std,
             ]
         )
-    spec = sweep.spec
     return ExperimentOutput(
         experiment_id="sweep",
         title=(
@@ -616,6 +710,27 @@ def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
             "cell_time_std",
         ],
         rows=rows,
+        notes=notes,
+    )
+
+
+def aggregate_sweep(sweep: SweepResult) -> ExperimentOutput:
+    """Mean +- std summary per (algorithm, scenario) across seeds.
+
+    Every summarized metric carries a variance band (its across-seed
+    sample standard deviation, ``ddof=1``, in the ``*_std`` column right
+    after its mean), so figure sweeps expose seed spread rather than just
+    point estimates. The
+    aggregation is order-independent within each group (results arrive in
+    grid order regardless of execution backend), so parallel, sequential,
+    queue-brokered, and cache-served sweeps aggregate to identical numbers
+    -- except the trailing ``cell_time_*`` telemetry columns, which report
+    the measured wall clock of each group's freshly executed cells (NaN
+    when every cell came from cache).
+    """
+    return aggregate_outcomes(
+        sweep.spec,
+        sweep.outcomes,
         notes=(
             f"{sweep.cells_executed} cell(s) executed, "
             f"{sweep.cells_from_cache} from cache, "

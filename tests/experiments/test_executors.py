@@ -312,7 +312,11 @@ class TestStaleLeaseReclaim:
         claim = queue.claim()  # "worker" claims, then dies: no heartbeat
         assert claim is not None and queue.pending_tasks() == []
 
-        time.sleep(0.3)  # let the lease go stale
+        # Staleness needs an observation window: the first call records the
+        # heartbeat counter, and only a counter unchanged across a full
+        # lease timeout is stale (never a wall-clock/mtime comparison).
+        assert queue.reclaim_stale(lease_timeout_s=0.2, max_attempts=3) == 0
+        time.sleep(0.3)
         assert queue.reclaim_stale(lease_timeout_s=0.2, max_attempts=3) == 1
         (task,) = queue.pending_tasks()
         assert task.key == cell.cache_key()
@@ -332,6 +336,7 @@ class TestStaleLeaseReclaim:
         queue = WorkQueue(str(tmp_path / "queue"))
         assert queue.enqueue(cell, attempt=3)
         assert queue.claim() is not None
+        assert queue.reclaim_stale(lease_timeout_s=0.2, max_attempts=3) == 0
         time.sleep(0.3)
         assert queue.reclaim_stale(lease_timeout_s=0.2, max_attempts=3) == 1
         assert queue.pending_tasks() == []
@@ -374,7 +379,10 @@ class TestStaleLeaseReclaim:
             "cell finished before the kill; make the cell slower"
         )
 
-        time.sleep(0.7)  # heartbeat is dead, let the lease age past timeout
+        # First call records the frozen heartbeat counter; the second, after
+        # a full lease window with no beats, declares the worker dead.
+        assert queue.reclaim_stale(lease_timeout_s=0.5, max_attempts=3) == 0
+        time.sleep(0.7)
         assert queue.reclaim_stale(lease_timeout_s=0.5, max_attempts=3) == 1
         summary = run_queue_worker(
             queue_dir, poll_interval_s=0.02, drain_timeout_s=0.2
@@ -385,7 +393,13 @@ class TestStaleLeaseReclaim:
     def test_reclaim_resets_the_drain_timer(self, tmp_path):
         """A worker that reclaims a dead peer's lease must stay to execute
         it rather than draining out on an already-expired idle timer
-        (regression: reclaim-then-exit used to strand the requeued task)."""
+        (regression: reclaim-then-exit used to strand the requeued task).
+
+        The worker spends most of its drain window idle-watching the dead
+        lease (staleness requires a counter frozen across a full lease
+        timeout), so by the time the reclaim fires the idle timer is nearly
+        spent -- only the reset lets it claim and execute the requeued cell.
+        """
         spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
         (cell,) = spec.cells()
         queue = WorkQueue(str(tmp_path / "queue"))
@@ -397,14 +411,10 @@ class TestStaleLeaseReclaim:
         )
         queue.enqueue(cell)
         claim = queue.claim()  # dead peer: claims, then never heartbeats
-        stale = time.time() - 10.0
-        os.utime(claim.lease_path, (stale, stale))
+        assert claim is not None
 
-        # drain_timeout_s=0.0: any idle check fires instantly, so the only
-        # way this worker executes the cell is the reclaim resetting the
-        # idle timer before the drain check runs.
         summary = run_queue_worker(
-            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.0
+            str(tmp_path / "queue"), poll_interval_s=0.02, drain_timeout_s=0.5
         )
         assert summary.reclaimed == 1
         assert summary.executed == 1
@@ -422,7 +432,7 @@ class TestStaleLeaseReclaim:
         )
         queued = run_sweep(
             spec,
-            executor=queue_executor(tmp_path, lease_timeout_s=0.3),
+            executor=queue_executor(tmp_path, lease_timeout_s=1.0),
         )
         assert queued.outcomes[0].attempts == 1
 

@@ -255,6 +255,117 @@ class TestCommands:
         assert main(["policy", "--times", str(csv)]) == 2
 
 
+class TestSweepService:
+    """CLI surface of the long-lived queue service: sweep-status, lease
+    batches, the lease-timeout floor, and streaming summaries."""
+
+    def test_service_parser_defaults(self):
+        sweep = build_parser().parse_args(["sweep"])
+        assert sweep.lease_batch == 1
+        assert sweep.stream_interval_s == 0.0
+        worker = build_parser().parse_args(["sweep-worker", "--queue-dir", "q"])
+        assert worker.lease_batch is None  # coordinator's published setting
+
+    def test_sweep_status_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep-status"])
+
+    def test_sweep_status_rejects_missing_directory(self, tmp_path, capsys):
+        code = main(["sweep-status", "--queue-dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_lease_timeout_floor_rejected_with_exit_2(self, tmp_path, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--backend", "queue", "--queue-dir", str(tmp_path / "q"),
+            "--lease-timeout-s", "0.5",
+        ])
+        assert code == 2
+        assert "lease_timeout_s" in capsys.readouterr().err
+
+    def test_sweep_status_reports_prepared_queue(self, tmp_path, capsys):
+        from repro.experiments.executors import WorkQueue
+        from repro.experiments.sweeps import (
+            RunSpec, ScenarioSpec, SweepSpec, WorkloadSpec,
+        )
+
+        spec = SweepSpec(
+            algorithms=("adpsgd",), seeds=(0, 1),
+            scenarios=(ScenarioSpec("heterogeneous", 4),),
+            workload=WorkloadSpec(num_samples=256),
+            run=RunSpec(max_sim_time=10.0, eval_interval_s=5.0),
+        )
+        queue = WorkQueue(str(tmp_path / "q"))
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=3, lease_timeout_s=30.0, run_id="status-run",
+        )
+        for cell in spec.cells():
+            queue.enqueue(cell, run="status-run")
+        queue.claim()
+
+        assert main(["sweep-status", "--queue-dir", str(tmp_path / "q")]) == 0
+        out = capsys.readouterr().out
+        assert "1 pending, 1 leased, 0 completed, 0 failed" in out
+        assert "run status-run [active]" in out
+
+        code = main([
+            "sweep-status", "--queue-dir", str(tmp_path / "q"), "--json",
+        ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["pending"] == 1 and snapshot["leased"] == 1
+        (run,) = snapshot["runs"]
+        assert run["run_id"] == "status-run" and run["active"] is True
+
+    def test_sweep_streaming_summary_and_table(self, tmp_path, capsys):
+        """--json-summary updates in place while cells land (marked
+        in_progress) and the final write drops the marker; with
+        --stream-interval-s the aggregate table re-renders to stderr."""
+        summary_path = tmp_path / "summary.json"
+        seen = []
+
+        from repro import cli as cli_module
+        original = cli_module._write_json_summary
+
+        def spy(path, payload):
+            original(path, payload)
+            if path is not None:
+                seen.append(payload)
+
+        from unittest import mock
+        with mock.patch.object(cli_module, "_write_json_summary", spy):
+            code = main([
+                "sweep", "--algorithms", "adpsgd", "--seeds", "0", "1",
+                "--workers", "4", "--samples", "256", "--sim-time", "10",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json-summary", str(summary_path),
+                "--stream-interval-s", "0.0001",
+            ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "(streaming)." in err  # mid-drain table re-renders
+        assert [p.get("in_progress") for p in seen] == [True, True, None]
+        final = json.loads(summary_path.read_text())
+        assert "in_progress" not in final
+        assert final["cells"] == 2 and final["executed"] == 2
+
+    def test_sweep_lease_batch_flag_reaches_executor(self, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--workers", "4", "--samples", "256", "--sim-time", "10",
+            "--backend", "queue", "--queue-dir", str(tmp_path / "q"),
+            "--lease-batch", "4", "--lease-timeout-s", "10",
+            "--json-summary", str(summary_path),
+        ])
+        assert code == 0
+        assert "lease batch 4" in capsys.readouterr().err
+        summary = json.loads(summary_path.read_text())
+        assert summary["executed"] == 1 and summary["backend"] == "queue"
+
+
 class TestScenarioParamCLI:
     def test_dry_run_enumerates_full_cross_product(self, capsys):
         code = main([
