@@ -177,15 +177,19 @@ class ResultCache:
                 return pickle.load(handle)
         except FileNotFoundError:
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            self._quarantine(key)
+        except Exception as error:
+            # Unpickling corrupt bytes can raise nearly anything (torn
+            # write, version skew): TypeError, ValueError, KeyError, ...
+            # -- every non-missing failure means "unusable entry", so
+            # quarantine it with the error recorded alongside and
+            # re-execute rather than crash the sweep.
+            self._quarantine(key, error)
             return None
 
-    def _quarantine(self, key: str) -> None:
+    def _quarantine(self, key: str, error: BaseException) -> None:
         """Move a corrupt entry aside (keep it for forensics, retry never
-        sees it). Concurrent quarantiners race benignly: one rename wins,
-        the others find the file gone."""
+        sees it) and record why next to it. Concurrent quarantiners race
+        benignly: one rename wins, the others find the file gone."""
         os.makedirs(self.quarantine_dir(), exist_ok=True)
         destination = os.path.join(
             self.quarantine_dir(), f"{key}.{os.getpid()}.pkl"
@@ -193,7 +197,13 @@ class ResultCache:
         try:
             os.replace(self.path(key), destination)
         except FileNotFoundError:
-            pass
+            return
+        try:
+            with open(f"{destination}.reason.txt", "w",
+                      encoding="utf-8") as handle:
+                handle.write(f"{type(error).__name__}: {error}\n")
+        except OSError:
+            pass  # forensics only; the quarantine itself already succeeded
 
     def peek(self, key: str) -> TrainingResult | None:
         """:meth:`load` without the quarantine side effect.
@@ -203,15 +213,18 @@ class ResultCache:
         destroyed and the coordinator's existence checks would never see
         it), so unreadable bytes simply read as "not here yet" and the
         destructive :meth:`load` in the final collection pass stays the
-        only quarantiner.
+        only quarantiner. Best-effort all the way down: *any* read or
+        unpickle failure -- corrupt bytes raise arbitrary exception types
+        -- is a miss, never an error out of the wait loop.
         """
         try:
             with open(self.path(key), "rb") as handle:
                 return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except (pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        # repro-lint: allow[RPL040] -- a peek is documented best-effort and
+        # side-effect free: corrupt bytes raise arbitrary exception types
+        # and must read as "not here yet"; load() is the reporting path
+        # (it quarantines the entry with the error recorded alongside)
+        except Exception:
             return None
 
     def store(self, key: str, result: TrainingResult) -> None:
@@ -595,6 +608,9 @@ class WorkQueue:
         # on purpose -- staleness is "unchanged across MY observation
         # window", which never compares clocks across processes or hosts.
         self._lease_observed: dict[str, tuple[int, float]] = {}
+        # Same observation contract for coordinator liveness: run_id ->
+        # (run-record beats counter, monotonic time first seen).
+        self._run_observed: dict[str, tuple[int, float]] = {}
 
     # -- configuration ---------------------------------------------------------
 
@@ -634,6 +650,7 @@ class WorkQueue:
             **settings,
             "active": True,
             "coordinator": _worker_id(),
+            "beats": 0,
         })
 
     def read_config(self) -> dict | None:
@@ -672,6 +689,64 @@ class WorkQueue:
     def active_run_ids(self) -> list[str]:
         return [record["run_id"] for record in self.list_runs()
                 if record.get("active")]
+
+    def heartbeat_run(self, run_id: str) -> None:
+        """Bump this run's coordinator liveness counter.
+
+        The coordinator calls this on its lease-heartbeat cadence while it
+        waits for results, so observers (see :meth:`live_run_ids`) can
+        tell a run whose coordinator is alive from one whose coordinator
+        died without :meth:`signal_stop` -- by counter movement, never by
+        clocks, the same contract as lease staleness.
+        """
+        record = self.run_settings(run_id)
+        if record is None:
+            return
+        record["beats"] = int(record.get("beats", 0)) + 1
+        self._atomic_write_json(self._run_path(run_id), record)
+
+    def live_run_ids(self, lease_timeout_s: float) -> list[str]:
+        """Active runs whose coordinator still shows signs of life.
+
+        A run counts as live while any of its tasks are pending or leased
+        (someone must drain them regardless of the coordinator's fate), or
+        while its ``beats`` counter keeps moving within the run's own
+        lease-timeout window on this observer's monotonic clock (the
+        frozen-counter contract of :meth:`reclaim_stale`; the passed
+        timeout applies only to records without one). A coordinator killed
+        without :meth:`signal_stop` therefore stops blocking the STOP
+        marker one observation window after its sweep drains, instead of
+        pinning a shared fleet to the full drain timeout forever.
+        """
+        now = time.monotonic()
+        tasked = {name.run for name in self.pending_tasks()}
+        tasked.update(name.run for name in self.active_leases())
+        live = []
+        seen: set[str] = set()
+        for record in self.list_runs():
+            if not record.get("active"):
+                continue
+            run_id = record["run_id"]
+            seen.add(run_id)
+            if run_id in tasked:
+                # Outstanding work restarts the observation window: only a
+                # drained run may age out on a frozen coordinator.
+                self._run_observed.pop(run_id, None)
+                live.append(run_id)
+                continue
+            counter = int(record.get("beats", 0))
+            observed = self._run_observed.get(run_id)
+            if observed is None or observed[0] != counter:
+                self._run_observed[run_id] = (counter, now)
+                live.append(run_id)
+                continue
+            timeout_s = float(record.get("lease_timeout_s", lease_timeout_s))
+            if now - observed[1] <= timeout_s:
+                live.append(run_id)
+        for run_id in list(self._run_observed):
+            if run_id not in seen:
+                del self._run_observed[run_id]
+        return live
 
     def default_results_dir(self) -> str:
         return os.path.join(self.queue_dir, "results")
@@ -955,11 +1030,30 @@ class WorkQueue:
         spuriously reclaim a live lease nor hide a dead one. The cost is
         one observation latency: a fresh :class:`WorkQueue` instance needs
         two looks, ``lease_timeout_s`` apart, before its first reclaim.
+
+        Each lease is judged by *its own run's* staleness window and retry
+        budget, resolved through ``runs/<run_id>.json`` exactly as the
+        executing worker resolves them for heartbeating; the passed values
+        apply only to run-less (pre-service) tasks and runs whose record
+        is gone. In a multi-tenant directory a coordinator with a short
+        lease timeout therefore can never judge another run's slower
+        heartbeat as frozen, reclaim its live lease, and burn the wrong
+        retry budget to a terminal (directory-global) failure.
         """
         reclaimed = 0
         now = time.monotonic()
         seen: set[str] = set()
+        run_windows: dict[str, tuple[float, int]] = {}
         for name in self.active_leases():
+            window = run_windows.get(name.run)
+            if window is None:
+                record = self.run_settings(name.run) or {}
+                window = (
+                    float(record.get("lease_timeout_s", lease_timeout_s)),
+                    int(record.get("max_attempts", max_attempts)),
+                )
+                run_windows[name.run] = window
+            timeout_s, attempt_budget = window
             stem = name.stem()
             seen.add(stem)
             lease_path = os.path.join(self.leases_dir, f"{stem}.lease")
@@ -972,23 +1066,24 @@ class WorkQueue:
             if observed is None or observed[0] != counter:
                 self._lease_observed[stem] = (counter, now)
                 continue
-            if now - observed[1] <= lease_timeout_s:
+            if now - observed[1] <= timeout_s:
                 continue
             stale_for = now - observed[1]
-            if name.attempt >= max_attempts:
+            if name.attempt >= attempt_budget:
                 try:
                     with open(lease_path, "rb") as handle:
                         label = pickle.load(handle).label()
-                except (OSError, pickle.UnpicklingError, EOFError,
-                        AttributeError, ImportError, IndexError):
-                    # The torn-bytes error surface ResultCache.load guards
-                    # against, plus the lease file vanishing mid-read; the
-                    # failure record still identifies the cell by key.
+                # repro-lint: allow[RPL040] -- unpickling foreign bytes can
+                # raise nearly anything (torn write, version-skewed worker)
+                # and the file can vanish mid-read; nothing is swallowed:
+                # the terminal-failure record written just below still
+                # identifies the cell by key
+                except Exception:
                     label = None
                 self._record_failure(
                     name,
                     f"worker heartbeat frozen for {stale_for:.1f}s on final "
-                    f"attempt {name.attempt}/{max_attempts} "
+                    f"attempt {name.attempt}/{attempt_budget} "
                     "(worker presumed dead)",
                     label,
                 )
@@ -1051,10 +1146,38 @@ class WorkQueue:
         return str(marker.get("run_id"))
 
     def clear_stop(self) -> None:
+        """Remove the STOP marker and garbage-collect retired records.
+
+        Called by every coordinator before it enqueues, so each sweep
+        generation starts clean: run records that are inactive *and* have
+        no pending or leased tasks left (their settings govern nothing
+        anymore), and registry records of exited workers, are pruned here
+        rather than accumulating forever in a long-lived queue directory.
+        Records of runs that still carry tasks -- a crashed sweep's
+        leftovers -- are kept, since workers resolve those tasks' settings
+        through them.
+        """
         try:
             os.unlink(self.stop_path)
         except FileNotFoundError:
             pass
+        tasked = {name.run for name in self.pending_tasks()}
+        tasked.update(name.run for name in self.active_leases())
+        for record in self.list_runs():
+            if record.get("active") or record["run_id"] in tasked:
+                continue
+            try:
+                os.unlink(self._run_path(record["run_id"]))
+            except OSError:
+                pass
+        for record in self.registry_records():
+            if record.get("status") != "exited":
+                continue
+            try:
+                os.unlink(os.path.join(self.registry_dir,
+                                       f"{record['worker']}.json"))
+            except OSError:
+                pass
 
     # -- observability ---------------------------------------------------------
 
@@ -1123,6 +1246,31 @@ class WorkQueue:
         }
 
 
+def _append_heartbeat_byte(path: str) -> bool:
+    """Append one counter byte to ``path`` -- only if it still exists.
+
+    Opened without ``O_CREAT`` on purpose: completion or a reclaimer may
+    remove the lease at any moment, and an ``open(path, "ab")`` racing
+    that removal would silently *recreate* it as a ghost lease holding
+    nothing but heartbeat bytes -- unpicklable, so once reclaimed and
+    re-claimed it would be recorded as a bogus terminal failure for a
+    cell that actually completed. Without ``O_CREAT`` the open itself
+    fails once the file is gone, closing the check-then-append race at
+    the filesystem. Returns whether a byte was written.
+    """
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND)
+    except OSError:
+        return False  # lease completed or reclaimed; never recreate it
+    try:
+        os.write(fd, b"\0")
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+    return True
+
+
 class _LeaseHeartbeat:
     """Append one counter byte per beat to each lease while its cell
     executes, so a *live* worker's lease counter never freezes no matter
@@ -1166,17 +1314,7 @@ class _LeaseHeartbeat:
     def _beat(self) -> None:
         while not self._stop.wait(self._interval_s):
             for path in self._lease_paths:
-                try:
-                    # Existence check first: open("ab") would resurrect a
-                    # lease that completion or a reclaimer already removed
-                    # (the race between check and append is benign -- a
-                    # ghost lease is itself reclaimed once its counter
-                    # freezes, and results are idempotent).
-                    if os.path.exists(path):
-                        with open(path, "ab") as handle:
-                            handle.write(b"\0")
-                except OSError:
-                    continue  # lease reclaimed; stop touching it
+                _append_heartbeat_byte(path)
             if self._on_beat is not None:
                 self._on_beat()
 
@@ -1342,13 +1480,15 @@ def run_queue_worker(
                 # STOP is a drain-then-exit signal, checked only with nothing
                 # claimable, only for markers newer than this worker (see
                 # startup_stop above), and only once no registered run is
-                # still active: in-flight and still-queued cells always
+                # still *live*: in-flight and still-queued cells always
                 # finish first, a stale marker can never turn away a freshly
                 # joined worker, and one coordinator's exit never strands a
-                # concurrent coordinator's half-drained sweep.
+                # concurrent coordinator's half-drained sweep. Liveness (not
+                # the raw active flag) keeps a coordinator that died without
+                # signal_stop from disabling STOP forever.
                 marker = queue.stop_marker_id()
                 if (marker is not None and marker != startup_stop
-                        and not queue.active_run_ids()):
+                        and not queue.live_run_ids(config["lease_timeout_s"])):
                     break
                 if time.monotonic() - idle_since > drain_timeout_s:
                     break
@@ -1529,7 +1669,8 @@ class QueueExecutor(SweepExecutor):
             # sweep after the whole grid already ran.
             notified: set[int] = set()
             for _ in range(self.max_attempts):
-                self._wait_for_results(queue, cache, cells, keys, notified)
+                self._wait_for_results(queue, cache, cells, keys, notified,
+                                       run_id)
                 executions, unreadable = self._collect(queue, cache, cells, keys)
                 if not unreadable:
                     for index, execution in enumerate(executions):
@@ -1560,11 +1701,17 @@ class QueueExecutor(SweepExecutor):
         cells: Sequence[SweepCell],
         keys: Sequence[str],
         notified: set[int],
+        run_id: str,
     ) -> None:
         labels = {key: cell.label() for key, cell in zip(keys, cells)}
         index_of = {key: index for index, key in enumerate(keys)}
         missing = set(keys)
         last_health = time.monotonic()
+        # Coordinator liveness: bump the run record's beats counter on the
+        # same cadence workers heartbeat their leases, so live_run_ids can
+        # age out a coordinator that dies without signal_stop.
+        beat_interval = self.lease_timeout_s / 3.0
+        last_beat = time.monotonic()
         while missing:
             arrived = {key for key in missing
                        if os.path.exists(cache.path(key))}
@@ -1608,6 +1755,9 @@ class QueueExecutor(SweepExecutor):
                 )
             queue.reclaim_stale(self.lease_timeout_s, self.max_attempts)
             now = time.monotonic()
+            if now - last_beat >= beat_interval:
+                last_beat = now
+                queue.heartbeat_run(run_id)
             if now - last_health >= self.status_interval_s:
                 last_health = now
                 from repro.experiments.reporting import format_worker_health

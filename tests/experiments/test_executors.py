@@ -497,8 +497,13 @@ class TestQuarantine:
         assert again.cells_executed == 1 and again.cells_from_cache == 0
         assert_results_identical(first.outcomes[0].result,
                                  again.outcomes[0].result)
-        quarantined = os.listdir(cache.quarantine_dir())
+        quarantined = [entry for entry in os.listdir(cache.quarantine_dir())
+                       if entry.endswith(".pkl")]
         assert len(quarantined) == 1 and quarantined[0].startswith(key)
+        # The "why" lands next to the quarantined bytes for forensics.
+        with open(os.path.join(cache.quarantine_dir(),
+                               f"{quarantined[0]}.reason.txt")) as handle:
+            assert handle.read().strip()
         # The re-executed (clean) entry serves the next run from cache.
         assert run_sweep(spec, cache_dir=cache_dir).cells_from_cache == 1
 

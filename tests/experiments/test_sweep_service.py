@@ -2,14 +2,17 @@
 
 The broker's PR 5 contract (claim/complete/fail/reclaim) lives in
 test_executors.py; this file covers the service features layered on top:
-counter-based lease staleness (the mtime bugfix), deterministic jittered
-polling (the thundering-herd bugfix), batch leases, priority + fair-share
+counter-based lease staleness (the mtime bugfix), per-run reclaim
+settings (the multi-tenant reclaim bugfix), coordinator run liveness (the
+crashed-coordinator STOP lockout bugfix), deterministic jittered polling
+(the thundering-herd bugfix), batch leases, priority + fair-share
 scheduling across concurrent sweeps, the worker registry, and streaming
 aggregation.
 """
 
 import json
 import os
+import pickle
 import threading
 import time
 
@@ -22,6 +25,7 @@ from repro.experiments.executors import (
     QueueExecutor,
     ResultCache,
     WorkQueue,
+    _append_heartbeat_byte,
     _LeaseHeartbeat,
     _poll_delay,
     _poll_jitter,
@@ -132,6 +136,205 @@ class TestCounterStaleness:
         QueueExecutor(
             str(tmp_path / "q"), lease_timeout_s=MIN_LEASE_TIMEOUT_S
         )  # the floor itself is accepted
+
+    def test_heartbeat_append_cannot_create_a_missing_lease(self, tmp_path):
+        """Regression: the append must open without O_CREAT, so a beat that
+        races completion/reclaim can never resurrect the removed lease as
+        an unpicklable ghost."""
+        path = str(tmp_path / "gone.lease")
+        assert _append_heartbeat_byte(path) is False
+        assert not os.path.exists(path)
+        with open(path, "wb") as handle:
+            handle.write(b"x")
+        assert _append_heartbeat_byte(path) is True
+        assert os.path.getsize(path) == 2
+
+
+def _unpicklable_payload():
+    raise ValueError("corrupt payload")
+
+
+class _ExplodesOnUnpickle:
+    """Pickles fine; unpickling raises ValueError -- an exception *outside*
+    pickle's own error types, as real corrupt bytes can produce."""
+
+    def __reduce__(self):
+        return (_unpicklable_payload, ())
+
+
+class TestResultCacheCorruption:
+    """Corrupt cache bytes can raise nearly any exception type on unpickle;
+    none of them may escape the cache's read paths."""
+
+    def test_peek_treats_arbitrary_unpickle_errors_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with open(cache.path("k"), "wb") as handle:
+            handle.write(pickle.dumps(_ExplodesOnUnpickle()))
+        assert cache.peek("k") is None
+        assert os.path.exists(cache.path("k"))  # peek never quarantines
+
+    def test_load_quarantines_arbitrary_unpickle_errors(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with open(cache.path("k"), "wb") as handle:
+            handle.write(pickle.dumps(_ExplodesOnUnpickle()))
+        assert cache.load("k") is None
+        assert not os.path.exists(cache.path("k"))
+        entries = sorted(os.listdir(cache.quarantine_dir()))
+        assert [e for e in entries if e.endswith(".pkl")]
+        (reason,) = [e for e in entries if e.endswith(".reason.txt")]
+        with open(os.path.join(cache.quarantine_dir(), reason)) as handle:
+            assert "ValueError: corrupt payload" in handle.read()
+
+
+class TestPerRunReclaimSettings:
+    """Regression for the multi-tenant reclaim bug: reclaim_stale must judge
+    each lease by its own run's lease timeout and retry budget (resolved
+    through runs/<run_id>.json), never the observing tenant's settings."""
+
+    def claimed_cell(self, queue, *, run_id, lease_timeout_s, max_attempts):
+        queue.write_config(
+            cache_dir=queue.default_results_dir(),
+            max_attempts=max_attempts,
+            lease_timeout_s=lease_timeout_s,
+            run_id=run_id,
+        )
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        assert queue.enqueue(cell, run=run_id)
+        claim = queue.claim()
+        assert claim is not None
+        return claim
+
+    def test_short_timeout_tenant_cannot_reclaim_other_runs_live_lease(
+        self, tmp_path
+    ):
+        """A coordinator with lease_timeout_s=0.05 sharing the directory
+        with a run whose timeout is 60s must never see that run's lease --
+        heartbeating every 20s, far slower than 0.05s -- as frozen."""
+        queue = make_queue(tmp_path)
+        self.claimed_cell(queue, run_id="slow-run",
+                          lease_timeout_s=60.0, max_attempts=1)
+        observer = WorkQueue(str(tmp_path / "queue"))  # the other tenant
+        assert observer.reclaim_stale(lease_timeout_s=0.05, max_attempts=1) == 0
+        time.sleep(0.15)  # far past the observer's own window
+        assert observer.reclaim_stale(lease_timeout_s=0.05, max_attempts=1) == 0
+        assert queue.active_leases() and not queue.pending_tasks()
+        assert queue.failed_keys() == []  # no bogus terminal failure
+
+    def test_reclaim_spends_the_runs_own_budget_not_the_observers(self, tmp_path):
+        """The inverse: a lenient observer still reclaims on the lease's own
+        run settings -- short window, single-attempt budget -> terminal."""
+        queue = make_queue(tmp_path)
+        claim = self.claimed_cell(queue, run_id="fast-run",
+                                  lease_timeout_s=0.1, max_attempts=1)
+        observer = WorkQueue(str(tmp_path / "queue"))
+        assert observer.reclaim_stale(lease_timeout_s=999.0, max_attempts=99) == 0
+        time.sleep(0.15)
+        assert observer.reclaim_stale(lease_timeout_s=999.0, max_attempts=99) == 1
+        assert observer.failed_keys() == [claim.name.key]
+        assert not queue.active_leases() and not queue.pending_tasks()
+
+    def test_runless_lease_falls_back_to_passed_settings(self, tmp_path):
+        queue, _ = single_cell_claim(tmp_path)  # pre-service, no run record
+        assert queue.reclaim_stale(lease_timeout_s=0.05, max_attempts=3) == 0
+        time.sleep(0.1)
+        assert queue.reclaim_stale(lease_timeout_s=0.05, max_attempts=3) == 1
+        (task,) = queue.pending_tasks()
+        assert task.attempt == 2
+
+
+class TestRunLiveness:
+    """Regression for the crashed-coordinator STOP lockout: a run whose
+    coordinator died without signal_stop must stop counting as live one
+    observation window after its queue drains."""
+
+    def register_run(self, queue, run_id, lease_timeout_s=0.1):
+        queue.write_config(
+            cache_dir=queue.default_results_dir(), max_attempts=3,
+            lease_timeout_s=lease_timeout_s, run_id=run_id,
+        )
+
+    def test_frozen_coordinator_ages_out_of_live(self, tmp_path):
+        queue = make_queue(tmp_path)
+        self.register_run(queue, "dead-run")
+        observer = WorkQueue(str(tmp_path / "queue"))
+        assert observer.live_run_ids(5.0) == ["dead-run"]  # first observation
+        time.sleep(0.15)  # beats counter frozen across the run's own window
+        assert observer.live_run_ids(5.0) == []
+        assert observer.active_run_ids() == ["dead-run"]  # raw flag untouched
+
+    def test_heartbeats_keep_a_run_live(self, tmp_path):
+        queue = make_queue(tmp_path)
+        self.register_run(queue, "live-run")
+        observer = WorkQueue(str(tmp_path / "queue"))
+        for _ in range(3):
+            assert observer.live_run_ids(5.0) == ["live-run"]
+            queue.heartbeat_run("live-run")
+            time.sleep(0.15)
+        assert observer.live_run_ids(5.0) == ["live-run"]
+
+    def test_outstanding_tasks_keep_a_run_live_without_heartbeats(self, tmp_path):
+        queue = make_queue(tmp_path)
+        self.register_run(queue, "busy-run")
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue.enqueue(cell, run="busy-run")
+        observer = WorkQueue(str(tmp_path / "queue"))
+        assert observer.live_run_ids(5.0) == ["busy-run"]
+        time.sleep(0.15)
+        assert observer.live_run_ids(5.0) == ["busy-run"]
+
+    def test_worker_honors_stop_despite_a_crashed_coordinators_run(self, tmp_path):
+        """End to end: one crashed coordinator's forever-active record used
+        to disable STOP for the whole directory, pinning every worker to
+        its full drain timeout."""
+        queue = make_queue(tmp_path)
+        self.register_run(queue, "crashed-run")  # never heartbeats again
+        done: list[object] = []
+
+        def drain() -> None:
+            done.append(run_queue_worker(
+                str(tmp_path / "queue"), poll_interval_s=0.02,
+                drain_timeout_s=60.0,
+            ))
+
+        worker = threading.Thread(target=drain)
+        worker.start()
+        time.sleep(0.1)  # let the worker observe the frozen run once
+        queue.signal_stop("other-run")  # some healthy tenant finishing
+        worker.join(timeout=10.0)
+        assert not worker.is_alive(), (
+            "worker ignored STOP while a dead coordinator's run stayed active"
+        )
+        assert done and done[0].executed == 0
+
+
+class TestClearStopPruning:
+    def test_clear_stop_prunes_retired_records_only(self, tmp_path):
+        """A new sweep generation garbage-collects what no longer governs
+        anything: inactive task-less run records and exited workers. A
+        crashed sweep's record (inactive but with tasks left) survives --
+        workers still resolve those tasks' settings through it."""
+        queue = make_queue(tmp_path)
+        for run_id in ("retired-run", "leftover-run"):
+            queue.write_config(
+                cache_dir=queue.default_results_dir(), max_attempts=3,
+                lease_timeout_s=5.0, run_id=run_id,
+            )
+        spec = tiny_spec(algorithms=("adpsgd",), seeds=(0,))
+        (cell,) = spec.cells()
+        queue.enqueue(cell, run="leftover-run")
+        queue.signal_stop("retired-run")
+        queue.signal_stop("leftover-run")
+        for worker, status in (("w-gone", "exited"), ("w-live", "idle")):
+            queue._atomic_write_json(
+                os.path.join(queue.registry_dir, f"{worker}.json"),
+                {"worker": worker, "status": status},
+            )
+        queue.clear_stop()
+        assert queue.stop_marker_id() is None
+        assert [run["run_id"] for run in queue.list_runs()] == ["leftover-run"]
+        assert [w["worker"] for w in queue.registry_records()] == ["w-live"]
 
 
 class TestJitteredPolling:
