@@ -260,9 +260,14 @@ class DecentralizedTrainer(abc.ABC):
         self._all_active = True
         # Time-varying topology state: the currently live adjacency (every
         # edge schedule starts with all base edges up) plus a fast-path flag.
-        # For a static topology both are constant for the whole run.
+        # For a static topology both are constant for the whole run, and the
+        # "adjacency" is a CSR-backed view answering the same [a, b] /
+        # [a][b] lookups without materializing the O(N^2) dense matrix.
         self._edges_dynamic = bool(topology.is_dynamic)
-        self._edge_adjacency = topology.adjacency_at(0.0)
+        if self._edges_dynamic:
+            self._edge_adjacency = topology.adjacency_at(0.0)
+        else:
+            self._edge_adjacency = topology.adjacency_view()
         self._edges_all_up = True
         # (time, a, b, kind) edge transitions actually executed, for
         # diagnostics and the dynamic-edge correctness tests.

@@ -77,6 +77,9 @@ class NetMaxTrainer(DecentralizedTrainer):
         initial_rho: float | None = None,
         policy_cache: bool = True,
         policy_time_digits: int = 3,
+        policy_scope: str = "global",
+        policy_local_hops: int = 2,
+        monitor_unprobed: str = "pessimistic",
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -117,6 +120,9 @@ class NetMaxTrainer(DecentralizedTrainer):
                 if policy_cache
                 else None
             ),
+            policy_scope=policy_scope,
+            local_hops=policy_local_hops,
+            unprobed=monitor_unprobed,
         )
         self.policies_adopted = 0
 
@@ -285,9 +291,15 @@ class NetMaxTrainer(DecentralizedTrainer):
             # departed keep their previous rows (the mask already steers
             # everyone's selection away from them) and pick up the next
             # policy published after their rejoin.
+            rho_per_worker = result.rho_per_worker
             for i, state in enumerate(self.workers):
                 if self._active[i]:
-                    state.stage_policy(result.policy[i], result.rho)
+                    rho_i = (
+                        result.rho
+                        if rho_per_worker is None
+                        else float(rho_per_worker[i])
+                    )
+                    state.stage_policy(result.policy[i], rho_i)
 
     def _extras(self) -> dict:
         extras = {

@@ -60,6 +60,19 @@ class NetworkMonitor:
             quantized times, alpha, grid) tuple, and repeated re-solves on
             recurring subgraphs -- the common case under flapping edges --
             are near-free.
+        policy_scope: ``"global"`` (default) solves one LP over the whole
+            live subgraph; ``"local"`` solves Algorithm 3 per worker on its
+            ``local_hops``-hop ego subgraph and assembles the full policy
+            from the center rows. Local solves go through the same cache and
+            signature scheme, so a local solve whose ego graph is the full
+            graph is bit-identical to a global solve.
+        local_hops: ego-subgraph radius for ``policy_scope="local"``.
+        unprobed: gap-fill stance for neighbor pairs without a measurement.
+            ``"pessimistic"`` (default) assumes the worker's *slowest*
+            observed time, keeping traffic off links nobody has evidence
+            about; ``"optimistic"`` seeds them with the *fastest* observed
+            time so the LP routes probes onto them (exploration at low
+            coverage).
     """
 
     def __init__(
@@ -70,15 +83,31 @@ class NetworkMonitor:
         epsilon: float = 1e-2,
         min_coverage: float = 1.0,
         policy_cache: PolicyCache | None = None,
+        policy_scope: str = "global",
+        local_hops: int = 2,
+        unprobed: str = "pessimistic",
     ):
         if not 0.0 < min_coverage <= 1.0:
             raise ValueError(f"min_coverage must be in (0, 1], got {min_coverage}")
+        if policy_scope not in ("global", "local"):
+            raise ValueError(
+                f"policy_scope must be 'global' or 'local', got {policy_scope!r}"
+            )
+        if local_hops < 1:
+            raise ValueError(f"local_hops must be >= 1, got {local_hops}")
+        if unprobed not in ("pessimistic", "optimistic"):
+            raise ValueError(
+                f"unprobed must be 'pessimistic' or 'optimistic', got {unprobed!r}"
+            )
         self.topology = topology
         self.outer_rounds = outer_rounds
         self.inner_rounds = inner_rounds
         self.epsilon = epsilon
         self.min_coverage = min_coverage
         self.policy_cache = policy_cache
+        self.policy_scope = policy_scope
+        self.local_hops = int(local_hops)
+        self.unprobed = unprobed
         self.stats = MonitorStats()
         self.last_result: PolicyResult | None = None
 
@@ -103,11 +132,18 @@ class NetworkMonitor:
             return None
         m = adjacency.shape[0]
         filled = raw_times.copy()
+        optimistic = self.unprobed == "optimistic"
+        if optimistic:
+            known = adjacency & ~np.isnan(filled)
+            # The fastest time observed anywhere: unprobed links get seeded
+            # with it so the LP has an incentive to route onto (and thereby
+            # probe) them, instead of being pessimistically avoided forever.
+            fastest = float(filled[known].min()) if known.any() else np.nan
         for i in range(m):
             row_known = filled[i][adjacency[i] & ~np.isnan(filled[i])]
             if row_known.size == 0:
                 return None
-            fallback = float(row_known.max())
+            fallback = fastest if optimistic else float(row_known.max())
             missing = adjacency[i] & np.isnan(filled[i])
             filled[i, missing] = fallback
         filled[~adjacency] = 0.0
@@ -116,11 +152,13 @@ class NetworkMonitor:
     def assemble_time_matrix(self, raw_times: np.ndarray) -> np.ndarray | None:
         """Fill unmeasured neighbor entries conservatively.
 
-        A missing ``t_im`` is replaced by the *largest* time worker ``i`` has
-        observed anywhere -- assuming an unprobed link is slow keeps the LP
-        from routing traffic onto links nobody has evidence about. Returns
-        ``None`` when coverage is below ``min_coverage`` or some worker has
-        no measurements at all.
+        With the default ``unprobed="pessimistic"`` a missing ``t_im`` is
+        replaced by the *largest* time worker ``i`` has observed anywhere --
+        assuming an unprobed link is slow keeps the LP from routing traffic
+        onto links nobody has evidence about. With ``unprobed="optimistic"``
+        it is instead seeded with the globally *fastest* observed time, so
+        low-coverage links get explored. Returns ``None`` when coverage is
+        below ``min_coverage`` or some worker has no measurements at all.
         """
         raw_times = np.asarray(raw_times, dtype=np.float64)
         m = self.topology.num_workers
@@ -201,14 +239,22 @@ class NetworkMonitor:
             self.stats.skipped_insufficient_data += 1
             return None
         try:
-            result = self._generate(matrix, sub_adjacency, alpha, idx)
+            if self.policy_scope == "local":
+                result = self._generate_local(matrix, sub_adjacency, alpha, idx)
+            else:
+                result = self._generate(matrix, sub_adjacency, alpha, idx)
         except PolicyGenerationError:
             self.stats.skipped_infeasible += 1
             return None
         if active is not None:
             embedded = np.zeros((m, m))
             embedded[np.ix_(idx, idx)] = result.policy
-            result = replace(result, policy=embedded)
+            rho_per_worker = result.rho_per_worker
+            if rho_per_worker is not None:
+                full_rho = np.zeros(m)
+                full_rho[idx] = rho_per_worker
+                rho_per_worker = full_rho
+            result = replace(result, policy=embedded, rho_per_worker=rho_per_worker)
         self.stats.policies_published += 1
         self.last_result = result
         return result
@@ -244,4 +290,83 @@ class NetworkMonitor:
             inner_rounds=self.inner_rounds,
             epsilon=self.epsilon,
             signature=signature,
+        )
+
+    # -- neighborhood-local solves (policy_scope="local") ------------------------
+
+    @staticmethod
+    def _ego_indices(adjacency: np.ndarray, center: int, hops: int) -> np.ndarray:
+        """Sorted indices of the ``hops``-hop ego subgraph around ``center``.
+
+        BFS by rows of the boolean adjacency; each level is one vectorized
+        ``any`` over the frontier's rows, so the cost is O(deg * ego size),
+        not O(N^2). Always includes ``center``; the result is connected by
+        construction.
+        """
+        n = adjacency.shape[0]
+        mask = np.zeros(n, dtype=bool)
+        mask[center] = True
+        frontier = np.array([center])
+        for _ in range(hops):
+            grown = adjacency[frontier].any(axis=0) & ~mask
+            if not grown.any():
+                break
+            mask |= grown
+            frontier = np.flatnonzero(grown)
+        return np.flatnonzero(mask)
+
+    def _generate_local(
+        self,
+        matrix: np.ndarray,
+        sub_adjacency: np.ndarray,
+        alpha: float,
+        idx: np.ndarray,
+    ) -> PolicyResult:
+        """Per-worker Algorithm 3 on ``local_hops``-hop ego subgraphs.
+
+        Each worker's row of the published policy comes from the solve on its
+        own ego subgraph; ``rho`` is staged per worker (``rho_per_worker``),
+        and the scalar aggregates (``rho``, ``t_bar``, ``lambda2``, predicted
+        time) report the worst ego solve, so the headline numbers stay
+        conservative. Ego solves share ``_generate``'s cache-signature scheme
+        -- the signature is the *global* worker ids plus the ego adjacency --
+        so workers with identical neighborhoods hit the same cache entry, and
+        an ego graph that spans the full graph reproduces the global solve
+        bit for bit.
+
+        Raises :exc:`PolicyGenerationError` if any ego solve is infeasible
+        (the caller skips the whole period, as in global mode).
+        """
+        n = sub_adjacency.shape[0]
+        policy = np.zeros((n, n))
+        rho_per_worker = np.zeros(n)
+        rho = t_bar = lambda2 = predicted = -np.inf
+        evaluated = infeasible = 0
+        for center in range(n):
+            local = self._ego_indices(sub_adjacency, center, self.local_hops)
+            ego = self._generate(
+                matrix[np.ix_(local, local)],
+                sub_adjacency[np.ix_(local, local)],
+                alpha,
+                idx[local],
+            )
+            pos = int(np.searchsorted(local, center))
+            policy[center, local] = ego.policy[pos]
+            rho_per_worker[center] = ego.rho
+            rho = max(rho, ego.rho)
+            t_bar = max(t_bar, ego.t_bar)
+            lambda2 = max(lambda2, ego.lambda2)
+            predicted = max(predicted, ego.predicted_convergence_time)
+            evaluated += ego.candidates_evaluated
+            infeasible += ego.candidates_infeasible
+        return PolicyResult(
+            policy=policy,
+            rho=rho,
+            t_bar=t_bar,
+            lambda2=lambda2,
+            predicted_convergence_time=predicted,
+            epsilon=self.epsilon,
+            candidates_evaluated=evaluated,
+            candidates_infeasible=infeasible,
+            rho_per_worker=rho_per_worker,
         )

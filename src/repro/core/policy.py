@@ -76,6 +76,10 @@ class PolicyResult:
         candidates_evaluated: grid points whose LP was feasible.
         candidates_infeasible: grid points skipped (LP infeasible or empty
             ``t`` interval).
+        rho_per_worker: per-worker consensus weights, set only by the
+            monitor's neighborhood-local mode (``policy_scope="local"``)
+            where each worker's ego solve picks its own ``rho``; ``None``
+            for a global solve, where ``rho`` applies uniformly.
     """
 
     policy: np.ndarray
@@ -86,6 +90,7 @@ class PolicyResult:
     epsilon: float
     candidates_evaluated: int = 0
     candidates_infeasible: int = 0
+    rho_per_worker: np.ndarray | None = None
 
 
 def rho_interval(alpha: float) -> tuple[float, float]:

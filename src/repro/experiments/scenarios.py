@@ -66,6 +66,7 @@ from repro.ml.problems import make_consensus_quadratics
 from repro.network.cluster import ClusterSpec, gbps_to_bytes_per_s
 from repro.network.costmodel import ModelCostProfile, get_cost_profile
 from repro.network.links import (
+    ClusterLinks,
     DynamicSlowdownLinks,
     LinkSpeedModel,
     StaticLinks,
@@ -126,7 +127,10 @@ def heterogeneous_scenario(
     (paper: 1 link, 5 minutes).
     """
     cluster = ClusterSpec.paper_heterogeneous(num_workers)
-    links: LinkSpeedModel = StaticLinks.from_cluster(cluster)
+    # Placement-implied links: bit-identical queries to
+    # StaticLinks.from_cluster(cluster) with O(N) state, so the scenario
+    # scales to thousands of workers without dense matrices.
+    links: LinkSpeedModel = ClusterLinks(cluster)
     if dynamic:
         links = DynamicSlowdownLinks(
             links,
@@ -256,7 +260,8 @@ class ScenarioFamily:
             self.validator(merged)
         if num_workers is not None and "topology" in merged:
             validate_topology_request(
-                merged["topology"], num_workers, merged["edge_probability"]
+                merged["topology"], num_workers, merged["edge_probability"],
+                degree_skew=merged["degree_skew"],
             )
             validate_edge_failure_request(
                 merged["topology"],
@@ -343,6 +348,11 @@ _TOPOLOGY_PARAMS = (
         "edge probability (random) / rewire probability (small-world)",
     ),
     ScenarioParam(
+        "degree_skew", 0.0,
+        "per-node degree heterogeneity for random/expander graphs "
+        "(0 = homogeneous; log-normal propensity / Poisson extra stubs)",
+    ),
+    ScenarioParam(
         "edge_failures", 0,
         "scheduled edge-failure episodes over edge_horizon_s (0 = frozen graph)",
     ),
@@ -379,6 +389,7 @@ def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]
     def wrapped(num_workers: int, seed: int, **params) -> Scenario:
         kind = params.pop("topology")
         edge_probability = params.pop("edge_probability")
+        degree_skew = params.pop("degree_skew")
         edge_failures = params.pop("edge_failures")
         edge_downtime_s = params.pop("edge_downtime_s")
         edge_horizon_s = params.pop("edge_horizon_s")
@@ -388,9 +399,11 @@ def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]
         topology = scenario.topology
         if kind != "full":
             name = f"{name}-{kind}"
+            if degree_skew:
+                name = f"{name}-skew{degree_skew:g}"
             topology = make_topology(
                 kind, scenario.num_workers, edge_probability=edge_probability,
-                seed=seed,
+                seed=seed, degree_skew=degree_skew,
             )
         if edge_failures > 0:
             name = f"{name}-ef{edge_failures}"

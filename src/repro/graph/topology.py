@@ -1,10 +1,19 @@
 """Undirected communication graphs over worker nodes.
 
-The adjacency matrix plays the role of the paper's neighborhood indicator
+The adjacency structure plays the role of the paper's neighborhood indicator
 ``d_im`` (Table I): ``d_im = 1`` iff workers ``i`` and ``m`` are neighbors.
 Graphs are undirected (``d_im = d_mi``) and have no self-loops (``d_ii = 0``),
 matching Section II-A; Assumption 1 additionally requires connectivity,
 which :meth:`Topology.require_connected` enforces at trainer construction.
+
+Internally a :class:`Topology` stores the graph as CSR-style neighbor lists
+(``indptr``/``indices``), so construction and :meth:`Topology.neighbors` are
+O(N·deg) for the sparse structured families (ring, torus, hypercube,
+expander, small-world) rather than O(N²); the dense boolean ``adjacency``
+matrix is materialized lazily, only for the callers that still want the full
+``d_im`` table (the policy LP, the NetMax monitor). Consumers that only need
+membership queries should use :meth:`Topology.adjacency_view`, which answers
+``view[a, b]`` / ``view[a][b]`` straight from the neighbor lists.
 
 Beyond the frozen graphs, this module hosts the *time-varying* topology
 substrate: an :class:`EdgeSchedule` scripts edge fail/repair transitions on
@@ -20,6 +29,7 @@ uniformly.
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -28,6 +38,7 @@ import numpy as np
 
 __all__ = [
     "Topology",
+    "AdjacencyView",
     "EdgeFlipEvent",
     "EdgeSchedule",
     "DynamicTopology",
@@ -36,6 +47,75 @@ __all__ = [
     "validate_edge_failure_request",
     "make_topology",
 ]
+
+
+def _csr_from_pairs(
+    num_workers: int, a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric CSR (indptr, indices) from undirected endpoint arrays.
+
+    Duplicates and both orientations are tolerated; the result lists every
+    edge in both directions with each row's indices sorted ascending.
+    """
+    a = np.asarray(a, dtype=np.int64).ravel()
+    b = np.asarray(b, dtype=np.int64).ravel()
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    if lo.size:
+        keys = np.unique(lo * np.int64(num_workers) + hi)
+        lo = keys // num_workers
+        hi = keys % num_workers
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    order = np.lexsort((dst, src))
+    indptr = np.zeros(num_workers + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=num_workers), out=indptr[1:])
+    indices = dst[order]
+    indptr.setflags(write=False)
+    indices.setflags(write=False)
+    return indptr, indices
+
+
+class _AdjacencyRow:
+    """One worker's boolean adjacency row, answered from its neighbor list."""
+
+    __slots__ = ("_neighbors",)
+
+    def __init__(self, neighbors: np.ndarray) -> None:
+        self._neighbors = neighbors
+
+    def __getitem__(self, peer: int) -> bool:
+        position = int(np.searchsorted(self._neighbors, peer))
+        return bool(
+            position < self._neighbors.size and self._neighbors[position] == peer
+        )
+
+
+class AdjacencyView:
+    """Read-only boolean edge lookups backed by the CSR neighbor lists.
+
+    Supports the two access patterns trainers use on a dense adjacency
+    matrix -- ``view[a, b]`` and ``row = view[a]; row[b]`` -- without
+    materializing the O(N²) matrix, so gossip peer selection on sparse
+    graphs stays O(deg) in both time and memory.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self._indptr = indptr
+        self._indices = indices
+
+    def _row(self, worker: int) -> np.ndarray:
+        return self._indices[self._indptr[worker]:self._indptr[worker + 1]]
+
+    def __getitem__(self, key: int | tuple[int, int]) -> bool | _AdjacencyRow:
+        if isinstance(key, tuple):
+            a, b = key
+            row = self._row(int(a))
+            position = int(np.searchsorted(row, b))
+            return bool(position < row.size and row[position] == b)
+        return _AdjacencyRow(self._row(int(key)))
 
 
 class Topology:
@@ -47,6 +127,10 @@ class Topology:
     """
 
     _edge_signature: bytes | None = None
+    _dense: np.ndarray | None = None
+    _num_workers: int
+    _indptr: np.ndarray
+    _indices: np.ndarray
 
     def __init__(self, adjacency: np.ndarray) -> None:
         adjacency = np.asarray(adjacency)
@@ -59,8 +143,39 @@ class Topology:
             raise ValueError("adjacency must be symmetric (the graph is undirected)")
         if np.any(np.diag(adjacency)):
             raise ValueError("self-loops are not allowed (d_ii = 0 in the paper)")
-        self._adjacency = adjacency
-        self._adjacency.setflags(write=False)
+        adjacency.setflags(write=False)
+        rows, cols = np.nonzero(adjacency)
+        indptr = np.zeros(adjacency.shape[0] + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(rows, minlength=adjacency.shape[0]), out=indptr[1:]
+        )
+        indices = cols.astype(np.int64)
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._adopt_csr(adjacency.shape[0], indptr, indices, dense=adjacency)
+
+    def _adopt_csr(
+        self,
+        num_workers: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        dense: np.ndarray | None = None,
+    ) -> None:
+        self._num_workers = int(num_workers)
+        self._indptr = indptr
+        self._indices = indices
+        self._dense = dense
+        self._edge_signature = None
+
+    @classmethod
+    def _from_pairs(cls, num_workers: int, a: np.ndarray, b: np.ndarray) -> "Topology":
+        """Internal constructor from undirected endpoint arrays (no dense)."""
+        if num_workers < 2:
+            raise ValueError("a topology needs at least 2 workers")
+        topology = cls.__new__(cls)
+        indptr, indices = _csr_from_pairs(num_workers, a, b)
+        topology._adopt_csr(num_workers, indptr, indices)
+        return topology
 
     # -- constructors --------------------------------------------------------
 
@@ -77,11 +192,8 @@ class Topology:
         """Cycle graph, the natural substrate for ring all-reduce."""
         if num_workers < 3:
             raise ValueError("a ring needs at least 3 workers")
-        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
-        for i in range(num_workers):
-            j = (i + 1) % num_workers
-            adjacency[i, j] = adjacency[j, i] = True
-        return cls(adjacency)
+        node = np.arange(num_workers, dtype=np.int64)
+        return cls._from_pairs(num_workers, node, (node + 1) % num_workers)
 
     @classmethod
     def star(cls, num_workers: int, center: int = 0) -> "Topology":
@@ -90,33 +202,65 @@ class Topology:
             raise ValueError("need at least 2 workers")
         if not 0 <= center < num_workers:
             raise ValueError(f"center {center} out of range")
-        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
-        for i in range(num_workers):
-            if i != center:
-                adjacency[i, center] = adjacency[center, i] = True
-        return cls(adjacency)
+        leaves = np.delete(np.arange(num_workers, dtype=np.int64), center)
+        return cls._from_pairs(
+            num_workers, leaves, np.full(leaves.size, center, dtype=np.int64)
+        )
 
     @classmethod
     def random_connected(
-        cls, num_workers: int, edge_probability: float, rng: np.random.Generator
+        cls,
+        num_workers: int,
+        edge_probability: float,
+        rng: np.random.Generator,
+        degree_skew: float = 0.0,
     ) -> "Topology":
         """Erdos-Renyi graph resampled (then patched) until connected.
 
         Connectivity is guaranteed by overlaying a random Hamiltonian path,
         so even ``edge_probability=0`` yields a valid (line) topology.
+
+        Sampling is row-by-row (each row consumes exactly ``num_workers``
+        uniforms, reproducing the historical ``rng.random((M, M))`` draw
+        sequence) so transient memory stays O(N + E), never O(N²).
+
+        ``degree_skew > 0`` draws per-node degree propensities ``m_i =
+        exp(Normal(0, degree_skew))`` from the same stream *before* edge
+        sampling and scales the pair probability to ``min(1, p *
+        sqrt(m_i * m_j))``: expected degree varies across nodes (lognormal
+        skew) while ``degree_skew=0`` consumes no extra draws and keeps the
+        historical graph bit-identical.
         """
         if num_workers < 2:
             raise ValueError("need at least 2 workers")
         if not 0.0 <= edge_probability <= 1.0:
             raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
-        adjacency = rng.random((num_workers, num_workers)) < edge_probability
-        adjacency = np.triu(adjacency, k=1)
-        adjacency = adjacency | adjacency.T
-        order = rng.permutation(num_workers)
-        for a, b in zip(order[:-1], order[1:]):
-            adjacency[a, b] = adjacency[b, a] = True
-        np.fill_diagonal(adjacency, False)
-        return cls(adjacency)
+        if degree_skew < 0.0:
+            raise ValueError(f"degree_skew must be >= 0, got {degree_skew}")
+        propensity: np.ndarray | None = None
+        if degree_skew > 0.0:
+            propensity = np.exp(rng.normal(0.0, degree_skew, size=num_workers))
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        for node in range(num_workers):
+            draws = rng.random(num_workers)
+            if propensity is None:
+                cols = np.flatnonzero(draws < edge_probability)
+            else:
+                row_probability = np.minimum(
+                    1.0, edge_probability * np.sqrt(propensity[node] * propensity)
+                )
+                cols = np.flatnonzero(draws < row_probability)
+            cols = cols[cols > node]
+            if cols.size:
+                sources.append(np.full(cols.size, node, dtype=np.int64))
+                targets.append(cols.astype(np.int64))
+        order = rng.permutation(num_workers).astype(np.int64)
+        sources.append(order[:-1])
+        targets.append(order[1:])
+        return cls._from_pairs(
+            num_workers, np.concatenate(sources), np.concatenate(targets)
+        )
 
     @classmethod
     def torus(cls, num_workers: int) -> "Topology":
@@ -129,15 +273,14 @@ class Topology:
         duplicate wrap edge).
         """
         rows, cols = _torus_shape(num_workers)
-        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
-        for r in range(rows):
-            for c in range(cols):
-                node = r * cols + c
-                for nr, nc in (((r + 1) % rows, c), (r, (c + 1) % cols)):
-                    peer = nr * cols + nc
-                    if peer != node:
-                        adjacency[node, peer] = adjacency[peer, node] = True
-        return cls(adjacency)
+        node = np.arange(num_workers, dtype=np.int64)
+        row, col = node // cols, node % cols
+        down = ((row + 1) % rows) * cols + col
+        right = row * cols + (col + 1) % cols
+        a = np.concatenate([node, node])
+        b = np.concatenate([down, right])
+        keep = a != b
+        return cls._from_pairs(num_workers, a[keep], b[keep])
 
     @classmethod
     def small_world(
@@ -155,6 +298,10 @@ class Topology:
         rewired with probability ``rewire_probability`` to a uniformly random
         non-neighbor. The construction is resampled (from the same ``rng``
         stream) until connected, so the result always satisfies Assumption 1.
+
+        Bookkeeping is per-node neighbor sets (O(N + E) memory); the
+        rewiring draws are taken in the exact order of the historical dense
+        implementation, so graphs are bit-identical per stream.
         """
         if num_workers < 4:
             raise ValueError("a small-world topology needs at least 4 workers")
@@ -163,29 +310,50 @@ class Topology:
                 f"rewire_probability must be in [0, 1], got {rewire_probability}"
             )
         half = max(1, min(base_degree, num_workers - 1) // 2)
+        all_nodes = frozenset(range(num_workers))
         for _ in range(max_tries):
-            adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+            neighbor_sets: list[set[int]] = [set() for _ in range(num_workers)]
             for node in range(num_workers):
                 for offset in range(1, half + 1):
                     peer = (node + offset) % num_workers
-                    adjacency[node, peer] = adjacency[peer, node] = True
+                    neighbor_sets[node].add(peer)
+                    neighbor_sets[peer].add(node)
             for node in range(num_workers):
                 for offset in range(1, half + 1):
                     peer = (node + offset) % num_workers
-                    if not adjacency[node, peer]:
+                    if peer not in neighbor_sets[node]:
                         continue  # this lattice edge was already rewired away
                     if rng.random() >= rewire_probability:
                         continue
-                    candidates = np.flatnonzero(~adjacency[node])
-                    candidates = candidates[candidates != node]
+                    candidates = np.fromiter(
+                        sorted(all_nodes - neighbor_sets[node] - {node}),
+                        dtype=np.int64,
+                    )
                     if candidates.size == 0:
                         continue
                     target = int(candidates[rng.integers(candidates.size)])
-                    adjacency[node, peer] = adjacency[peer, node] = False
-                    adjacency[node, target] = adjacency[target, node] = True
-            candidate = cls(adjacency)
-            if candidate.is_connected():
-                return candidate
+                    neighbor_sets[node].discard(peer)
+                    neighbor_sets[peer].discard(node)
+                    neighbor_sets[node].add(target)
+                    neighbor_sets[target].add(node)
+            if _neighbor_sets_connected(neighbor_sets):
+                sources = np.fromiter(
+                    (
+                        node
+                        for node in range(num_workers)
+                        for _ in neighbor_sets[node]
+                    ),
+                    dtype=np.int64,
+                )
+                targets = np.fromiter(
+                    (
+                        peer
+                        for node in range(num_workers)
+                        for peer in neighbor_sets[node]
+                    ),
+                    dtype=np.int64,
+                )
+                return cls._from_pairs(num_workers, sources, targets)
         raise ValueError(
             f"could not draw a connected small-world graph in {max_tries} tries"
         )
@@ -203,17 +371,19 @@ class Topology:
             raise ValueError(
                 f"a hypercube needs a power-of-two worker count, got {num_workers}"
             )
-        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
         dim = num_workers.bit_length() - 1
-        for node in range(num_workers):
-            for bit in range(dim):
-                peer = node ^ (1 << bit)
-                adjacency[node, peer] = adjacency[peer, node] = True
-        return cls(adjacency)
+        node = np.arange(num_workers, dtype=np.int64)
+        a = np.tile(node, dim)
+        b = np.concatenate([node ^ (1 << bit) for bit in range(dim)])
+        return cls._from_pairs(num_workers, a, b)
 
     @classmethod
     def expander(
-        cls, num_workers: int, rng: np.random.Generator, num_cycles: int = 2
+        cls,
+        num_workers: int,
+        rng: np.random.Generator,
+        num_cycles: int = 2,
+        degree_skew: float = 0.0,
     ) -> "Topology":
         """Random expander: the union of seeded random Hamiltonian cycles.
 
@@ -223,72 +393,146 @@ class Topology:
         alone spans every node) and an expander with high probability. A
         pure function of the ``rng`` stream, so the same seed always yields
         the identical graph.
+
+        ``degree_skew > 0`` additionally draws per-node extra edge stubs
+        ``Poisson(degree_skew)`` from the same stream and pairs them
+        uniformly at random (configuration-model style, self-pairs dropped),
+        so expected degree varies across nodes while the underlying cycles
+        keep the graph connected; ``degree_skew=0`` consumes no extra draws.
         """
         if num_workers < 4:
             raise ValueError("an expander topology needs at least 4 workers")
         if num_cycles < 1:
             raise ValueError("num_cycles must be >= 1")
-        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        if degree_skew < 0.0:
+            raise ValueError(f"degree_skew must be >= 0, got {degree_skew}")
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
         for _ in range(num_cycles):
-            order = rng.permutation(num_workers)
-            for a, b in zip(order, np.roll(order, -1)):
-                adjacency[a, b] = adjacency[b, a] = True
-        np.fill_diagonal(adjacency, False)
-        return cls(adjacency)
+            order = rng.permutation(num_workers).astype(np.int64)
+            sources.append(order)
+            targets.append(np.roll(order, -1))
+        if degree_skew > 0.0:
+            stubs = rng.poisson(degree_skew, size=num_workers)
+            endpoints = np.repeat(np.arange(num_workers, dtype=np.int64), stubs)
+            endpoints = endpoints[rng.permutation(endpoints.size)]
+            paired = endpoints.size - (endpoints.size % 2)
+            extra_a = endpoints[0:paired:2]
+            extra_b = endpoints[1:paired:2]
+            keep = extra_a != extra_b
+            sources.append(extra_a[keep])
+            targets.append(extra_b[keep])
+        return cls._from_pairs(
+            num_workers, np.concatenate(sources), np.concatenate(targets)
+        )
 
     @classmethod
     def from_edges(cls, num_workers: int, edges: Iterable[tuple[int, int]]) -> "Topology":
         """Build from an explicit undirected edge list."""
-        adjacency = np.zeros((num_workers, num_workers), dtype=bool)
+        sources: list[int] = []
+        targets: list[int] = []
         for a, b in edges:
             if not (0 <= a < num_workers and 0 <= b < num_workers):
                 raise ValueError(f"edge ({a}, {b}) out of range for {num_workers} workers")
             if a == b:
                 raise ValueError(f"self-loop ({a}, {b}) not allowed")
-            adjacency[a, b] = adjacency[b, a] = True
-        return cls(adjacency)
+            sources.append(int(a))
+            targets.append(int(b))
+        return cls._from_pairs(
+            num_workers,
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(targets, dtype=np.int64),
+        )
 
     # -- accessors -----------------------------------------------------------
 
     @property
     def num_workers(self) -> int:
-        return self._adjacency.shape[0]
+        return self._num_workers
 
     @property
     def adjacency(self) -> np.ndarray:
-        """Read-only boolean adjacency matrix (the ``d_im`` indicators)."""
-        return self._adjacency
+        """Read-only boolean adjacency matrix (the ``d_im`` indicators).
+
+        Materialized lazily from the neighbor lists and cached; callers
+        that only need membership queries should prefer
+        :meth:`adjacency_view` / :meth:`has_edge`, which stay O(deg).
+        """
+        if self._dense is None:
+            dense = np.zeros((self._num_workers, self._num_workers), dtype=bool)
+            rows = np.repeat(
+                np.arange(self._num_workers), np.diff(self._indptr)
+            )
+            dense[rows, self._indices] = True
+            dense.setflags(write=False)
+            self._dense = dense
+        return self._dense
+
+    def adjacency_view(self) -> AdjacencyView:
+        """O(deg) boolean edge lookups (``view[a, b]``, ``view[a][b]``)
+        without materializing the dense matrix."""
+        return AdjacencyView(self._indptr, self._indices)
 
     def indicator(self) -> np.ndarray:
         """``d_im`` as a float matrix, convenient for the policy math."""
-        return self._adjacency.astype(np.float64)
+        return self.adjacency.astype(np.float64)
 
     def neighbors(self, worker: int) -> np.ndarray:
         """Sorted array of the workers adjacent to ``worker``."""
         if not 0 <= worker < self.num_workers:
             raise ValueError(f"worker {worker} out of range")
-        return np.flatnonzero(self._adjacency[worker])
+        return self._indices[self._indptr[worker]:self._indptr[worker + 1]]
 
     def degree(self, worker: int) -> int:
-        return int(self._adjacency[worker].sum())
+        return int(self._indptr[worker + 1] - self._indptr[worker])
+
+    def num_edges(self) -> int:
+        """Number of undirected edges, straight from the CSR arrays."""
+        return int(self._indices.size // 2)
+
+    def _edge_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Undirected edge endpoint arrays ``(lo, hi)`` sorted by (lo, hi)."""
+        rows = np.repeat(
+            np.arange(self._num_workers, dtype=np.int64), np.diff(self._indptr)
+        )
+        mask = rows < self._indices
+        return rows[mask], self._indices[mask]
 
     def edges(self) -> list[tuple[int, int]]:
         """Undirected edge list with ``a < b``."""
-        rows, cols = np.nonzero(np.triu(self._adjacency, k=1))
-        return list(zip(rows.tolist(), cols.tolist()))
+        lo, hi = self._edge_pairs()
+        return list(zip(lo.tolist(), hi.tolist()))
 
     def has_edge(self, a: int, b: int) -> bool:
-        return bool(self._adjacency[a, b])
+        row = self._indices[self._indptr[a]:self._indptr[a + 1]]
+        position = int(np.searchsorted(row, b))
+        return bool(position < row.size and row[position] == b)
 
     def to_networkx(self) -> nx.Graph:
-        """networkx view (used for connectivity and spanning subgraphs)."""
+        """networkx view (used for spanning-subgraph selection)."""
         graph = nx.Graph()
         graph.add_nodes_from(range(self.num_workers))
         graph.add_edges_from(self.edges())
         return graph
 
     def is_connected(self) -> bool:
-        return nx.is_connected(self.to_networkx())
+        """BFS over the neighbor lists: O(N + E), no networkx, no dense."""
+        seen = np.zeros(self._num_workers, dtype=bool)
+        seen[0] = True
+        frontier = self._indices[self._indptr[0]:self._indptr[1]]
+        frontier = frontier[~seen[frontier]]
+        while frontier.size:
+            seen[frontier] = True
+            hop = np.unique(
+                np.concatenate(
+                    [
+                        self._indices[self._indptr[v]:self._indptr[v + 1]]
+                        for v in frontier.tolist()
+                    ]
+                )
+            )
+            frontier = hop[~seen[hop]]
+        return bool(seen.all())
 
     def require_connected(self) -> "Topology":
         """Raise unless connected (Assumption 1); returns self for chaining."""
@@ -309,7 +553,7 @@ class Topology:
 
     def adjacency_at(self, time: float) -> np.ndarray:
         """Read-only boolean adjacency of the edges live at ``time``."""
-        return self._adjacency
+        return self.adjacency
 
     def topology_at(self, time: float) -> "Topology":
         """The frozen :class:`Topology` of the edge set live at ``time``."""
@@ -333,11 +577,20 @@ class Topology:
         return self.topology_at(time).edge_signature()
 
     def edge_signature(self) -> bytes:
-        """Signature of this frozen edge set (see :meth:`edge_signature_at`)."""
+        """Signature of this frozen edge set (see :meth:`edge_signature_at`).
+
+        Hashes the worker count plus the sorted undirected edge list, so the
+        cost is O(E) -- independent of how sparse the graph is relative to
+        the N² dense representation.
+        """
         if self._edge_signature is None:
-            self._edge_signature = hashlib.sha256(
-                np.packbits(self._adjacency).tobytes()
-            ).digest()[:16]
+            lo, hi = self._edge_pairs()
+            payload = (
+                np.int64(self._num_workers).tobytes()
+                + lo.astype(np.int64).tobytes()
+                + hi.astype(np.int64).tobytes()
+            )
+            self._edge_signature = hashlib.sha256(payload).digest()[:16]
         return self._edge_signature
 
     def flip_times(self) -> tuple[float, ...]:
@@ -351,13 +604,32 @@ class Topology:
             # A frozen graph never equals a time-varying one, even when the
             # union edge sets coincide (DynamicTopology compares schedules).
             return False
-        return np.array_equal(self._adjacency, other._adjacency)
+        return (
+            self._num_workers == other._num_workers
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
 
     def __hash__(self) -> int:
-        return hash(self._adjacency.tobytes())
+        return hash(
+            (self._num_workers, self._indptr.tobytes(), self._indices.tobytes())
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"Topology(M={self.num_workers}, edges={len(self.edges())})"
+        return f"Topology(M={self.num_workers}, edges={self.num_edges()})"
+
+
+def _neighbor_sets_connected(neighbor_sets: list[set[int]]) -> bool:
+    """BFS connectivity over per-node neighbor sets (small-world resampling)."""
+    seen = {0}
+    queue: deque[int] = deque([0])
+    while queue:
+        node = queue.popleft()
+        for peer in neighbor_sets[node]:
+            if peer not in seen:
+                seen.add(peer)
+                queue.append(peer)
+    return len(seen) == len(neighbor_sets)
 
 
 # -- time-varying topologies ---------------------------------------------------
@@ -690,7 +962,9 @@ class DynamicTopology(Topology):
     graph (``adjacency``, ``neighbors``, ... describe the union), while the
     ``*_at(t)`` queries describe the live graph -- all segments are
     precomputed at construction, so every query is a pure function of time
-    (no hidden RNG advance), mirroring the link-model contract.
+    (no hidden RNG advance), mirroring the link-model contract. Segments
+    share the base's neighbor-list representation (the dense matrices stay
+    lazy), so a sparse dynamic graph never materializes O(N²) state.
 
     When the schedule promises ``require_connected``, every segment's live
     graph is validated to satisfy Assumption 1 at construction time.
@@ -702,8 +976,12 @@ class DynamicTopology(Topology):
                 f"schedule is for {schedule.num_workers} workers but the base "
                 f"topology has {base.num_workers}"
             )
-        super().__init__(base.adjacency)
-        base_edges = set(base.edges())
+        # Share the base graph's CSR arrays: a DynamicTopology *is* its base
+        # (union) graph for the frozen accessors.
+        self._adopt_csr(base.num_workers, base._indptr, base._indices)
+        lo, hi = base._edge_pairs()
+        base_keys = lo * np.int64(base.num_workers) + hi
+        base_edges = set(zip(lo.tolist(), hi.tolist()))
         for event in schedule.events:
             if event.edge not in base_edges:
                 raise ValueError(
@@ -718,10 +996,17 @@ class DynamicTopology(Topology):
                 starts.append(event.time)
         segments: list[Topology] = []
         for start in starts:
-            adjacency = np.array(base.adjacency)
-            for a, b in schedule.down_edges_at(start):
-                adjacency[a, b] = adjacency[b, a] = False
-            segment = Topology(adjacency)
+            down = schedule.down_edges_at(start)
+            if down:
+                down_keys = np.asarray(
+                    [a * base.num_workers + b for a, b in down], dtype=np.int64
+                )
+                keep = ~np.isin(base_keys, down_keys)
+                segment = Topology._from_pairs(
+                    base.num_workers, lo[keep], hi[keep]
+                )
+            else:
+                segment = Topology._from_pairs(base.num_workers, lo, hi)
             if schedule.require_connected and not segment.is_connected():
                 raise ValueError(
                     f"edge schedule disconnects the live graph at t={start} "
@@ -754,17 +1039,26 @@ class DynamicTopology(Topology):
         if not isinstance(other, DynamicTopology):
             return NotImplemented
         return (
-            np.array_equal(self.adjacency, other.adjacency)
+            self._num_workers == other._num_workers
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
             and self.schedule == other.schedule
         )
 
     def __hash__(self) -> int:
-        return hash((self.adjacency.tobytes(), self.schedule))
+        return hash(
+            (
+                self._num_workers,
+                self._indptr.tobytes(),
+                self._indices.tobytes(),
+                self.schedule,
+            )
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"DynamicTopology(M={self.num_workers}, "
-            f"base_edges={len(self.edges())}, flips={len(self.schedule)})"
+            f"base_edges={self.num_edges()}, flips={len(self.schedule)})"
         )
 
 
@@ -781,6 +1075,10 @@ TOPOLOGY_KINDS = (
 # to keep cache keys/labels identical. (``expander`` consumes the
 # seed-derived topology stream but not ``edge_probability``.)
 RANDOMIZED_TOPOLOGY_KINDS = ("random", "small-world")
+
+# The kinds whose construction consumes ``degree_skew`` (per-node degree
+# heterogeneity); for every other kind the parameter must be absent.
+DEGREE_SKEW_TOPOLOGY_KINDS = ("random", "expander")
 
 # Seed-sequence tag separating topology sampling from every other stream
 # derived from a scenario seed (links, churn, data) -- adding a random graph
@@ -801,7 +1099,10 @@ def _torus_shape(num_workers: int) -> tuple[int, int]:
 
 
 def validate_topology_request(
-    kind: str, num_workers: int, edge_probability: float
+    kind: str,
+    num_workers: int,
+    edge_probability: float,
+    degree_skew: float = 0.0,
 ) -> None:
     """Reject unbuildable ``(kind, num_workers)`` combinations up front.
 
@@ -816,6 +1117,13 @@ def validate_topology_request(
     if not 0.0 <= edge_probability <= 1.0:
         raise ValueError(
             f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    if degree_skew < 0.0:
+        raise ValueError(f"degree_skew must be >= 0, got {degree_skew}")
+    if degree_skew > 0.0 and kind not in DEGREE_SKEW_TOPOLOGY_KINDS:
+        raise ValueError(
+            f"degree_skew only applies to {list(DEGREE_SKEW_TOPOLOGY_KINDS)} "
+            f"topologies (kinds with seeded degree sampling), got kind {kind!r}"
         )
     if num_workers < 2:
         raise ValueError("num_workers must be >= 2")
@@ -912,16 +1220,21 @@ def make_topology(
     num_workers: int,
     edge_probability: float = 0.25,
     seed: int = 0,
+    degree_skew: float = 0.0,
 ) -> Topology:
     """Build a topology family by name (the scenario registry's graph axis).
 
     ``edge_probability`` doubles as the Erdos-Renyi edge probability for
     ``"random"`` and the rewire probability for ``"small-world"``; the other
-    families ignore it. Randomized families draw from a dedicated
-    ``[seed, _TOPOLOGY_STREAM]`` stream, so the same scenario seed always
-    yields the same graph without touching link or churn randomness.
+    families ignore it. ``degree_skew`` adds per-node degree heterogeneity
+    for ``"random"``/``"expander"`` (see the constructors for semantics) and
+    is rejected for every other family. Randomized families draw from a
+    dedicated ``[seed, _TOPOLOGY_STREAM]`` stream, so the same scenario seed
+    always yields the same graph without touching link or churn randomness.
     """
-    validate_topology_request(kind, num_workers, edge_probability)
+    validate_topology_request(
+        kind, num_workers, edge_probability, degree_skew=degree_skew
+    )
     if kind == "full":
         return Topology.fully_connected(num_workers)
     if kind == "ring":
@@ -934,7 +1247,9 @@ def make_topology(
         return Topology.hypercube(num_workers)
     rng = np.random.default_rng([seed, _TOPOLOGY_STREAM])
     if kind == "random":
-        return Topology.random_connected(num_workers, edge_probability, rng)
+        return Topology.random_connected(
+            num_workers, edge_probability, rng, degree_skew=degree_skew
+        )
     if kind == "expander":
-        return Topology.expander(num_workers, rng)
+        return Topology.expander(num_workers, rng, degree_skew=degree_skew)
     return Topology.small_world(num_workers, edge_probability, rng)

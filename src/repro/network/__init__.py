@@ -16,6 +16,7 @@ from repro.network.cluster import ClusterSpec
 from repro.network.links import (
     LinkSpeedModel,
     StaticLinks,
+    ClusterLinks,
     DynamicSlowdownLinks,
     TraceLinks,
     multi_cloud_links,
@@ -36,6 +37,7 @@ __all__ = [
     "ClusterSpec",
     "LinkSpeedModel",
     "StaticLinks",
+    "ClusterLinks",
     "DynamicSlowdownLinks",
     "TraceLinks",
     "multi_cloud_links",

@@ -44,6 +44,7 @@ from repro.network.cluster import ClusterSpec, gbps_to_bytes_per_s
 __all__ = [
     "LinkSpeedModel",
     "StaticLinks",
+    "ClusterLinks",
     "DynamicSlowdownLinks",
     "TraceLinks",
     "multi_cloud_links",
@@ -69,15 +70,38 @@ class LinkSpeedModel:
         """One-way propagation latency in seconds at ``time``."""
         raise NotImplementedError
 
-    def bandwidth_matrix(self, time: float) -> np.ndarray:
-        """Full ``(M, M)`` bandwidth snapshot (diagonal +inf)."""
+    def bandwidth_row(self, a: int, time: float) -> np.ndarray:
+        """Bandwidths from worker ``a`` to every worker at ``time``.
+
+        Returns a fresh length-``M`` float array with ``row[a] = +inf``
+        (matching the :meth:`bandwidth_matrix` diagonal). The base
+        implementation assembles the row from point queries; models with
+        cheap row structure (static matrices, placement-based clusters,
+        trace segments) override it so per-worker consumers -- transfer-cost
+        evaluation, monitor probing -- never materialize the O(N²) matrix.
+        """
         m = self.num_workers
-        out = np.full((m, m), np.inf)
-        for a in range(m):
-            for b in range(m):
-                if a != b:
-                    out[a, b] = self.bandwidth(a, b, time)
+        if not 0 <= a < m:
+            raise ValueError(f"worker {a} out of range for M={m}")
+        out = np.fromiter(
+            (
+                np.inf if b == a else self.bandwidth(a, b, time)
+                for b in range(m)
+            ),
+            dtype=np.float64,
+            count=m,
+        )
         return out
+
+    def bandwidth_matrix(self, time: float) -> np.ndarray:
+        """Full ``(M, M)`` bandwidth snapshot (diagonal +inf).
+
+        Stacked from :meth:`bandwidth_row`, so models with vectorized rows
+        build the matrix row-wise; prefer the row query whenever a single
+        worker's links suffice.
+        """
+        m = self.num_workers
+        return np.stack([self.bandwidth_row(a, time) for a in range(m)])
 
     def _check_pair(self, a: int, b: int) -> None:
         m = self.num_workers
@@ -115,9 +139,66 @@ class StaticLinks(LinkSpeedModel):
         self._check_pair(a, b)
         return float(self._bandwidth[a, b])
 
+    def bandwidth_row(self, a: int, time: float) -> np.ndarray:
+        self._check_pair(a, a)
+        row = self._bandwidth[a].copy()
+        row[a] = np.inf
+        return row
+
     def latency(self, a: int, b: int, time: float) -> float:
         self._check_pair(a, b)
         return float(self._latency[a, b])
+
+
+class ClusterLinks(LinkSpeedModel):
+    """Placement-implied links with O(N) state (no dense matrices).
+
+    Answers exactly the same queries as
+    ``StaticLinks.from_cluster(cluster)`` -- intra-server pairs get the
+    cluster's intra bandwidth/latency, cross-server pairs the inter values,
+    computed from the same :func:`gbps_to_bytes_per_s` conversion so every
+    float is bit-identical -- but stores only the per-worker placement
+    vector. This is what lets the heterogeneous scenario scale to thousands
+    of workers without two O(N²) matrices per cell.
+    """
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+        self._placement = cluster.placement()
+        self._intra_bandwidth = gbps_to_bytes_per_s(cluster.intra_gbps)
+        self._inter_bandwidth = gbps_to_bytes_per_s(cluster.inter_gbps)
+        self._intra_latency = float(cluster.intra_latency_s)
+        self._inter_latency = float(cluster.inter_latency_s)
+
+    @property
+    def num_workers(self) -> int:
+        return int(self._placement.size)
+
+    def bandwidth(self, a: int, b: int, time: float) -> float:
+        self._check_pair(a, b)
+        if a == b:
+            return float(np.inf)
+        if self._placement[a] == self._placement[b]:
+            return self._intra_bandwidth
+        return self._inter_bandwidth
+
+    def bandwidth_row(self, a: int, time: float) -> np.ndarray:
+        self._check_pair(a, a)
+        row = np.where(
+            self._placement == self._placement[a],
+            self._intra_bandwidth,
+            self._inter_bandwidth,
+        ).astype(np.float64)
+        row[a] = np.inf
+        return row
+
+    def latency(self, a: int, b: int, time: float) -> float:
+        self._check_pair(a, b)
+        if a == b:
+            return 0.0
+        if self._placement[a] == self._placement[b]:
+            return self._intra_latency
+        return self._inter_latency
 
 
 class DynamicSlowdownLinks(LinkSpeedModel):
@@ -158,9 +239,22 @@ class DynamicSlowdownLinks(LinkSpeedModel):
         self.seed = int(seed)
         self.num_slow_links = int(num_slow_links)
         m = base.num_workers
-        self._links = [(a, b) for a in range(m) for b in range(a + 1, m)]
-        if num_slow_links > len(self._links):
+        # Undirected pairs are indexed implicitly in lexicographic (a, b)
+        # order -- the order the historical O(N²) pair list enumerated them,
+        # so the seeded choice below picks the identical link per interval.
+        # Only the O(N) per-row offsets are stored.
+        self._num_pairs = m * (m - 1) // 2
+        self._row_starts = np.concatenate(
+            [[0], np.cumsum(np.arange(m - 1, 0, -1))]
+        )
+        if num_slow_links > self._num_pairs:
             raise ValueError("more slow links requested than links exist")
+
+    def _pair_from_index(self, index: int) -> tuple[int, int]:
+        """Lexicographic pair index -> undirected pair ``(a, b)``, a < b."""
+        a = int(np.searchsorted(self._row_starts, index, side="right") - 1)
+        b = a + 1 + (index - int(self._row_starts[a]))
+        return a, b
 
     @property
     def num_workers(self) -> int:
@@ -175,11 +269,14 @@ class DynamicSlowdownLinks(LinkSpeedModel):
         """The slowed undirected links and their factors active at ``time``."""
         interval = self._interval(time)
         rng = np.random.default_rng([self.seed, interval])
-        chosen = rng.choice(len(self._links), size=self.num_slow_links, replace=False)
+        chosen = rng.choice(self._num_pairs, size=self.num_slow_links, replace=False)
         low, high = self.slowdown_range
         # Log-uniform: 2x and 100x slowdowns are both plausible tenant effects.
         factors = np.exp(rng.uniform(np.log(low), np.log(high), size=self.num_slow_links))
-        return {self._links[int(c)]: float(f) for c, f in zip(chosen, factors)}
+        return {
+            self._pair_from_index(int(c)): float(f)
+            for c, f in zip(chosen, factors)
+        }
 
     def bandwidth(self, a: int, b: int, time: float) -> float:
         self._check_pair(a, b)
@@ -189,6 +286,15 @@ class DynamicSlowdownLinks(LinkSpeedModel):
         key = (a, b) if a < b else (b, a)
         factor = self.slowed_links(time).get(key)
         return base / factor if factor is not None else base
+
+    def bandwidth_row(self, a: int, time: float) -> np.ndarray:
+        row = self._base.bandwidth_row(a, time)
+        for (i, j), factor in self.slowed_links(time).items():
+            if i == a:
+                row[j] /= factor
+            elif j == a:
+                row[i] /= factor
+        return row
 
     def latency(self, a: int, b: int, time: float) -> float:
         return self._base.latency(a, b, time)
@@ -382,6 +488,12 @@ class TraceLinks(LinkSpeedModel):
         if a == b:
             return np.inf
         return float(self._segment(time)[a, b])
+
+    def bandwidth_row(self, a: int, time: float) -> np.ndarray:
+        self._check_pair(a, a)
+        row = self._segment(time)[a].copy()
+        row[a] = np.inf
+        return row
 
     def latency(self, a: int, b: int, time: float) -> float:
         self._check_pair(a, b)

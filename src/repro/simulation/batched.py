@@ -58,7 +58,7 @@ import numpy as np
 
 from repro.ml.optim import ConstantLR, PlateauDecayLR
 from repro.ml.problems import QuadraticProblem
-from repro.network.links import DynamicSlowdownLinks, StaticLinks
+from repro.network.links import ClusterLinks, DynamicSlowdownLinks, StaticLinks
 from repro.simulation.records import TrainingResult
 
 __all__ = ["BatchedSimulator"]
@@ -159,7 +159,8 @@ class _LivePairTimes:
 
 
 def _make_pair_times(links, num_workers, nbytes):
-    if type(links) is StaticLinks:
+    if type(links) is StaticLinks or type(links) is ClusterLinks:
+        # Both are time-invariant, so one table serves the whole run.
         return _StaticPairTimes(links, num_workers, nbytes)
     if type(links) is DynamicSlowdownLinks:
         return _SlowdownPairTimes(links, num_workers, nbytes)

@@ -94,3 +94,71 @@ class TestNeverPublishCliffAt1:
             >= relaxed.monitor.stats.skipped_insufficient_data
         )
         assert strict.policies_adopted <= relaxed.policies_adopted
+
+
+class TestPolicyScopeWiring:
+    """The neighborhood-local solve mode and unprobed stance through the
+    trainer: defaults pinned, kwargs reach the monitor, and local mode on a
+    full graph with wide hops reproduces the global run bit for bit."""
+
+    def test_defaults_pinned(self):
+        signature = inspect.signature(NetMaxTrainer.__init__)
+        assert signature.parameters["policy_scope"].default == "global"
+        assert signature.parameters["policy_local_hops"].default == 2
+        assert signature.parameters["monitor_unprobed"].default == "pessimistic"
+        trainer = make_trainer()
+        assert trainer.monitor.policy_scope == "global"
+        assert trainer.monitor.unprobed == "pessimistic"
+
+    def test_kwargs_reach_the_monitor(self):
+        trainer = make_trainer(
+            policy_scope="local", policy_local_hops=3,
+            monitor_unprobed="optimistic",
+        )
+        assert trainer.monitor.policy_scope == "local"
+        assert trainer.monitor.local_hops == 3
+        assert trainer.monitor.unprobed == "optimistic"
+
+    def _run_quadratic(self, **kwargs):
+        from repro.experiments.scenarios import make_quadratic_workload
+
+        num_workers = 6
+        scenario = heterogeneous_scenario(num_workers, dynamic=False, seed=0)
+        tasks, _, profile = make_quadratic_workload(num_workers, seed=0)
+        config = TrainerConfig(
+            max_sim_time=120.0, eval_interval_s=60.0, seed=0,
+            max_epochs=500.0, iterations_per_epoch_hint=50,
+        )
+        trainer = NetMaxTrainer(
+            tasks, scenario.topology, scenario.links, profile, config,
+            monitor_period_s=30.0, policy_outer_rounds=4,
+            policy_inner_rounds=4, **kwargs,
+        )
+        result = trainer.run()
+        return trainer, result
+
+    def test_local_full_graph_bit_identical_to_global(self):
+        """On the full graph with hops >= diameter every ego solve is the
+        global solve (shared cache signature), so the entire training
+        trajectory -- policies, rho staging, final parameters -- matches."""
+        global_trainer, global_result = self._run_quadratic()
+        local_trainer, local_result = self._run_quadratic(
+            policy_scope="local", policy_local_hops=6
+        )
+        assert global_trainer.monitor.stats.policies_published >= 1
+        np.testing.assert_array_equal(
+            global_result.final_params, local_result.final_params
+        )
+        assert global_result.history.train_losses == local_result.history.train_losses
+        assert global_result.sim_time == local_result.sim_time
+        assert global_trainer.policies_adopted == local_trainer.policies_adopted
+
+    def test_local_mode_stages_per_worker_rho(self):
+        trainer, _ = self._run_quadratic(
+            policy_scope="local", policy_local_hops=1
+        )
+        result = trainer.monitor.last_result
+        assert result is not None
+        assert result.rho_per_worker is not None
+        for i, state in enumerate(trainer.workers):
+            assert state.rho == result.rho_per_worker[i]

@@ -1,0 +1,169 @@
+"""Neighborhood-local policy solves and the unprobed-link stance.
+
+Covers the ``policy_scope="local"`` mode (per-worker ego-subgraph solves)
+and the ``unprobed`` gap-filling option of :class:`NetworkMonitor`:
+
+- the headline bit-identity claim: local mode on a full graph with
+  ``local_hops >= diameter`` reproduces the global solve exactly (shared
+  cache signatures make it literally the same cached result);
+- local mode on a sparse graph publishes a valid, edge-respecting policy
+  with per-worker consensus weights;
+- churn re-embedding zero-fills ``rho_per_worker`` for departed workers;
+- ``unprobed="optimistic"`` seeds gaps with the fastest observed time,
+  while the *default stays pessimistic* (regression pin);
+- constructor validation for both options.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import NetworkMonitor
+from repro.core.policy import PolicyCache
+from repro.graph import Topology
+
+
+def _sym_times(topology, seed=0, lo=0.5, hi=3.0):
+    rng = np.random.default_rng(seed)
+    m = topology.num_workers
+    times = rng.uniform(lo, hi, (m, m))
+    times = (times + times.T) / 2
+    times[~topology.adjacency] = np.nan
+    return times
+
+
+class TestLocalScope:
+    def test_full_graph_wide_hops_matches_global_bitwise(self, full5):
+        times = _sym_times(full5, seed=3)
+        global_monitor = NetworkMonitor(full5, policy_cache=PolicyCache())
+        local_monitor = NetworkMonitor(
+            full5, policy_cache=PolicyCache(),
+            policy_scope="local", local_hops=full5.num_workers,
+        )
+        global_result = global_monitor.tick(times, alpha=0.05)
+        local_result = local_monitor.tick(times, alpha=0.05)
+        assert global_result is not None and local_result is not None
+        np.testing.assert_array_equal(local_result.policy, global_result.policy)
+        assert local_result.rho == global_result.rho
+        assert local_result.t_bar == global_result.t_bar
+        assert local_result.lambda2 == global_result.lambda2
+        assert (
+            local_result.predicted_convergence_time
+            == global_result.predicted_convergence_time
+        )
+        # Every worker's ego graph is the whole graph, so all five solves
+        # share one cache signature: one cold solve, the rest hits.
+        stats = local_monitor.policy_cache.stats
+        assert stats.cold_solves == 1 and stats.hits == full5.num_workers - 1
+        np.testing.assert_array_equal(
+            local_result.rho_per_worker, np.full(5, global_result.rho)
+        )
+
+    def test_works_without_cache(self, full5):
+        """Cacheless local mode still matches cacheless global on a full
+        graph: Algorithm 3 is deterministic, so the n identical ego solves
+        all reproduce the global solution (no quantization in the way)."""
+        times = _sym_times(full5, seed=3)
+        global_result = NetworkMonitor(full5).tick(times, alpha=0.05)
+        local_result = NetworkMonitor(
+            full5, policy_scope="local", local_hops=5
+        ).tick(times, alpha=0.05)
+        np.testing.assert_array_equal(local_result.policy, global_result.policy)
+        np.testing.assert_array_equal(
+            local_result.rho_per_worker, np.full(5, global_result.rho)
+        )
+
+    def test_sparse_graph_policy_is_valid(self):
+        topology = Topology.ring(8)
+        times = _sym_times(topology, seed=1)
+        monitor = NetworkMonitor(
+            topology, policy_cache=PolicyCache(),
+            policy_scope="local", local_hops=2,
+        )
+        result = monitor.tick(times, alpha=0.05)
+        assert result is not None
+        m = topology.num_workers
+        np.testing.assert_allclose(result.policy.sum(axis=1), np.ones(m))
+        off_graph = ~(topology.adjacency | np.eye(m, dtype=bool))
+        assert not result.policy[off_graph].any()
+        assert result.rho_per_worker.shape == (m,)
+        assert np.all(result.rho_per_worker > 0)
+        assert result.rho == result.rho_per_worker.max()
+
+    def test_global_mode_has_no_per_worker_rho(self, full5):
+        result = NetworkMonitor(full5).tick(_sym_times(full5), alpha=0.05)
+        assert result is not None
+        assert result.rho_per_worker is None
+
+    def test_churn_reembeds_rho_per_worker(self, full5):
+        times = _sym_times(full5, seed=2)
+        monitor = NetworkMonitor(
+            full5, policy_scope="local", local_hops=5, min_coverage=0.5
+        )
+        active = np.array([True, True, False, True, True])
+        result = monitor.tick(times, alpha=0.05, active=active)
+        assert result is not None
+        assert result.rho_per_worker.shape == (5,)
+        assert result.rho_per_worker[2] == 0.0
+        assert np.all(result.rho_per_worker[active] > 0)
+        assert not result.policy[2].any() and not result.policy[:, 2].any()
+
+    def test_ego_indices_bfs(self):
+        topology = Topology.ring(8)
+        dense = topology.adjacency
+        np.testing.assert_array_equal(
+            NetworkMonitor._ego_indices(dense, 0, 1), [0, 1, 7]
+        )
+        np.testing.assert_array_equal(
+            NetworkMonitor._ego_indices(dense, 0, 2), [0, 1, 2, 6, 7]
+        )
+        np.testing.assert_array_equal(
+            NetworkMonitor._ego_indices(dense, 0, 10), np.arange(8)
+        )
+
+
+class TestUnprobedStance:
+    def test_default_is_pessimistic(self, full5, hetero_times5):
+        """Regression pin: the default fill stays the per-row maximum."""
+        monitor = NetworkMonitor(full5, min_coverage=0.5)
+        assert monitor.unprobed == "pessimistic"
+        raw = hetero_times5.astype(float).copy()
+        raw[~full5.adjacency] = np.nan
+        raw[0, 1] = np.nan
+        assembled = monitor.assemble_time_matrix(raw)
+        row_known = raw[0][full5.adjacency[0] & ~np.isnan(raw[0])]
+        assert assembled[0, 1] == pytest.approx(row_known.max())
+
+    def test_optimistic_seeds_fastest_observed(self, full5, hetero_times5):
+        monitor = NetworkMonitor(full5, min_coverage=0.5, unprobed="optimistic")
+        raw = hetero_times5.astype(float).copy()
+        raw[~full5.adjacency] = np.nan
+        fastest = np.nanmin(raw)
+        raw[0, 1] = np.nan
+        raw[3, 4] = np.nan
+        assembled = monitor.assemble_time_matrix(raw)
+        assert assembled[0, 1] == pytest.approx(fastest)
+        assert assembled[3, 4] == pytest.approx(fastest)
+
+    def test_optimistic_full_coverage_identical_to_pessimistic(
+        self, full5, hetero_times5
+    ):
+        """With nothing unprobed the stance is inert."""
+        raw = hetero_times5.astype(float).copy()
+        raw[~full5.adjacency] = np.nan
+        a = NetworkMonitor(full5).assemble_time_matrix(raw)
+        b = NetworkMonitor(full5, unprobed="optimistic").assemble_time_matrix(raw)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidation:
+    def test_bad_policy_scope_rejected(self, full5):
+        with pytest.raises(ValueError, match="policy_scope"):
+            NetworkMonitor(full5, policy_scope="regional")
+
+    def test_bad_local_hops_rejected(self, full5):
+        with pytest.raises(ValueError, match="local_hops"):
+            NetworkMonitor(full5, local_hops=0)
+
+    def test_bad_unprobed_rejected(self, full5):
+        with pytest.raises(ValueError, match="unprobed"):
+            NetworkMonitor(full5, unprobed="hopeful")

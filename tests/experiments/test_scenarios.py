@@ -10,7 +10,7 @@ from repro.experiments.scenarios import (
     make_workload,
     multi_cloud_scenario,
 )
-from repro.network.links import DynamicSlowdownLinks, StaticLinks
+from repro.network.links import ClusterLinks, DynamicSlowdownLinks, StaticLinks
 
 
 class TestScenarios:
@@ -22,7 +22,10 @@ class TestScenarios:
 
     def test_heterogeneous_static_option(self):
         scenario = heterogeneous_scenario(4, dynamic=False)
-        assert isinstance(scenario.links, StaticLinks)
+        # The implicit O(N)-state form; bit-identical to the dense
+        # StaticLinks.from_cluster it replaced (pinned in the link suite).
+        assert isinstance(scenario.links, ClusterLinks)
+        assert not isinstance(scenario.links, StaticLinks)
 
     def test_heterogeneous_has_two_link_classes(self):
         scenario = heterogeneous_scenario(8, dynamic=False)

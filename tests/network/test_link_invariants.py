@@ -25,6 +25,7 @@ import pytest
 
 from repro.network.cluster import ClusterSpec
 from repro.network.links import (
+    ClusterLinks,
     DynamicSlowdownLinks,
     LinkSpeedModel,
     StaticLinks,
@@ -77,6 +78,10 @@ def _trace_json():
 # in at least one factory's return type (see test_every_subclass_covered).
 MODEL_FACTORIES = {
     "static-cluster": _static,
+    "cluster-implicit": lambda: ClusterLinks(ClusterSpec((2, 2))),
+    "cluster-dynamic-slowdown": lambda: DynamicSlowdownLinks(
+        ClusterLinks(ClusterSpec((3, 2))), period_s=10.0, seed=11
+    ),
     "static-multi-cloud": multi_cloud_links,
     "dynamic-slowdown": _dynamic_slowdown,
     "dynamic-multi-link": _dynamic_multi_link,
@@ -113,6 +118,28 @@ def test_every_subclass_covered():
     )
 
 
+def test_cluster_links_bit_identical_to_static_from_cluster():
+    """ClusterLinks answers every query exactly like the dense
+    StaticLinks.from_cluster it replaces -- same cluster, O(N) state."""
+    for layout in ((2, 2), (3, 2), (4, 4, 4, 4)):
+        cluster = ClusterSpec(layout)
+        implicit = ClusterLinks(cluster)
+        dense = StaticLinks.from_cluster(cluster)
+        m = cluster.num_workers
+        for t in (0.0, 17.5, 1e6):
+            np.testing.assert_array_equal(
+                implicit.bandwidth_matrix(t), dense.bandwidth_matrix(t)
+            )
+            for a in range(m):
+                np.testing.assert_array_equal(
+                    implicit.bandwidth_row(a, t), dense.bandwidth_row(a, t)
+                )
+                for b in range(m):
+                    assert implicit.latency(a, b, t) == dense.latency(a, b, t)
+                    if a != b:
+                        assert implicit.bandwidth(a, b, t) == dense.bandwidth(a, b, t)
+
+
 class TestLinkInvariants:
     def test_bandwidth_symmetry(self, links):
         m = links.num_workers
@@ -143,6 +170,21 @@ class TestLinkInvariants:
                 for b in range(m):
                     if a != b:
                         assert matrix[a, b] == links.bandwidth(a, b, t)
+
+    def test_row_consistent_with_matrix(self, links):
+        """``bandwidth_row(a, t)`` is exactly row ``a`` of the matrix.
+
+        The row query is the O(N) path trainers and the monitor use on
+        sparse/large graphs; it must never diverge from the O(N²) snapshot
+        (including the +inf self-entry)."""
+        m = links.num_workers
+        for t in PROBE_TIMES:
+            matrix = links.bandwidth_matrix(t)
+            for a in range(m):
+                row = links.bandwidth_row(a, t)
+                assert row.shape == (m,)
+                assert np.isinf(row[a])
+                np.testing.assert_array_equal(row, matrix[a])
 
     def test_time_deterministic_repeated_queries(self, links):
         """Same t -> same value, no matter how often it is asked."""

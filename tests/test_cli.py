@@ -28,6 +28,8 @@ class TestParser:
         expected |= {"table2", "table3", "table5", "table6"}
         # Beyond-paper dynamics experiments (trace/churn/topology families).
         expected |= {"dyn-traces", "dyn-churn", "dyn-topology", "dyn-edges"}
+        # The worker-axis scaling sweep (ROADMAP item 2).
+        expected |= {"scalability"}
         assert set(FIGURE_FUNCTIONS) == expected
 
     def test_sweep_defaults(self):
