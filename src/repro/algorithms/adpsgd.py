@@ -152,9 +152,11 @@ class ADPSGDTrainer(DecentralizedTrainer):
             # (A peer that departed mid-flight -- or whose edge failed while
             # the transfer was in the air -- is skipped: updates never
             # incorporate state delivered over a dead endpoint or link.)
+            # pulled_params is the compression accuracy hook; without a
+            # lossy op it is exactly the peer's parameters.
             base = (
                 (1.0 - self.mixing_weight) * model.get_params()
-                + self.mixing_weight * self.tasks[peer].model.get_params()
+                + self.mixing_weight * self.pulled_params(worker, peer)
             )
         else:
             base = model.get_params()

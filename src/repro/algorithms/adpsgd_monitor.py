@@ -28,7 +28,9 @@ class ADPSGDMonitorTrainer(NetMaxTrainer):
 
     def _apply_pull(self, worker: int, peer: int, lr: float, p_selected: float) -> None:
         model = self.tasks[worker].model
-        peer_params = self.tasks[peer].model.get_params()
+        # pulled_params is the compression accuracy hook; without a lossy
+        # op it is exactly the peer's parameters.
+        peer_params = self.pulled_params(worker, peer)
         blended = (
             (1.0 - self.mixing_weight) * model.get_params()
             + self.mixing_weight * peer_params

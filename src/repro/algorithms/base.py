@@ -22,6 +22,7 @@ import copy
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from functools import partial
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,12 +36,21 @@ from repro.simulation.churn import ChurnSchedule
 from repro.simulation.engine import Simulator
 from repro.simulation.records import EpochCostTracker, TrainingHistory, TrainingResult
 
+if TYPE_CHECKING:  # annotation-only: the trainer treats the op as opaque
+    from repro.network.compression import CompressionOp
+
 __all__ = ["WorkerTask", "TrainerConfig", "DecentralizedTrainer"]
 
 # Seed-sequence tag separating the evaluation subsample stream from the
 # training streams, so providing (or resizing) test data never perturbs
 # worker seeding or any other training randomness.
 _TEST_SUBSAMPLE_STREAM = 0x7E57
+
+# Seed-sequence tag for the compression accuracy-impact model's per-worker
+# noise streams. Dedicated and lazily created: a run without a lossy
+# compression op builds no generator and consumes zero draws from any
+# stream, so existing seeds reproduce bit-identically.
+_COMPRESSION_STREAM = 0xC0B5
 
 
 class WorkerTask:
@@ -160,6 +170,18 @@ class DecentralizedTrainer(abc.ABC):
             (:meth:`round_participants`): stragglers departed at round
             start are dropped, aggregation weights renormalize over the
             members, and rejoiners are re-admitted at the next round.
+        compression: optional
+            :class:`~repro.network.compression.CompressionOp`. Two
+            effects: (1) every transfer's ``message_bytes`` becomes the
+            op's compressed size (all trainers, via the comm model); (2)
+            gossip pulls route through :meth:`pulled_params`, which applies
+            the op's multiplicative noise/contraction to the pulled model
+            difference from a dedicated per-worker
+            ``[seed, _COMPRESSION_STREAM, worker]`` stream (gossip
+            trainers only -- the synchronous baselines' dense collectives
+            model compression as a bytes effect alone). The ``none`` op is
+            normalized away at construction, so it is bit-identical to
+            passing no op: same bytes, zero RNG draws.
     """
 
     name = "base"
@@ -199,6 +221,7 @@ class DecentralizedTrainer(abc.ABC):
         compute_model: ComputeModel | None = None,
         flow_sharing: bool = True,
         churn: ChurnSchedule | None = None,
+        compression: "CompressionOp | None" = None,
     ):
         if len(tasks) != topology.num_workers:
             raise ValueError(
@@ -224,13 +247,34 @@ class DecentralizedTrainer(abc.ABC):
         dims = {task.model.dim for task in tasks}
         if len(dims) != 1:
             raise ValueError(f"all worker models must share a dimension, got {dims}")
+        if compression is not None and compression.name == "none":
+            # The identity op is the absence of compression: normalizing it
+            # away here keeps the default path literally the pre-compression
+            # code (no op checks, no RNG streams), which is what makes the
+            # "compression=none is bit-identical" golden pin trivially true.
+            compression = None
         self.tasks = tasks
         self.topology = topology
         # Loss-adaptive LR schedules are stateful and the trainer mutates
         # them, so every trainer owns a private copy of its configuration.
         self.config = copy.deepcopy(config)
         self.profile = profile
-        self.comm = CommunicationModel(links, flow_sharing=flow_sharing)
+        self.compression = compression
+        self.comm = CommunicationModel(
+            links, flow_sharing=flow_sharing, compression=compression
+        )
+        self._message_bytes = self.comm.payload_bytes(profile)
+        # Per-worker noise streams of the accuracy-impact model, created
+        # only for a lossy op: the default path must consume zero draws.
+        error = compression.error_factor() if compression is not None else 0.0
+        self._compression_error = float(error)
+        if error > 0.0:
+            self._compression_rngs = [
+                np.random.default_rng([config.seed, _COMPRESSION_STREAM, worker])
+                for worker in range(len(tasks))
+            ]
+        else:
+            self._compression_rngs = None
         self.compute_model = compute_model or ComputeModel(profile, len(tasks))
         self.rng = np.random.default_rng(config.seed)
         self.sim = Simulator()
@@ -325,7 +369,8 @@ class DecentralizedTrainer(abc.ABC):
 
     @property
     def message_bytes(self) -> int:
-        return self.profile.message_bytes
+        """Wire bytes per model transfer (compressed when an op is set)."""
+        return self._message_bytes
 
     def worker_batch_size(self, worker: int) -> int:
         return self._worker_batches[worker]
@@ -392,6 +437,35 @@ class DecentralizedTrainer(abc.ABC):
                 "crosses a currently-failed edge"
             )
         return self.comm.begin_transfer(receiver, sender, self.message_bytes, self.sim.now)
+
+    def pulled_params(self, worker: int, peer: int) -> np.ndarray:
+        """``peer``'s parameters as ``worker`` receives them over the wire.
+
+        The accuracy-impact model of lossy compression: the op's
+        ``error_factor`` ``eps`` scales the pulled model *difference* by a
+        multiplicative factor ``m = (1 - eps) + sqrt(eps (1 - eps)) * z``
+        with ``z`` a standard normal from ``worker``'s dedicated
+        ``[seed, _COMPRESSION_STREAM, worker]`` stream. Calibration:
+        ``E[m] = 1 - eps`` (the mean contraction of a compressor keeping a
+        ``1 - eps`` energy fraction, e.g. top-k's bias toward zero
+        residual) and ``E[(m - 1)^2] = eps`` exactly -- so the modeled
+        residual energy ``E||C(d) - d||^2 = eps ||d||^2`` matches the op's
+        declared ``error_factor`` by construction, and ``|m| <= 1`` up to
+        sub-unit noise for every ``eps`` in ``(0, 1)`` (gossip stays
+        contractive on average). Every gossip trainer routes its pulls
+        through here; without a lossy op this returns the peer's
+        parameters untouched and draws nothing, so the default path is
+        bit-identical to the pre-compression trainers.
+        """
+        peer_params = self.tasks[peer].model.get_params()
+        if self._compression_rngs is None:
+            return peer_params
+        eps = self._compression_error
+        scale = (1.0 - eps) + (eps * (1.0 - eps)) ** 0.5 * float(
+            self._compression_rngs[worker].standard_normal()
+        )
+        own = self.tasks[worker].model.get_params()
+        return own + scale * (peer_params - own)
 
     # -- churn -----------------------------------------------------------------
 

@@ -264,8 +264,12 @@ class NetMaxTrainer(DecentralizedTrainer):
         self._start_iteration(worker)
 
     def _apply_pull(self, worker: int, peer: int, lr: float, p_selected: float) -> None:
-        """NetMax's weighted pull; the AD-PSGD+Monitor extension overrides it."""
-        peer_params = self.tasks[peer].model.get_params()
+        """NetMax's weighted pull; the AD-PSGD+Monitor extension overrides it.
+
+        ``pulled_params`` is the compression accuracy hook; without a lossy
+        op it is exactly the peer's parameters.
+        """
+        peer_params = self.pulled_params(worker, peer)
         self.workers[worker].pull_update(peer, peer_params, lr, p_im=p_selected)
 
     # -- the Network Monitor loop (Algorithm 1) ------------------------------------

@@ -124,6 +124,7 @@ FIGURE_FUNCTIONS = {
     "dyn-churn": experiments.figure_dynamics_churn,
     "dyn-topology": experiments.figure_dynamics_topology,
     "dyn-edges": experiments.figure_dynamics_edges,
+    "compression": experiments.figure_compression,
     "scalability": experiments.figure_scalability,
     "table2": experiments.table2_accuracy_heterogeneous,
     "table3": experiments.table3_accuracy_homogeneous,

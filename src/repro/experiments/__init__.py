@@ -75,6 +75,7 @@ from repro.experiments.figures_dynamics import (
     figure_dynamics_topology,
     figure_dynamics_edges,
 )
+from repro.experiments.figures_compression import figure_compression
 from repro.experiments.figures_scaling import (
     figure_scalability,
     run_scalability_cell,
@@ -146,6 +147,7 @@ __all__ = [
     "figure_dynamics_churn",
     "figure_dynamics_topology",
     "figure_dynamics_edges",
+    "figure_compression",
     "figure_scalability",
     "run_scalability_cell",
     "scalability_scenario",

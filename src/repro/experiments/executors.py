@@ -365,10 +365,13 @@ def _batch_key(cell: SweepCell) -> tuple | None:
     """The compatibility class a cell may be batched within, or ``None``.
 
     A cell is batchable when its trainer class opts in
-    (``supports_batched``), its scenario family has no churn process, and
-    its scenario spec carries no time-varying topology -- the three things
-    :class:`~repro.simulation.batched.BatchedSimulator` rejects. Unknown
-    algorithm names fall through to the per-cell path, where
+    (``supports_batched``), its scenario family has no churn process, its
+    scenario spec carries no time-varying topology, and no lossy
+    compression op -- the four things
+    :class:`~repro.simulation.batched.BatchedSimulator` rejects (the
+    engine mirrors the uncompressed gossip mixing math; a compressed cell
+    runs per-cell until the engine is taught the pulled-params hook).
+    Unknown algorithm names fall through to the per-cell path, where
     ``create_trainer`` raises the canonical error.
 
     The key itself is the worker count: the engine steps one event vector
@@ -385,6 +388,8 @@ def _batch_key(cell: SweepCell) -> tuple | None:
     if get_scenario_family(cell.scenario.kind).has_churn:
         return None
     if cell.scenario.has_dynamic_edges():
+        return None
+    if cell.scenario.has_compression():
         return None
     return (cell.scenario.num_workers,)
 

@@ -94,6 +94,8 @@ def build_trainer(
         )
     if scenario.churn is not None and "churn" not in trainer_kwargs:
         trainer_kwargs["churn"] = scenario.churn
+    if scenario.compression is not None and "compression" not in trainer_kwargs:
+        trainer_kwargs["compression"] = scenario.compression
     tasks = workload.make_tasks(seed_offset=seed_offset)
     return create_trainer(
         algorithm,

@@ -32,7 +32,10 @@ Every family additionally accepts the shared graph axis: ``topology`` /
 ``edge_probability`` select the communication-graph family, and
 ``edge_failures`` / ``edge_downtime_s`` / ``edge_horizon_s`` promote the
 graph to a time-varying :class:`~repro.graph.topology.DynamicTopology`
-with a seeded random edge fail/repair schedule (gossip algorithms only).
+with a seeded random edge fail/repair schedule (gossip algorithms only);
+and the shared compression axis: ``compression`` / ``compression_param``
+attach a :class:`~repro.network.compression.CompressionOp` shrinking every
+model transfer (see :mod:`repro.network.compression`).
 """
 
 from __future__ import annotations
@@ -64,6 +67,11 @@ from repro.ml.data import BatchSampler, Dataset, train_test_split
 from repro.ml.models import build_model
 from repro.ml.problems import make_consensus_quadratics
 from repro.network.cluster import ClusterSpec, gbps_to_bytes_per_s
+from repro.network.compression import (
+    CompressionOp,
+    compression_op_names,
+    make_compression_op,
+)
 from repro.network.costmodel import ModelCostProfile, get_cost_profile
 from repro.network.links import (
     ClusterLinks,
@@ -98,12 +106,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Scenario:
-    """A network to train over (plus optional worker churn)."""
+    """A network to train over (plus optional worker churn/compression).
+
+    ``compression`` is ``None`` unless the shared axis attached a *lossy*
+    op -- the ``none`` op builds the identical scenario as omitting the
+    axis, so spelling it out can never change a cache key or a result.
+    """
 
     name: str
     topology: Topology
     links: LinkSpeedModel
     churn: ChurnSchedule | None = None
+    compression: CompressionOp | None = None
 
     @property
     def num_workers(self) -> int:
@@ -258,6 +272,12 @@ class ScenarioFamily:
         merged.update(self.coerce_params(overrides))
         if self.validator is not None:
             self.validator(merged)
+        if merged.get("compression", "none") != "none":
+            # Spec-time check: an unknown op or invalid fidelity parameter
+            # must fail a dry run. compression_param is inert (and therefore
+            # unvalidated) while the op is "none", mirroring the edge-shape
+            # parameters under edge_failures=0.
+            make_compression_op(merged["compression"], merged["compression_param"])
         if num_workers is not None and "topology" in merged:
             validate_topology_request(
                 merged["topology"], num_workers, merged["edge_probability"],
@@ -331,6 +351,7 @@ def _named(base: Scenario, family: str, num_workers: int) -> Scenario:
         topology=base.topology,
         links=base.links,
         churn=base.churn,
+        compression=base.compression,
     )
 
 
@@ -338,7 +359,7 @@ def _named(base: Scenario, family: str, num_workers: int) -> Scenario:
 # on any TOPOLOGY_KINDS graph instead of the paper's complete graph --
 # optionally a *time-varying* one: edge_failures > 0 overlays a seeded
 # random fail/repair schedule (DynamicTopology) on the chosen graph.
-_TOPOLOGY_PARAMS = (
+_SHARED_AXIS_PARAMS = (
     ScenarioParam(
         "topology", "full",
         "communication graph family: " + "|".join(TOPOLOGY_KINDS),
@@ -369,11 +390,23 @@ _TOPOLOGY_PARAMS = (
         "deterministic fail/repair script 'A-B@FAIL[:REPAIR];...' "
         "(e.g. '0-1@2:4;1-2@5'); mutually exclusive with edge_failures",
     ),
+    # The shared compression axis rides along with the graph axis: every
+    # family accepts it, the _topology_aware wrapper consumes it.
+    ScenarioParam(
+        "compression", "none",
+        "message-compression op: " + "|".join(compression_op_names()),
+    ),
+    ScenarioParam(
+        "compression_param", 0.0,
+        "the op's fidelity knob (topk: kept fraction k; qsgd: bits; "
+        "layerwise: layer fraction; 0 = the op's default); inert for "
+        "compression=none",
+    ),
 )
 
 
 def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]:
-    """Wrap a family builder so the shared topology axis applies to it.
+    """Wrap a family builder so the shared axes apply to it.
 
     The wrapper pops the graph-axis parameters out of the merged set (the
     base builders never see them), builds the scenario on its default
@@ -384,6 +417,11 @@ def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]
     down at a time; see :meth:`EdgeSchedule.random`). Links and churn are
     untouched: the link model describes the physical network, the topology
     describes who is *allowed* to gossip over it and when.
+
+    It also consumes the shared compression axis: a lossy ``compression``
+    op is built via :func:`make_compression_op` and attached to the
+    scenario with a ``-c{op}`` name suffix; ``compression="none"`` (the
+    default) attaches nothing and leaves the scenario untouched.
     """
 
     def wrapped(num_workers: int, seed: int, **params) -> Scenario:
@@ -394,6 +432,8 @@ def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]
         edge_downtime_s = params.pop("edge_downtime_s")
         edge_horizon_s = params.pop("edge_horizon_s")
         edge_events = params.pop("edge_events")
+        compression_name = params.pop("compression")
+        compression_param = params.pop("compression_param")
         scenario = builder(num_workers, seed, **params)
         name = scenario.name
         topology = scenario.topology
@@ -424,13 +464,18 @@ def _topology_aware(builder: Callable[..., Scenario]) -> Callable[..., Scenario]
             schedule = EdgeSchedule.from_string(scenario.num_workers, edge_events)
             name = f"{name}-ev{len(schedule)}"
             topology = DynamicTopology(topology, schedule)
-        if topology is scenario.topology:
+        compression = None
+        if compression_name != "none":
+            compression = make_compression_op(compression_name, compression_param)
+            name = f"{name}-c{compression.describe()}"
+        if topology is scenario.topology and compression is None:
             return scenario
         return Scenario(
             name=name,
             topology=topology,
             links=scenario.links,
             churn=scenario.churn,
+            compression=compression,
         )
 
     return wrapped
@@ -526,7 +571,7 @@ register_scenario_family(ScenarioFamily(
     builder=_topology_aware(lambda num_workers, seed, **_: _named(
         homogeneous_scenario(num_workers), "homogeneous", num_workers
     )),
-    params=_TOPOLOGY_PARAMS,
+    params=_SHARED_AXIS_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="heterogeneous",
@@ -540,7 +585,7 @@ register_scenario_family(ScenarioFamily(
         ScenarioParam("slowdown_low", 2.0, "minimum slowdown factor"),
         ScenarioParam("slowdown_high", 100.0, "maximum slowdown factor"),
         ScenarioParam("num_slow_links", 1, "simultaneously slowed links"),
-    ) + _TOPOLOGY_PARAMS,
+    ) + _SHARED_AXIS_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="heterogeneous-static",
@@ -549,13 +594,13 @@ register_scenario_family(ScenarioFamily(
         heterogeneous_scenario(num_workers, dynamic=False),
         "heterogeneous-static", num_workers,
     )),
-    params=_TOPOLOGY_PARAMS,
+    params=_SHARED_AXIS_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="multi-cloud",
     description="Appendix G six-region WAN (fixed at 6 workers)",
     builder=_topology_aware(lambda num_workers, seed, **_: multi_cloud_scenario()),
-    params=_TOPOLOGY_PARAMS,
+    params=_SHARED_AXIS_PARAMS,
     fixed_workers=6,
 ))
 register_scenario_family(ScenarioFamily(
@@ -572,7 +617,7 @@ register_scenario_family(ScenarioFamily(
     params=_TRACE_COMMON + (
         ScenarioParam("amplitude", 0.6, "sine amplitude as a fraction of base"),
         ScenarioParam("period_s", 1800.0, "diurnal cycle length, seconds"),
-    ) + _TOPOLOGY_PARAMS,
+    ) + _SHARED_AXIS_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="trace-random-walk",
@@ -587,7 +632,7 @@ register_scenario_family(ScenarioFamily(
     )),
     params=_TRACE_COMMON + (
         ScenarioParam("sigma", 0.15, "per-step log-normal walk std"),
-    ) + _TOPOLOGY_PARAMS,
+    ) + _SHARED_AXIS_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="trace-burst",
@@ -607,7 +652,7 @@ register_scenario_family(ScenarioFamily(
         ScenarioParam("burst_probability", 0.08, "per-step burst start probability"),
         ScenarioParam("burst_factor_low", 5.0, "minimum burst slowdown factor"),
         ScenarioParam("burst_factor_high", 50.0, "maximum burst slowdown factor"),
-    ) + _TOPOLOGY_PARAMS,
+    ) + _SHARED_AXIS_PARAMS,
 ))
 register_scenario_family(ScenarioFamily(
     name="trace-file",
@@ -618,7 +663,7 @@ register_scenario_family(ScenarioFamily(
     params=(
         ScenarioParam("path", "", "trace file (.json or .csv; format in links.py)"),
         ScenarioParam("latency_s", 0.001, "link latency for CSV traces, seconds"),
-    ) + _TOPOLOGY_PARAMS,
+    ) + _SHARED_AXIS_PARAMS,
     validator=_validate_trace_file_params,
 ))
 register_scenario_family(ScenarioFamily(
@@ -634,7 +679,7 @@ register_scenario_family(ScenarioFamily(
         ScenarioParam("min_active", 2, "validated floor on active workers"),
         ScenarioParam("dynamic", True, "keep the rotating slowed link too"),
         ScenarioParam("period_s", 300.0, "slow-link rotation period, seconds"),
-    ) + _TOPOLOGY_PARAMS,
+    ) + _SHARED_AXIS_PARAMS,
     has_churn=True,
 ))
 

@@ -140,12 +140,17 @@ class ScenarioSpec:
         # edge_probability is the same ring cell -- and the edge-failure
         # shape parameters are inert while edge_failures is 0 (the graph
         # stays frozen, so any spelled-out downtime/horizon builds the
-        # identical scenario).
+        # identical scenario). compression_param is inert while the op is
+        # "none" (and compression="none" itself is the default, dropped
+        # below): a cell spelled with the identity op is the same cell as
+        # one that never mentioned compression.
         if merged.get("topology") not in RANDOMIZED_TOPOLOGY_KINDS:
             coerced.pop("edge_probability", None)
         if not merged.get("edge_failures"):
             coerced.pop("edge_downtime_s", None)
             coerced.pop("edge_horizon_s", None)
+        if merged.get("compression", "none") == "none":
+            coerced.pop("compression_param", None)
         coerced = {
             key: value for key, value in coerced.items()
             if value != family.param(key).default
@@ -165,6 +170,13 @@ class ScenarioSpec:
             key in ("edge_failures", "edge_events") and value
             for key, value in self.params
         )
+
+    def has_compression(self) -> bool:
+        """Whether built scenarios carry a (lossy) compression op.
+
+        After canonicalization ``compression`` survives in ``params`` iff
+        it names a non-``none`` op, so this is a pure spec-level query."""
+        return any(key == "compression" for key, _ in self.params)
 
     def build(self, seed: int) -> Scenario:
         return build_scenario(

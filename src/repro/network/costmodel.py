@@ -25,12 +25,17 @@ inter-machine iteration time up to 4x intra-machine).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.network.links import LinkSpeedModel
 
+if TYPE_CHECKING:  # import cycle: compression builds on this module's types
+    from repro.network.compression import CompressionOp
+
 __all__ = [
+    "BYTES_PER_PARAM",
     "ModelCostProfile",
     "MODEL_ZOO",
     "get_cost_profile",
@@ -38,7 +43,12 @@ __all__ = [
     "ComputeModel",
 ]
 
-_BYTES_PER_PARAM = 4  # float32 on the wire, as in the paper's PyTorch stack
+# Wire size of one uncompressed parameter: float32, as in the paper's
+# PyTorch stack. This is the *dense* encoding every compression op is
+# measured against -- quantization ops must derive their own per-value
+# byte counts from their bit width, never from this constant, or a
+# b-bit payload would silently double-count the float32 assumption.
+BYTES_PER_PARAM = 4
 
 
 @dataclass(frozen=True)
@@ -70,7 +80,7 @@ class ModelCostProfile:
     @property
     def message_bytes(self) -> int:
         """Bytes of one full model transfer (float32 per parameter)."""
-        return self.param_count * _BYTES_PER_PARAM
+        return self.param_count * BYTES_PER_PARAM
 
 
 MODEL_ZOO: dict[str, ModelCostProfile] = {
@@ -108,11 +118,25 @@ class CommunicationModel:
     divided by the busiest endpoint's concurrent flow count at start time
     (a standard fair-share approximation -- in-flight transfers are not
     re-planned when flows come and go).
+
+    **Compression.** An optional
+    :class:`~repro.network.compression.CompressionOp` shrinks what a model
+    transfer puts on the wire: :meth:`payload_bytes` maps a cost profile to
+    the op's compressed message size, and trainers route their
+    ``message_bytes`` through it so every transfer duration reflects the
+    compressed payload. ``None`` (and the ``none`` op) charge the dense
+    float32 size, bit-identical to the pre-compression cost model.
     """
 
-    def __init__(self, links: LinkSpeedModel, flow_sharing: bool = True):
+    def __init__(
+        self,
+        links: LinkSpeedModel,
+        flow_sharing: bool = True,
+        compression: "CompressionOp | None" = None,
+    ):
         self.links = links
         self.flow_sharing = flow_sharing
+        self.compression = compression
         # NICs are full duplex: a transfer b -> a loads b's uplink and a's
         # downlink, so the two directions are tracked separately. Plain lists:
         # these counters are bumped on every transfer, where numpy scalar
@@ -127,6 +151,16 @@ class CommunicationModel:
     def active_flows(self, worker: int) -> int:
         """Number of in-flight transfers touching ``worker`` (either way)."""
         return self._inbound[worker] + self._outbound[worker]
+
+    def payload_bytes(self, profile: ModelCostProfile) -> int:
+        """Bytes one model transfer of ``profile`` puts on the wire.
+
+        The attached compression op's compressed size, or the dense
+        float32 ``profile.message_bytes`` when no op is attached.
+        """
+        if self.compression is None:
+            return profile.message_bytes
+        return self.compression.compressed_bytes(profile)
 
     def comm_time(self, a: int, b: int, nbytes: float, time: float) -> float:
         """Seconds to move ``nbytes`` from ``b`` to ``a`` starting at ``time``.

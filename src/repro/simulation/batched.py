@@ -470,6 +470,13 @@ class BatchedSimulator:
             raise ValueError(
                 "batched execution does not support time-varying topologies"
             )
+        if trainer.compression is not None:
+            # The engine mirrors the uncompressed mixing math; advancing a
+            # lossy-compressed trainer would silently skip the pulled-params
+            # noise hook (the "none" op is normalized to None upstream).
+            raise ValueError(
+                "batched execution does not support compression ops"
+            )
         sim = trainer.sim
         if sim.now != 0.0 or sim.events_processed or sim.pending or trainer.history.times:
             raise ValueError("batched trainers must be freshly constructed, not run")

@@ -346,3 +346,61 @@ class TestScenarioRegistry:
         config = TrainerConfig(max_sim_time=10.0, eval_interval_s=5.0, seed=0)
         result = run_trainer("adpsgd", scenario, workload, config)
         assert len(result.extras["churn_events"]) == 2
+
+    def test_every_family_accepts_the_compression_axis(self, tmp_path):
+        """Each registered family declares the shared compression axis,
+        attaches the op, and stamps the ``-c{op}`` suffix into the name;
+        ``compression="none"`` builds the identical scenario object."""
+        import json
+        from repro.experiments.scenarios import (
+            build_scenario, get_scenario_family, scenario_names,
+        )
+        from repro.network.compression import TopK
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({
+            "num_workers": 4, "latency": 0.001,
+            "segments": [{"start": 0.0, "bandwidth": 1e8}],
+        }))
+        for name in scenario_names():
+            family = get_scenario_family(name)
+            assert "compression" in family.param_names(), (
+                f"family {name!r} does not declare the shared compression axis"
+            )
+            workers = 6 if name == "multi-cloud" else 4
+            params = {"path": str(trace)} if name == "trace-file" else {}
+            scenario = build_scenario(
+                name, num_workers=workers, seed=1,
+                compression="topk", compression_param=0.25, **params,
+            )
+            assert scenario.name.endswith("-ctopk0.25"), scenario.name
+            assert scenario.compression == TopK(k=0.25)
+            plain = build_scenario(
+                name, num_workers=workers, seed=1, compression="none", **params
+            )
+            assert plain.compression is None
+            assert not plain.name.endswith("-cnone"), plain.name
+
+    def test_compression_composes_with_the_topology_axis(self):
+        from repro.experiments.scenarios import build_scenario
+        from repro.network.compression import QSGD
+
+        scenario = build_scenario(
+            "heterogeneous", 4, 1,
+            topology="ring", compression="qsgd", compression_param=4,
+        )
+        assert scenario.name.endswith("-ring-cqsgd4"), scenario.name
+        assert scenario.compression == QSGD(bits=4)
+        assert all(scenario.topology.degree(i) == 2 for i in range(4))
+
+    def test_bad_compression_rejected_at_spec_time(self):
+        from repro.experiments.scenarios import build_scenario
+
+        with pytest.raises(ValueError, match="unknown compression op"):
+            build_scenario("heterogeneous", 4, 0, compression="gzip")
+        with pytest.raises(ValueError, match="integral"):
+            build_scenario("heterogeneous", 4, 0, compression="qsgd",
+                           compression_param=7.5)
+        with pytest.raises(ValueError, match="topk"):
+            build_scenario("heterogeneous", 4, 0, compression="topk",
+                           compression_param=1.5)

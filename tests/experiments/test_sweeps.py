@@ -503,3 +503,77 @@ class TestTopologySweeps:
         par = run_sweep(spec, parallel=2)
         for a, b in zip(seq.outcomes, par.outcomes):
             assert_results_identical(a.result, b.result)
+
+
+class TestCompressionSweeps:
+    def test_compression_default_canonicalized(self):
+        """``compression=none`` (the schema default) builds the identical
+        scenario and must hash, label, and compare like omitting it --
+        including dropping the then-inert ``compression_param``."""
+        bare = ScenarioSpec("heterogeneous", 4)
+        spelled = ScenarioSpec(
+            "heterogeneous", 4,
+            params=(("compression", "none"), ("compression_param", 0.1)),
+        )
+        assert bare == spelled
+        assert spelled.params == ()
+        assert bare.label() == spelled.label()
+        cell_a = tiny_spec(scenarios=(bare,)).cells()[0]
+        cell_b = tiny_spec(scenarios=(spelled,)).cells()[0]
+        assert cell_a.cache_key() == cell_b.cache_key()
+
+    def test_compression_param_load_bearing_for_lossy_ops(self):
+        base = ScenarioSpec(
+            "heterogeneous", 4, params=(("compression", "topk"),),
+        )
+        tuned = ScenarioSpec(
+            "heterogeneous", 4,
+            params=(("compression", "topk"), ("compression_param", 0.01)),
+        )
+        other = ScenarioSpec(
+            "heterogeneous", 4,
+            params=(("compression", "topk"), ("compression_param", 0.1)),
+        )
+        cells = [
+            tiny_spec(scenarios=(s,)).cells()[0] for s in (base, tuned, other)
+        ]
+        assert len({c.cache_key() for c in cells}) == 3
+        assert base.has_compression() and not ScenarioSpec(
+            "heterogeneous", 4
+        ).has_compression()
+
+    def test_bad_compression_fails_at_spec_time(self):
+        with pytest.raises(ValueError, match="unknown compression op"):
+            ScenarioSpec("heterogeneous", 4, params=(("compression", "gzip"),))
+        with pytest.raises(ValueError, match="integral"):
+            ScenarioSpec("heterogeneous", 4, params=(
+                ("compression", "qsgd"), ("compression_param", 2.5),
+            ))
+
+    def test_compressed_sweep_cached_equals_fresh(self, tmp_path):
+        spec = tiny_spec(
+            algorithms=("adpsgd",),
+            seeds=(0,),
+            scenarios=(ScenarioSpec("heterogeneous", 4, params=(
+                ("compression", "topk"), ("compression_param", 0.1),
+            )),),
+        )
+        fresh = run_sweep(spec, cache_dir=str(tmp_path))
+        cached = run_sweep(spec, cache_dir=str(tmp_path))
+        assert cached.cells_from_cache == 1
+        for a, b in zip(fresh.outcomes, cached.outcomes):
+            assert_results_identical(a.result, b.result)
+
+    def test_compressed_sweep_parallel_equals_sequential(self):
+        spec = tiny_spec(
+            algorithms=("adpsgd", "netmax"),
+            seeds=(0,),
+            scenarios=(ScenarioSpec("heterogeneous", 4, params=(
+                ("compression", "topk"), ("compression_param", 0.1),
+            )),),
+            run=RunSpec(max_sim_time=5.0, eval_interval_s=5.0),
+        )
+        seq = run_sweep(spec, parallel=0)
+        par = run_sweep(spec, parallel=2)
+        for a, b in zip(seq.outcomes, par.outcomes):
+            assert_results_identical(a.result, b.result)

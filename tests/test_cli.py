@@ -30,6 +30,8 @@ class TestParser:
         expected |= {"dyn-traces", "dyn-churn", "dyn-topology", "dyn-edges"}
         # The worker-axis scaling sweep (ROADMAP item 2).
         expected |= {"scalability"}
+        # The compress-vs-route comparison (ROADMAP item 4).
+        expected |= {"compression"}
         assert set(FIGURE_FUNCTIONS) == expected
 
     def test_sweep_defaults(self):
@@ -532,3 +534,65 @@ class TestScenarioParamCLI:
         ])
         assert code == 2
         assert "targets family" in capsys.readouterr().err
+
+    def test_figure_compression_smoke(self, capsys):
+        code = main(["figure", "compression", "--sim-time", "8",
+                     "--samples", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # All four quadrants of the compress/route square show up.
+        assert "adpsgd" in out and "netmax" in out
+        assert "compression=topk" in out
+        assert "slowdown_high=4.0" in out
+        assert "Lowest mean final loss" in out
+
+    def test_sweep_compression_axis_dry_run(self, capsys):
+        """The compression axis cross-products per cell like any other
+        shared param."""
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--workers", "4", "--scenarios", "heterogeneous",
+            "--scenario-param", "compression=topk",
+            "--scenario-param", "compression_param=0.01,0.1",
+            "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+        assert "compression_param=0.01" in out and "compression_param=0.1" in out
+
+    def test_sweep_grid_dedupes_inert_compression_param(self, capsys):
+        """compression_param is inert while compression=none, so the
+        cross-product must enumerate each canonical cell exactly once."""
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--workers", "4", "--scenarios", "heterogeneous",
+            "--scenario-param", "compression=none,topk",
+            "--scenario-param", "compression_param=0.01,0.1",
+            "--dry-run",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # none collapses its two compression_param spellings; topk keeps
+        # both: 1 + 2 = 3 distinct cells.
+        assert "3 cell(s)" in out
+
+    def test_sweep_bad_compression_fails_dry_run(self, capsys):
+        code = main([
+            "sweep", "--algorithms", "adpsgd", "--seeds", "0",
+            "--workers", "4", "--scenarios", "heterogeneous",
+            "--scenario-param", "compression=gzip", "--dry-run",
+        ])
+        assert code == 2
+        assert "unknown compression op" in capsys.readouterr().err
+
+    def test_compare_with_compression_param(self, capsys):
+        code = main([
+            "compare", "--algorithms", "adpsgd", "--workers", "4",
+            "--samples", "256", "--batch-size", "32", "--sim-time", "5",
+            "--scenario", "heterogeneous",
+            "--scenario-param", "compression=topk",
+            "--scenario-param", "compression_param=0.1",
+        ])
+        assert code == 0
+        assert "heterogeneous-4w-ctopk0.1" in capsys.readouterr().out
